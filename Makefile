@@ -1,0 +1,29 @@
+# ACACIA reproduction -- developer entry points
+
+PYTHON ?= python
+
+.PHONY: test bench examples quick all clean-results
+
+test:
+	$(PYTHON) -m pytest tests/ -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+quick:   ## tests + the sub-second benchmarks only
+	$(PYTHON) -m pytest tests/ -q
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q \
+	    --ignore=benchmarks/test_fig3g_background_traffic.py \
+	    --ignore=benchmarks/test_fig10a_qci_rtt.py \
+	    --ignore=benchmarks/test_fig10b_isolation.py
+
+examples:
+	@for script in examples/*.py; do \
+	    echo "=== $$script ==="; \
+	    $(PYTHON) $$script || exit 1; \
+	done
+
+all: test bench examples
+
+clean-results:
+	rm -rf benchmarks/results .benchmarks

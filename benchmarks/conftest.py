@@ -1,0 +1,82 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation and writes a formatted text artefact to
+``benchmarks/results/<id>.txt`` (also echoed to stdout with ``-s``), so
+EXPERIMENTS.md can be checked against fresh runs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.apps.retail import build_retail_database
+from repro.apps.scenario import store_scenario
+from repro.apps.workload import CheckpointWorkload
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scenario():
+    return store_scenario()
+
+
+@pytest.fixture(scope="session")
+def db(scenario):
+    return build_retail_database(scenario, n_features=60)
+
+
+@pytest.fixture(scope="session")
+def workload(scenario, db):
+    return CheckpointWorkload(scenario, db, seed=7)
+
+
+class Report:
+    """Accumulates formatted lines; writes the artefact on close."""
+
+    def __init__(self, name: str, title: str) -> None:
+        self.name = name
+        self.lines = [title, "=" * len(title)]
+
+    def line(self, text: str = "") -> None:
+        self.lines.append(text)
+
+    def table(self, headers: list[str], rows: list[list]) -> None:
+        widths = [max(len(str(h)), *(len(str(r[i])) for r in rows))
+                  for i, h in enumerate(headers)] if rows else \
+                 [len(str(h)) for h in headers]
+        fmt = "  ".join(f"{{:>{w}}}" for w in widths)
+        self.lines.append(fmt.format(*headers))
+        self.lines.append(fmt.format(*("-" * w for w in widths)))
+        for row in rows:
+            self.lines.append(fmt.format(*(str(c) for c in row)))
+
+    def save(self) -> str:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = "\n".join(self.lines) + "\n"
+        (RESULTS_DIR / f"{self.name}.txt").write_text(text)
+        print("\n" + text)
+        return text
+
+
+@pytest.fixture()
+def report(request):
+    """Per-test report: ``report("fig3a", "title")`` then add rows."""
+    created = []
+
+    def factory(name: str, title: str) -> Report:
+        r = Report(name, title)
+        created.append(r)
+        return r
+
+    yield factory
+    for r in created:
+        r.save()
+
+
+def ms(value: float, digits: int = 1) -> str:
+    """Format seconds as milliseconds."""
+    return f"{value * 1e3:.{digits}f}"

@@ -1,0 +1,127 @@
+"""Figure 11(a): object-matching time by search scheme, machine and
+resolution -- plus the accuracy side-experiment.
+
+24 checkpoints x 5 frames against the 105-object database.  Paper
+shape: ACACIA (sub-section pruning) up to ~5x faster than Naive and
+~2x faster than rxPower; the Xeon beats the i7; Naive and ACACIA match
+every frame while rxPower suffers a boundary false negative.
+"""
+
+import numpy as np
+
+from repro.apps.retail import landmark_map_for
+from repro.apps.workload import CheckpointWorkload
+from repro.core.localization_manager import LocalizationManager
+from repro.core.optimizer import SearchSpaceOptimizer
+from repro.d2d.radio import RadioModel
+from repro.localization.pathloss import calibrate_from_radio
+from repro.vision.camera import R720x480, R960x720, R1280x720
+from repro.vision.costmodel import DEVICES
+
+SCHEMES = ["acacia", "rxpower", "naive"]
+MACHINES = ["i7-8core", "xeon-32core"]
+RESOLUTIONS = [R720x480, R960x720, R1280x720]
+FRAMES_PER_CHECKPOINT = 5
+
+
+def build_context(scenario, db, seed=31):
+    """Localisation state per checkpoint, from one observation round."""
+    radio = RadioModel()
+    rng = np.random.default_rng(seed)
+    regression = calibrate_from_radio(radio, rng)
+    localization = LocalizationManager(landmark_map_for(scenario,
+                                                        regression))
+    workload = CheckpointWorkload(scenario, db, radio=radio, seed=seed)
+    samples = []
+    for cp in scenario.checkpoints:
+        sample = workload.sample(cp)
+        # the user stands at the checkpoint through three discovery
+        # periods; the tracker's EWMA smooths the shadowing noise
+        for round_index in range(3):
+            observations = workload.landmark_observations(cp.position)
+            for landmark, rx_power in observations.items():
+                localization.report(cp.name, landmark, rx_power,
+                                    float(round_index))
+        samples.append(sample)
+    optimizer = SearchSpaceOptimizer(db, scenario)
+    return localization, optimizer, samples
+
+
+def search_space_for(scheme, localization, optimizer, cp_name):
+    if scheme == "naive":
+        return optimizer.naive()
+    if scheme == "rxpower":
+        return optimizer.rxpower(
+            localization.strongest_landmarks(cp_name, now=1.0))
+    location = localization.location(cp_name, now=1.0)
+    return optimizer.acacia(
+        location, localization.strongest_landmarks(cp_name, now=1.0))
+
+
+def test_fig11a_search_space(scenario, db, report, benchmark):
+    localization, optimizer, samples = build_context(scenario, db)
+
+    # --- timing table (cost model over the real pruned search spaces)
+    rows = []
+    mean_times = {}
+    for machine in MACHINES:
+        device = DEVICES[machine]
+        for resolution in RESOLUTIONS:
+            row = [f"{machine} ({resolution})"]
+            for scheme in SCHEMES:
+                times = []
+                for sample in samples:
+                    space = search_space_for(
+                        scheme, localization, optimizer,
+                        sample.checkpoint.name)
+                    t = device.db_match_time(
+                        resolution, db_objects=space.size,
+                        object_features=db.mean_nominal_features(
+                            space.records))
+                    times.extend([t] * FRAMES_PER_CHECKPOINT)
+                mean = float(np.mean(times))
+                mean_times[(machine, resolution, scheme)] = mean
+                row.append(f"{mean * 1e3:.0f}")
+            rows.append(row)
+
+    r = report("fig11a_search_space",
+               "Figure 11(a): mean matching time (ms) by scheme")
+    r.table(["machine (resolution)"] + SCHEMES, rows)
+
+    # --- accuracy: is the true object inside each scheme's space?
+    misses = {scheme: [] for scheme in SCHEMES}
+    for sample in samples:
+        for scheme in SCHEMES:
+            space = search_space_for(scheme, localization, optimizer,
+                                     sample.checkpoint.name)
+            names = {record.name for record in space.records}
+            if sample.record.name not in names:
+                misses[scheme].append(sample.checkpoint.name)
+    r.line()
+    for scheme in SCHEMES:
+        r.line(f"{scheme}: true object pruned away at "
+               f"{len(misses[scheme])}/24 checkpoints "
+               f"{misses[scheme] if misses[scheme] else ''}")
+
+    # paper shape: ACACIA up to ~5x vs naive, ~2x vs rxPower
+    for machine in MACHINES:
+        for resolution in RESOLUTIONS:
+            naive = mean_times[(machine, resolution, "naive")]
+            rx = mean_times[(machine, resolution, "rxpower")]
+            acacia = mean_times[(machine, resolution, "acacia")]
+            assert 3.0 <= naive / acacia <= 8.0
+            assert 1.2 <= rx / acacia <= 3.5
+            assert rx < naive
+    # Xeon faster than i7 at every point
+    for resolution in RESOLUTIONS:
+        for scheme in SCHEMES:
+            assert mean_times[("xeon-32core", resolution, scheme)] < \
+                mean_times[("i7-8core", resolution, scheme)]
+    # naive and acacia never lose the true object; rxPower may miss a
+    # boundary checkpoint or two
+    assert misses["naive"] == []
+    assert misses["acacia"] == []
+    assert len(misses["rxpower"]) <= 3
+
+    benchmark.pedantic(build_context, args=(scenario, db), rounds=1,
+                       iterations=1)

@@ -1,0 +1,73 @@
+"""Figure 12: matching time vs number of concurrent clients.
+
+960*720 frames, 1/2/4/8 clients on the Xeon (32 cores) and the i7
+(8 cores).  Paper shape: runtime roughly doubles as clients double on
+the i7; the Xeon absorbs small client counts; ACACIA's advantage grows
+with load.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.test_fig11a_search_space import (SCHEMES, build_context,
+                                                 search_space_for)
+from repro.vision.camera import R960x720
+from repro.vision.costmodel import DEVICES
+
+CLIENTS = [1, 2, 4, 8]
+MACHINES = ["xeon-32core", "i7-8core"]
+
+
+def mean_time(device, db, localization, optimizer, samples, scheme,
+              clients):
+    times = []
+    for sample in samples:
+        space = search_space_for(scheme, localization, optimizer,
+                                 sample.checkpoint.name)
+        times.append(device.db_match_time(
+            R960x720, db_objects=space.size,
+            object_features=db.mean_nominal_features(space.records),
+            clients=clients))
+    return float(np.mean(times))
+
+
+def test_fig12_multiclient(scenario, db, report, benchmark):
+    localization, optimizer, samples = build_context(scenario, db)
+    results = {}
+    for machine in MACHINES:
+        device = DEVICES[machine]
+        for scheme in SCHEMES:
+            for clients in CLIENTS:
+                results[(machine, scheme, clients)] = mean_time(
+                    device, db, localization, optimizer, samples,
+                    scheme, clients)
+
+    for machine in MACHINES:
+        r = report(f"fig12_multiclient_{machine}",
+                   f"Figure 12: matching time (sec) vs clients, {machine}")
+        rows = [[scheme] + [f"{results[(machine, scheme, c)]:.3f}"
+                            for c in CLIENTS]
+                for scheme in SCHEMES]
+        r.table(["scheme"] + [f"{c} clients" for c in CLIENTS], rows)
+
+    # i7: doubling clients doubles runtime (8-core machine, 8-wide jobs)
+    i7_naive = [results[("i7-8core", "naive", c)] for c in CLIENTS]
+    for previous, current in zip(i7_naive, i7_naive[1:]):
+        assert current == pytest.approx(2 * previous, rel=0.01)
+    # Xeon absorbs up to 4 clients before contention kicks in
+    assert results[("xeon-32core", "naive", 4)] == pytest.approx(
+        results[("xeon-32core", "naive", 1)], rel=0.01)
+    assert results[("xeon-32core", "naive", 8)] > \
+        results[("xeon-32core", "naive", 4)]
+    # the absolute gap between ACACIA and the others grows with load
+    gap_1 = results[("i7-8core", "naive", 1)] - \
+        results[("i7-8core", "acacia", 1)]
+    gap_8 = results[("i7-8core", "naive", 8)] - \
+        results[("i7-8core", "acacia", 8)]
+    assert gap_8 > 4 * gap_1
+
+    benchmark.pedantic(
+        mean_time,
+        args=(DEVICES["i7-8core"], db, localization, optimizer, samples,
+              "naive", 8),
+        rounds=1, iterations=1)

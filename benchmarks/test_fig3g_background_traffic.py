@@ -1,0 +1,74 @@
+"""Figure 3(g): network latency vs background traffic and server RTT.
+
+A single (conventional, non-split) S/P-GW pair serves both the AR
+traffic and iperf-style background load; server proximity is emulated
+with controlled link delays giving ~70 / 18 / 8 ms baseline RTTs.
+Paper shape: latency is flat at the baseline until the shared gateways
+saturate (~90-100 Mbps), then explodes towards seconds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import NetworkConfig
+from repro.core.network import MobileNetwork, Pinger
+
+#: (label, backhaul, core, internet) one-way delays emulating the RTTs.
+RTT_CONFIGS = [
+    ("70 ms", 0.010, 0.010, 0.009),
+    ("18 ms", 0.0025, 0.0015, 0.001),
+    ("8 ms", 0.0, 0.0, 0.0),
+]
+
+BG_RATES_MBPS = [0, 40, 80, 90, 100]
+WARMUP = 6.0
+PINGS = 8
+
+
+def measure(backhaul, core, internet, bg_mbps):
+    config = NetworkConfig(backhaul_delay=backhaul, core_delay=core,
+                           internet_delay=internet, seed=17)
+    network = MobileNetwork(config)
+    ue = network.add_ue()
+    if bg_mbps > 0:
+        bg = network.add_background_load(rate=bg_mbps * 1e6)
+        bg.start()
+    pinger = Pinger(network, ue, "internet", size=1000, interval=0.4)
+    pinger.run(count=PINGS, start=WARMUP)
+    network.sim.run(until=WARMUP + PINGS * 0.4 + 8.0)
+    if not pinger.rtts:
+        # overload: replies stuck behind the queue; report the bound
+        return WARMUP + 8.0
+    return float(np.median(pinger.rtts))
+
+
+def test_fig3g_background_traffic(report, benchmark):
+    rows = []
+    results = {}
+    for label, backhaul, core, internet in RTT_CONFIGS:
+        row = [f"One S-PGW ({label})"]
+        for bg in BG_RATES_MBPS:
+            latency = measure(backhaul, core, internet, bg)
+            results[(label, bg)] = latency
+            row.append(f"{latency * 1e3:.1f}")
+        rows.append(row)
+
+    r = report("fig3g_background_traffic",
+               "Figure 3(g): median latency (ms) vs background traffic")
+    r.table(["config"] + [f"{bg} Mbps" for bg in BG_RATES_MBPS], rows)
+
+    for label, _, _, _ in RTT_CONFIGS:
+        quiet = results[(label, 0)]
+        loaded = results[(label, 100)]
+        # flat until saturation...
+        assert results[(label, 40)] == pytest.approx(quiet, rel=0.5)
+        # ...then an explosion of >10x at/over capacity
+        assert loaded > 10 * quiet
+        assert loaded > 0.4     # approaching the ~second regime
+
+    # baseline ordering matches the emulated RTTs
+    assert results[("8 ms", 0)] < results[("18 ms", 0)] < \
+        results[("70 ms", 0)]
+
+    benchmark.pedantic(measure, args=(0.0, 0.0, 0.0, 0), rounds=1,
+                       iterations=1)

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Traffic isolation: why ACACIA's dedicated bearer matters (Fig 10(b)).
+
+Loads the central gateways with competing background traffic and
+compares the latency a CI application sees on (a) the conventional
+shared path and (b) an ACACIA dedicated bearer terminating on local
+edge gateways.
+
+Run:  python examples/traffic_isolation.py
+"""
+
+import numpy as np
+
+from repro.core import MobileNetwork, Pinger
+from repro.epc.entities import ServicePolicy
+
+BG_RATES_MBPS = [0, 60, 100]
+
+
+def shared_path_latency(bg_mbps: float) -> float:
+    network = MobileNetwork()
+    ue = network.add_ue()
+    if bg_mbps:
+        network.add_background_load(rate=bg_mbps * 1e6).start()
+    pinger = Pinger(network, ue, "internet", size=1000, interval=0.4)
+    pinger.run(count=8, start=6.0)
+    network.sim.run(until=18.0)
+    return float(np.median(pinger.rtts)) if pinger.rtts else float("inf")
+
+
+def acacia_latency(bg_mbps: float) -> float:
+    network = MobileNetwork()
+    network.pcrf.configure(ServicePolicy("ci", qci=7))
+    network.add_mec_site("mec")
+    network.add_server("ci-server", site_name="mec", echo=True)
+    ue = network.add_ue()
+    network.create_mec_bearer(ue, "ci-server", service_id="ci")
+    if bg_mbps:
+        network.add_background_load(rate=bg_mbps * 1e6).start()
+    pinger = Pinger(network, ue, "ci-server", size=1000, interval=0.4)
+    pinger.run(count=8, start=6.0)
+    network.sim.run(until=18.0)
+    return float(np.median(pinger.rtts)) if pinger.rtts else float("inf")
+
+
+def fmt(seconds: float) -> str:
+    return "   (lost)" if seconds == float("inf") \
+        else f"{seconds * 1e3:8.1f}"
+
+
+def main() -> None:
+    print(f"{'bg load':>10}  {'shared path (ms)':>18}  "
+          f"{'ACACIA bearer (ms)':>18}")
+    for bg in BG_RATES_MBPS:
+        shared = shared_path_latency(bg)
+        acacia = acacia_latency(bg)
+        print(f"{bg:>7} Mbps  {fmt(shared):>18}  {fmt(acacia):>18}")
+    print("\nthe dedicated bearer's data plane never touches the loaded "
+          "central gateways,\nso CI latency stays flat while the shared "
+          "path collapses at saturation.")
+
+
+if __name__ == "__main__":
+    main()

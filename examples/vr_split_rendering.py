@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""VR split rendering over the mobile edge — a second CI application.
+
+The paper's introduction names VR alongside AR as the continuous
+interactive class that needs edge computing.  This example streams
+head poses at 60 Hz to a render server and measures motion-to-photon
+latency with the server (a) on an ACACIA edge site reached through a
+dedicated bearer, and (b) behind the conventional core.
+
+Run:  python examples/vr_split_rendering.py
+"""
+
+import numpy as np
+
+from repro.apps.vr import VRClient, VRRenderServer
+from repro.core import CIService, MecRegistrationServer, MobileNetwork
+
+
+def run(edge: bool, poses: int = 120):
+    network = MobileNetwork()
+    server = VRRenderServer(network.sim, "vr-render")
+    if edge:
+        network.add_mec_site("mec")
+        network.add_server("vr-render", site_name="mec", node=server)
+        mrs = MecRegistrationServer(network)
+        mrs.register_service(CIService("vr", "vr-arena"))
+        mrs.deploy_instance("vr", "vr-render", "mec")
+        ue = network.add_ue()
+        mrs.request_connectivity(ue, "vr")
+    else:
+        network.add_server("vr-render", site_name="central", node=server)
+        ue = network.add_ue()
+        network.route_via_default_bearer(ue, "vr-render")
+    client = VRClient(network.sim, ue, server.ip, max_poses=poses)
+    client.start()
+    network.sim.run(until=poses / 60.0 + 3.0)
+    return client
+
+
+def describe(label: str, client: VRClient) -> None:
+    samples = client.motion_to_photon() * 1e3
+    print(f"{label}:")
+    print(f"  motion-to-photon: median {np.median(samples):.1f} ms, "
+          f"p95 {np.percentile(samples, 95):.1f} ms")
+    print(f"  poses within the 50 ms comfort budget: "
+          f"{client.fraction_within(0.050):.0%}")
+
+
+def main() -> None:
+    print("streaming 120 head poses at 60 Hz, 20 KB rendered tiles\n")
+    describe("ACACIA edge rendering", run(edge=True))
+    print()
+    describe("cloud rendering (conventional EPC)", run(edge=False))
+    print("\nonly the edge deployment fits the VR comfort budget -- the "
+          "core network RTT\nalone exceeds it, which is the paper's "
+          "opening argument.")
+
+
+if __name__ == "__main__":
+    main()

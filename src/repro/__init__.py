@@ -1,0 +1,35 @@
+"""ACACIA reproduction: context-aware edge computing for continuous
+interactive applications over mobile networks (CoNEXT 2016).
+
+The package is layered bottom-up:
+
+``repro.sim``
+    Discrete-event network simulator (engine, packets, links, traffic).
+``repro.epc``
+    LTE/EPC substrate: UEs, eNodeBs, MME/HSS/PCRF, split S/P-GWs, GTP
+    tunnels, default/dedicated bearers, TFTs and QCI QoS.
+``repro.sdn``
+    OpenFlow-style switches and controller (the Ryu/OVS analog) that
+    realise the GW user planes.
+``repro.d2d``
+    LTE-direct device-to-device proximity discovery with a radio model.
+``repro.localization``
+    Path-loss regression + trilateration indoor localisation.
+``repro.vision``
+    Simulated SURF feature extraction, the matching pipeline, geo-tagged
+    object database and calibrated device cost models.
+``repro.core``
+    The ACACIA framework itself: device manager, MEC Registration
+    Server, bearer orchestration and context-aware optimisation.
+``repro.apps``
+    The AR retail application (front-end/back-end) and store scenarios.
+``repro.baselines``
+    CLOUD / MEC / Naive / rxPower comparison points from the paper.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "sim", "epc", "sdn", "d2d", "localization", "vision", "core",
+    "apps", "baselines",
+]

@@ -1,0 +1,199 @@
+"""The engaged-retail application pair and store construction.
+
+Builds the paper's evaluation store: 105 geo-tagged objects over 21
+sub-sections, LTE-direct publishers at the landmark positions (the
+sales staff's phones, each broadcasting its section), and the customer
+side -- a GUI application that records interests with the ACACIA device
+manager and forwards discovery observations to the CI server's
+localisation manager (Section 6.3).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+import numpy as np
+
+from repro.apps.scenario import StoreScenario
+from repro.core.device_manager import AcaciaDeviceManager, ServiceInfo
+from repro.d2d.channel import D2DChannel, Publisher, Subscriber
+from repro.d2d.expressions import ExpressionNamespace
+from repro.d2d.messages import DiscoveryMessage, Observation
+from repro.localization.landmarks import Landmark, LandmarkMap
+from repro.vision.database import ObjectDatabase, ObjectRecord
+from repro.vision.features import ObjectModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.localization_manager import LocalizationManager
+    from repro.core.mrs import ActiveSession
+
+#: Default number of catalogued objects (the paper's database size).
+DEFAULT_OBJECT_COUNT = 105
+
+#: The retail service's LTE-direct name.
+RETAIL_SERVICE = "acme-retail"
+
+
+def build_retail_database(scenario: StoreScenario,
+                          n_objects: int = DEFAULT_OBJECT_COUNT,
+                          n_features: int = 80,
+                          seed: int = 0) -> ObjectDatabase:
+    """Populate the store database: objects tagged at sub-section level.
+
+    Objects are distributed round-robin over sub-sections (105 objects
+    over 21 cells = 5 per cell), positioned with deterministic jitter
+    around the cell centers.  One object per checkpoint is pinned at
+    the checkpoint position, mirroring the paper's methodology of
+    photographing objects *located at* the 24 checkpoints (Section 7.3).
+    """
+    rng = np.random.default_rng(seed)
+    db = ObjectDatabase()
+    counters: dict[str, itertools.count] = {}
+    # first free object slot (round-robin index) for each checkpoint's
+    # sub-section gets pinned at the checkpoint
+    pinned: dict[int, tuple[float, float]] = {}
+    for checkpoint in scenario.checkpoints:
+        base = checkpoint.subsection
+        slot = base
+        while slot in pinned:
+            slot += scenario.n_subsections     # next round-robin pass
+        if slot < n_objects:
+            pinned[slot] = checkpoint.position
+    for i in range(n_objects):
+        subsection = i % scenario.n_subsections
+        section = scenario.section_of_subsection(subsection)
+        counter = counters.setdefault(section, itertools.count(1))
+        index = next(counter)
+        name = f"{section}-item-{index}"
+        center = scenario.subsection_center(subsection)
+        if i in pinned:
+            position = (pinned[i][0] + float(rng.uniform(-0.3, 0.3)),
+                        pinned[i][1] + float(rng.uniform(-0.3, 0.3)))
+        else:
+            position = (center[0] + float(rng.uniform(-2.0, 2.0)),
+                        center[1] + float(rng.uniform(-2.0, 2.0)))
+        db.add(ObjectRecord(
+            model=ObjectModel.generate(name, n_features=n_features,
+                                       seed=seed * 100_000 + i),
+            tag=f"{section} item #{index}: price, reviews, current sales",
+            section=section, subsection=subsection, position=position))
+    return db
+
+
+def landmark_map_for(scenario: StoreScenario, regression) -> LandmarkMap:
+    """LandmarkMap (localisation metadata) from the scenario geometry."""
+    return LandmarkMap(
+        landmarks=[Landmark(name, x, y)
+                   for name, (x, y) in scenario.landmarks.items()],
+        regression=regression)
+
+
+@dataclass
+class RetailStore:
+    """Deploys the employee-side publishers onto a D2D channel."""
+
+    scenario: StoreScenario
+    channel: D2DChannel
+    service_name: str = RETAIL_SERVICE
+    discovery_period: float = 10.0
+    namespace: ExpressionNamespace = field(
+        default_factory=ExpressionNamespace)
+    publishers: dict[str, Publisher] = field(default_factory=dict)
+
+    def open(self, start_staggered: bool = True) -> None:
+        """Sales staff open the retail app: one publisher per landmark,
+        broadcasting its section as the offering."""
+        for name, position in self.scenario.landmarks.items():
+            section = self.scenario.section_at(position)
+            message = DiscoveryMessage(
+                publisher_id=name, service_name=self.service_name,
+                code=self.namespace.code(self.service_name, section),
+                payload=f"section={section}")
+            publisher = Publisher(name, position, message,
+                                  period=self.discovery_period)
+            self.publishers[name] = publisher
+            self.channel.add_publisher(
+                publisher, start=None if start_staggered else 0.0)
+
+    def close(self) -> None:
+        for name in list(self.publishers):
+            self.channel.remove_publisher(name)
+        self.publishers.clear()
+
+
+class RetailCustomerApp:
+    """The customer-side GUI application (the paper's service discovery
+    GUI + localisation handler).
+
+    Registers interests with the ACACIA device manager; when discovery
+    fires it (a) surfaces a notification to the user and (b) forwards
+    (landmark, rxPower) to the LTE-direct localisation manager at the
+    CI server.
+    """
+
+    def __init__(self, app_id: str,
+                 device_manager: AcaciaDeviceManager,
+                 channel: D2DChannel,
+                 position,
+                 service_id: str = "ar-retail",
+                 localization: Optional["LocalizationManager"] = None,
+                 on_notify: Optional[Callable[[Observation], None]] = None,
+                 ) -> None:
+        self.app_id = app_id
+        self.device_manager = device_manager
+        self.localization = localization
+        self.on_notify = on_notify
+        self.notifications: list[Observation] = []
+        self.session: Optional["ActiveSession"] = None
+        # the phone joins the D2D channel as a subscriber through the
+        # device manager's modem
+        self.subscriber = Subscriber(app_id, position,
+                                     modem=device_manager.modem)
+        channel.add_subscriber(self.subscriber)
+        self._registered = False
+
+    def open(self, interests: list[str]) -> None:
+        """The customer opens the app and selects interests (sections)."""
+        info = ServiceInfo(app_id=self.app_id, service_id="ar-retail",
+                           lte_direct_service=RETAIL_SERVICE,
+                           interests=list(interests))
+        self.device_manager.register_app(
+            info, on_discovery=self._on_discovery,
+            on_connected=self._on_connected)
+        # the localisation handler listens to the whole retail service
+        # (all landmarks), not just the user's interests: trilateration
+        # needs every audible landmark (Section 5.5)
+        self.device_manager.modem.subscribe(
+            f"{self.app_id}:__localization",
+            self.device_manager.namespace.service_filter(RETAIL_SERVICE),
+            self._on_landmark)
+        self._registered = True
+
+    def close(self) -> None:
+        """The customer finishes: connectivity torn down, app removed."""
+        if self._registered:
+            self.device_manager.modem.unsubscribe(
+                f"{self.app_id}:__localization")
+            self.device_manager.unregister_app(self.app_id)
+            self._registered = False
+
+    def move_to(self, position) -> None:
+        self.subscriber.move_to(position)
+
+    # -- callbacks ----------------------------------------------------------
+
+    def _on_connected(self, session: "ActiveSession") -> None:
+        self.session = session
+
+    def _on_discovery(self, observation: Observation) -> None:
+        """An *interest* matched: notify the user (alarm/vibration)."""
+        self.notifications.append(observation)
+        if self.on_notify is not None:
+            self.on_notify(observation)
+
+    def _on_landmark(self, observation: Observation) -> None:
+        """Any retail landmark heard: feed the localisation manager."""
+        if self.localization is not None:
+            self.localization.report_observation(self.app_id, observation)

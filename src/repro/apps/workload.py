@@ -1,0 +1,87 @@
+"""Workload generators for the evaluation experiments.
+
+The paper's Section 7.3 methodology: select 24 objects located at the
+checkpoints of Figure 9(a), generate 5 frames per object from the AR
+application at those positions, and measure rxPower from the 7
+landmarks at each checkpoint.  :class:`CheckpointWorkload` reproduces
+exactly that dataset against the synthetic store.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.apps.scenario import Checkpoint, StoreScenario
+from repro.core.localization_manager import LocalizationManager
+from repro.d2d.radio import RadioModel
+from repro.vision.camera import R960x720, Resolution
+from repro.vision.database import ObjectDatabase, ObjectRecord
+from repro.vision.features import FeatureExtractor, Frame
+
+
+@dataclass
+class CheckpointSample:
+    """Everything measured at one checkpoint: the target object, its
+    frames, and the rxPower observations of every audible landmark."""
+
+    checkpoint: Checkpoint
+    record: ObjectRecord
+    frames: list[Frame]
+    observations: dict[str, float]      # landmark -> rxPower (dBm)
+
+
+class CheckpointWorkload:
+    """The 24-checkpoint x 5-frame evaluation dataset."""
+
+    def __init__(self, scenario: StoreScenario, db: ObjectDatabase,
+                 radio: Optional[RadioModel] = None, seed: int = 0,
+                 frames_per_object: int = 5,
+                 resolution: Resolution = R960x720) -> None:
+        self.scenario = scenario
+        self.db = db
+        self.radio = radio if radio is not None else RadioModel()
+        self.rng = np.random.default_rng(seed)
+        self.extractor = FeatureExtractor(np.random.default_rng(seed + 1))
+        self.frames_per_object = frames_per_object
+        self.resolution = resolution
+
+    def nearest_object(self, checkpoint: Checkpoint) -> ObjectRecord:
+        """The catalogued object physically closest to a checkpoint."""
+        return min(self.db.all_records(),
+                   key=lambda r: math.dist(r.position, checkpoint.position))
+
+    def landmark_observations(self, position) -> dict[str, float]:
+        """One shadowed rxPower sample per decodable landmark."""
+        observations = {}
+        for name, lm_pos in self.scenario.landmarks.items():
+            d = math.dist(position, lm_pos)
+            rx = self.radio.rx_power(d, self.rng)
+            if self.radio.decodable(rx):
+                observations[name] = rx
+        return observations
+
+    def sample(self, checkpoint: Checkpoint,
+               resolution: Optional[Resolution] = None) -> CheckpointSample:
+        record = self.nearest_object(checkpoint)
+        res = resolution or self.resolution
+        frames = [self.extractor.frame_of(record.model, res)
+                  for _ in range(self.frames_per_object)]
+        return CheckpointSample(
+            checkpoint=checkpoint, record=record, frames=frames,
+            observations=self.landmark_observations(checkpoint.position))
+
+    def samples(self, resolution: Optional[Resolution] = None
+                ) -> Iterator[CheckpointSample]:
+        for checkpoint in self.scenario.checkpoints:
+            yield self.sample(checkpoint, resolution)
+
+    @staticmethod
+    def feed_localization(localization: LocalizationManager, user_id: str,
+                          sample: CheckpointSample, now: float) -> None:
+        """Report a sample's landmark observations for one user."""
+        for landmark, rx_power in sample.observations.items():
+            localization.report(user_id, landmark, rx_power, now)

@@ -1,0 +1,155 @@
+"""End-to-end deployment builders: CLOUD, MEC and ACACIA.
+
+Each builder assembles a full simulated network plus an AR server and
+one customer UE, differing exactly the way the paper's comparison
+points differ:
+
+* ``cloud`` -- conventional EPC: AR server across the internet behind
+  the centralised gateways (~70 ms RTT), whole-database matching;
+* ``mec`` -- the AR server is deployed at the edge (the conventional
+  gateways are co-located with the eNodeB, emulated with short
+  controlled delays as in Section 7.2), but traffic still shares the
+  non-split data path with everyone else and matching is unoptimised;
+* ``acacia`` -- the full system: MEC site with local split GW-Us, MRS +
+  device manager + LTE-direct discovery, dedicated bearer, and
+  location-pruned matching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.apps.ar_backend import ARBackend, ARServerNode
+from repro.apps.ar_frontend import ARFrontend, ARSession
+from repro.apps.retail import (RETAIL_SERVICE, RetailCustomerApp,
+                               RetailStore, landmark_map_for)
+from repro.apps.scenario import StoreScenario
+from repro.core.config import NetworkConfig
+from repro.core.device_manager import AcaciaDeviceManager
+from repro.core.localization_manager import LocalizationManager
+from repro.core.mrs import MecRegistrationServer
+from repro.core.network import MobileNetwork
+from repro.core.service import CIService
+from repro.d2d.channel import D2DChannel
+from repro.d2d.radio import RadioModel
+from repro.localization.pathloss import calibrate_from_radio
+from repro.vision.camera import R720x480, Resolution
+from repro.vision.costmodel import DEVICES, DeviceProfile
+from repro.vision.database import ObjectDatabase
+
+DEPLOYMENT_KINDS = ("cloud", "mec", "acacia")
+
+AR_SERVER_NAME = "ar-server"
+AR_SERVICE_ID = "ar-retail"
+
+
+@dataclass
+class Deployment:
+    """A ready-to-run end-to-end configuration."""
+
+    kind: str
+    network: MobileNetwork
+    scenario: StoreScenario
+    db: ObjectDatabase
+    backend: ARBackend
+    server_node: ARServerNode
+    ue: object                      # UEDevice
+    scheme: str
+    channel: Optional[D2DChannel] = None
+    store: Optional[RetailStore] = None
+    mrs: Optional[MecRegistrationServer] = None
+    device_manager: Optional[AcaciaDeviceManager] = None
+    customer: Optional[RetailCustomerApp] = None
+    localization: LocalizationManager = field(default=None)  # type: ignore
+
+    def new_session(self, frames, resolution: Resolution = R720x480,
+                    max_frames: Optional[int] = None,
+                    scene_complexity: float = 1.0) -> ARSession:
+        frontend = ARFrontend(resolution,
+                              scene_complexity=scene_complexity)
+        return ARSession(self.network.sim, self.ue,
+                         self.network.servers[AR_SERVER_NAME].ip,
+                         frontend, frames, max_frames=max_frames)
+
+
+def _mec_colocated_config(seed: int) -> NetworkConfig:
+    """Conventional (shared, non-split) gateways moved next to the eNB."""
+    return NetworkConfig(
+        backhaul_delay=0.0006, core_delay=0.0004, internet_delay=0.0002,
+        seed=seed)
+
+
+def build_deployment(kind: str, db: ObjectDatabase,
+                     scenario: StoreScenario, seed: int = 0,
+                     server_device: DeviceProfile = DEVICES["i7-8core"],
+                     user_position: Optional[tuple[float, float]] = None,
+                     ) -> Deployment:
+    """Build one of the three comparison deployments."""
+    if kind not in DEPLOYMENT_KINDS:
+        raise ValueError(f"unknown deployment kind {kind!r}; "
+                         f"expected one of {DEPLOYMENT_KINDS}")
+
+    radio = RadioModel()
+    regression = calibrate_from_radio(radio, np.random.default_rng(seed))
+    landmark_map = landmark_map_for(scenario, regression)
+    localization = LocalizationManager(landmark_map)
+    backend = ARBackend(db, scenario, localization, device=server_device)
+
+    if kind == "cloud":
+        network = MobileNetwork(NetworkConfig(seed=seed))
+        server_node = ARServerNode(network.sim, AR_SERVER_NAME, backend,
+                                   scheme="naive")
+        network.add_server(AR_SERVER_NAME, site_name="central",
+                           node=server_node)
+        ue = network.add_ue("customer-ue")
+        network.route_via_default_bearer(ue, AR_SERVER_NAME)
+        return Deployment(kind=kind, network=network, scenario=scenario,
+                          db=db, backend=backend, server_node=server_node,
+                          ue=ue, scheme="naive", localization=localization)
+
+    if kind == "mec":
+        network = MobileNetwork(_mec_colocated_config(seed))
+        server_node = ARServerNode(network.sim, AR_SERVER_NAME, backend,
+                                   scheme="naive")
+        network.add_server(AR_SERVER_NAME, site_name="central",
+                           node=server_node, delay=0.0002)
+        ue = network.add_ue("customer-ue")
+        network.route_via_default_bearer(ue, AR_SERVER_NAME)
+        return Deployment(kind=kind, network=network, scenario=scenario,
+                          db=db, backend=backend, server_node=server_node,
+                          ue=ue, scheme="naive", localization=localization)
+
+    # -- the full ACACIA system ------------------------------------------
+    network = MobileNetwork(NetworkConfig(seed=seed))
+    network.add_mec_site("mec")
+    server_node = ARServerNode(network.sim, AR_SERVER_NAME, backend,
+                               scheme="acacia")
+    network.add_server(AR_SERVER_NAME, site_name="mec", node=server_node)
+    ue = network.add_ue("customer-ue")
+
+    mrs = MecRegistrationServer(network)
+    mrs.register_service(CIService(service_id=AR_SERVICE_ID,
+                                   lte_direct_service=RETAIL_SERVICE))
+    mrs.deploy_instance(AR_SERVICE_ID, AR_SERVER_NAME, "mec")
+
+    channel = D2DChannel(network.sim, radio,
+                         rng=np.random.default_rng(seed + 1))
+    store = RetailStore(scenario, channel)
+    store.open()
+
+    device_manager = AcaciaDeviceManager(ue, mrs)
+    position = user_position if user_position is not None \
+        else scenario.checkpoints[0].position if scenario.checkpoints \
+        else (10.0, 10.0)
+    customer = RetailCustomerApp(
+        app_id=ue.name, device_manager=device_manager, channel=channel,
+        position=position, service_id=AR_SERVICE_ID,
+        localization=localization)
+    return Deployment(kind=kind, network=network, scenario=scenario,
+                      db=db, backend=backend, server_node=server_node,
+                      ue=ue, scheme="acacia", channel=channel, store=store,
+                      mrs=mrs, device_manager=device_manager,
+                      customer=customer, localization=localization)

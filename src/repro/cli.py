@@ -1,0 +1,194 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives the repository a front door: inspect the system, run the
+examples, and regenerate individual paper experiments without knowing
+the pytest incantations.
+
+Commands
+--------
+
+``info``
+    Package layout, experiment inventory and headline claims.
+``experiments``
+    List every reproducible table/figure and its bench target.
+``run-experiment <id>``
+    Regenerate one experiment (runs its benchmark via pytest).
+``demo <name>``
+    Run one of the example scripts (quickstart, retail, localization,
+    isolation).
+``overhead``
+    Print the Section 4 control-overhead analysis right here.
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+from pathlib import Path
+
+import repro
+
+#: experiment id -> (benchmark file, one-line description)
+EXPERIMENTS: dict[str, tuple[str, str]] = {
+    "fig3a": ("test_fig3a_surf_runtime.py",
+              "SURF runtime vs resolution and device"),
+    "fig3b": ("test_fig3b_match_runtime.py",
+              "brute-force match runtime vs resolution and device"),
+    "fig3c": ("test_fig3c_lte_rtt.py", "LTE->EC2 RTT CDF per region"),
+    "fig3d": ("test_fig3d_ul_bandwidth.py",
+              "LTE uplink bandwidth per region and signal"),
+    "fig3e": ("test_fig3e_camera_fps.py", "camera preview FPS"),
+    "fig3f": ("test_fig3f_fps_vs_capacity.py",
+              "upload FPS vs codec and uplink capacity"),
+    "fig3g": ("test_fig3g_background_traffic.py",
+              "latency vs background traffic and server RTT"),
+    "fig3h": ("test_fig3h_db_size.py", "match runtime vs database size"),
+    "overhead": ("test_overhead_control_messages.py",
+                 "Sec 4 control overhead (15 msgs / 2914 B) + ablation"),
+    "fig6": ("test_fig6_lte_direct_trace.py",
+             "rxPower/SNR walk trace past three landmarks"),
+    "fig8": ("test_fig8_dataplane.py",
+             "GW-U data-plane throughput (OpenEPC/ACACIA/IDEAL)"),
+    "fig9": ("test_fig9_localization.py",
+             "localisation error vs number of landmarks"),
+    "fig10a": ("test_fig10a_qci_rtt.py", "UE->MEC RTT by QCI"),
+    "fig10b": ("test_fig10b_isolation.py",
+               "latency vs background traffic for the three designs"),
+    "compression": ("test_compression.py",
+                    "JPEG-90 encode time and ratio (Sec 7.3)"),
+    "fig11a": ("test_fig11a_search_space.py",
+               "matching time by search scheme, machine, resolution"),
+    "fig11b": ("test_fig11b_match_cdf.py", "matching-runtime CDF"),
+    "fig12": ("test_fig12_multiclient.py",
+              "matching time vs concurrent clients"),
+    "fig13": ("test_fig13_end_to_end.py",
+              "end-to-end breakdown: ACACIA vs MEC vs CLOUD"),
+    "discovery-tech": ("test_ablation_discovery_tech.py",
+                       "ablation: LTE-direct vs iBeacon vs Wi-Fi Aware"),
+    "middlebox": ("test_ablation_middlebox.py",
+                  "ablation: middlebox inspection vs UE classification"),
+    "handover": ("test_ablation_handover.py",
+                 "ablation: AR session continuity across handover"),
+    "vr-budget": ("test_ext_vr_budget.py",
+                  "extension: VR motion-to-photon, edge vs cloud"),
+    "tcp-dataplane": ("test_ext_tcp_dataplane.py",
+                      "extension: Fig 8 with a congestion-controlled "
+                      "flow"),
+}
+
+DEMOS = {
+    "quickstart": "quickstart.py",
+    "retail": "retail_store_demo.py",
+    "localization": "localization_walkthrough.py",
+    "isolation": "traffic_isolation.py",
+    "vr": "vr_split_rendering.py",
+    "mobility": "store_walk_mobility.py",
+}
+
+_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def cmd_info(_: argparse.Namespace) -> int:
+    print(f"ACACIA reproduction v{repro.__version__}")
+    print(repro.__doc__)
+    print(f"{len(EXPERIMENTS)} reproducible experiments "
+          f"(`python -m repro experiments`)")
+    print(f"{len(DEMOS)} runnable demos (`python -m repro demo <name>`): "
+          + ", ".join(DEMOS))
+    return 0
+
+
+def cmd_experiments(_: argparse.Namespace) -> int:
+    width = max(len(k) for k in EXPERIMENTS)
+    for key, (_, description) in EXPERIMENTS.items():
+        print(f"  {key:<{width}}  {description}")
+    print("\nrun one with: python -m repro run-experiment <id>")
+    return 0
+
+
+def cmd_run_experiment(args: argparse.Namespace) -> int:
+    try:
+        bench_file, description = EXPERIMENTS[args.experiment]
+    except KeyError:
+        print(f"unknown experiment {args.experiment!r}; "
+              f"see `python -m repro experiments`", file=sys.stderr)
+        return 2
+    print(f"regenerating: {description}\n")
+    command = [sys.executable, "-m", "pytest",
+               str(_ROOT / "benchmarks" / bench_file),
+               "--benchmark-only", "-q", "-s"]
+    return subprocess.call(command, cwd=_ROOT)
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    try:
+        script = DEMOS[args.name]
+    except KeyError:
+        print(f"unknown demo {args.name!r}; options: {', '.join(DEMOS)}",
+              file=sys.stderr)
+        return 2
+    return subprocess.call([sys.executable,
+                            str(_ROOT / "examples" / script)], cwd=_ROOT)
+
+
+def cmd_overhead(_: argparse.Namespace) -> int:
+    from repro.core import MobileNetwork
+    from repro.epc.overhead import (APP_DRIVEN_EVENTS_PER_DAY,
+                                    PROMOTION_EVENTS_PER_DAY,
+                                    daily_overhead_mb)
+    network = MobileNetwork()
+    ue = network.add_ue()
+    release = network.control_plane.release_to_idle(ue)
+    reestablish = network.control_plane.service_request(ue)
+    messages = release.messages + reestablish.messages
+    by_protocol: dict[str, list[int]] = {}
+    for message in messages:
+        entry = by_protocol.setdefault(message.protocol, [0, 0])
+        entry[0] += 1
+        entry[1] += message.size
+    total = sum(msg.size for msg in messages)
+    print("release + re-establish control overhead (Section 4):")
+    for protocol, (count, size) in sorted(by_protocol.items()):
+        print(f"  {protocol:<10} {count:>3} messages  {size:>5} bytes")
+    print(f"  {'TOTAL':<10} {len(messages):>3} messages  {total:>5} bytes")
+    print(f"\napp-driven daily overhead "
+          f"({APP_DRIVEN_EVENTS_PER_DAY}/day): "
+          f"{daily_overhead_mb(total, APP_DRIVEN_EVENTS_PER_DAY):.2f} MB")
+    print(f"worst-case daily overhead ({PROMOTION_EVENTS_PER_DAY}/day): "
+          f"{daily_overhead_mb(total, PROMOTION_EVENTS_PER_DAY):.1f} MB")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="ACACIA (CoNEXT 2016) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="package overview").set_defaults(
+        func=cmd_info)
+    sub.add_parser("experiments",
+                   help="list reproducible experiments").set_defaults(
+        func=cmd_experiments)
+    run = sub.add_parser("run-experiment",
+                         help="regenerate one table/figure")
+    run.add_argument("experiment", help="experiment id (e.g. fig13)")
+    run.set_defaults(func=cmd_run_experiment)
+    demo = sub.add_parser("demo", help="run an example script")
+    demo.add_argument("name", help=f"one of: {', '.join(DEMOS)}")
+    demo.set_defaults(func=cmd_demo)
+    sub.add_parser("overhead",
+                   help="print the Sec 4 overhead analysis").set_defaults(
+        func=cmd_overhead)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""Network topology configuration.
+
+Latency defaults are calibrated to the paper's measurements:
+
+* UE -> cloud server through the conventional core: ~70 ms RTT (the
+  Figure 3(c) California median), decomposed into radio + backhaul +
+  core + internet hops;
+* eNodeB -> MEC server: ~1.6 ms RTT (Section 7.2), so the UE -> MEC RTT
+  lands under 15 ms for 95% of pings (Figure 10(a));
+* central core links: 100 Mbps with deep buffers, saturating around
+  90-100 Mbps of background traffic exactly where Figures 3(g)/10(b)
+  show the latency explosion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sdn.dataplane import (ACACIA_OVS_PROFILE,
+                                 OPENEPC_USERSPACE_PROFILE, DataPlaneProfile)
+
+
+@dataclass
+class NetworkConfig:
+    """All tunables of the simulated mobile network."""
+
+    # radio access
+    radio_ul_bandwidth: float = 12e6       # Figure 3(d) peak uplink
+    radio_dl_bandwidth: float = 30e6       # typical LTE downlink
+    radio_delay: float = 0.004             # one-way UE <-> eNB
+    radio_jitter: float = 0.003            # HARQ/scheduling variability
+    radio_queue_bytes: int = 300_000
+
+    # central (conventional core) path
+    backhaul_delay: float = 0.010          # eNB <-> central SGW-U
+    core_delay: float = 0.010              # SGW-U <-> PGW-U
+    internet_delay: float = 0.009          # PGW-U <-> cloud server
+    core_bandwidth: float = 100e6          # the shared 100 Mbps bottleneck
+    core_queue_bytes: int = 25_000_000     # deep buffers -> seconds of bloat
+
+    # MEC (edge) path
+    mec_backhaul_delay: float = 0.0004     # eNB <-> local SGW-U
+    mec_core_delay: float = 0.0002         # local SGW-U <-> local PGW-U
+    mec_server_delay: float = 0.0002       # local PGW-U <-> CI server
+    mec_bandwidth: float = 1e9
+    mec_queue_bytes: int = 1_500_000
+
+    # gateway data planes
+    central_profile: DataPlaneProfile = field(
+        default_factory=lambda: OPENEPC_USERSPACE_PROFILE)
+    mec_profile: DataPlaneProfile = field(
+        default_factory=lambda: ACACIA_OVS_PROFILE)
+
+    # control plane
+    seed: int = 0
+
+    def cloud_one_way_delay(self) -> float:
+        """Nominal UE -> cloud one-way propagation (no queueing/jitter)."""
+        return (self.radio_delay + self.backhaul_delay + self.core_delay
+                + self.internet_delay)
+
+    def mec_one_way_delay(self) -> float:
+        """Nominal UE -> MEC one-way propagation."""
+        return (self.radio_delay + self.mec_backhaul_delay
+                + self.mec_core_delay + self.mec_server_delay)

@@ -1,0 +1,146 @@
+"""The ACACIA device manager.
+
+An always-running service on the mobile device (an Android Service in
+the prototype, Section 6.2) with two roles:
+
+* a proxy between CI applications and the LTE modem: apps register
+  their interests, the device manager installs the corresponding
+  code/mask filters in the modem and relays matching discovery
+  observations back to the app;
+* the network-connectivity manager: on the *first* interest match for a
+  CI application it asks the MRS to create the dedicated bearer to the
+  closest CI server; when the user finishes the app, it asks the MRS to
+  delete the connectivity and unregisters the app.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.d2d.expressions import ExpressionNamespace
+from repro.d2d.messages import Observation
+from repro.d2d.modem import LteDirectModem
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.mrs import ActiveSession, MecRegistrationServer
+    from repro.epc.ue import UEDevice
+
+
+@dataclass
+class ServiceInfo:
+    """The app <-> device-manager exchange record (the prototype's
+    Parcelable ServiceInfo class)."""
+
+    app_id: str
+    service_id: str                  # CI service at the MRS
+    lte_direct_service: str          # discovery service name
+    interests: list[str] = field(default_factory=list)
+
+
+@dataclass
+class _Registration:
+    info: ServiceInfo
+    on_discovery: Callable[[Observation], None]
+    on_connected: Optional[Callable[["ActiveSession"], None]]
+    connected: bool = False
+
+
+class AcaciaDeviceManager:
+    """Per-device orchestration of apps, modem and MEC connectivity."""
+
+    def __init__(self, ue: "UEDevice", mrs: "MecRegistrationServer",
+                 modem: Optional[LteDirectModem] = None,
+                 namespace: Optional[ExpressionNamespace] = None) -> None:
+        self.ue = ue
+        self.mrs = mrs
+        self.modem = modem if modem is not None else LteDirectModem(ue.name)
+        self.namespace = namespace if namespace is not None \
+            else ExpressionNamespace()
+        self._registrations: dict[str, _Registration] = {}
+        self.matches_seen = 0
+
+    # -- app lifecycle ------------------------------------------------------
+
+    def register_app(self, info: ServiceInfo,
+                     on_discovery: Callable[[Observation], None],
+                     on_connected: Optional[
+                         Callable[["ActiveSession"], None]] = None,
+                     connect_on_register: bool = False) -> None:
+        """A CI application connects and declares its interests.
+
+        ``connect_on_register=True`` is the paper's Section 8 variant
+        for environments without proximity discovery: launching the
+        application itself triggers the MEC connectivity request,
+        instead of waiting for the first interest match.
+        """
+        if info.app_id in self._registrations:
+            raise ValueError(f"app {info.app_id!r} already registered")
+        registration = _Registration(info, on_discovery, on_connected)
+        self._registrations[info.app_id] = registration
+        for interest in info.interests:
+            self._install_filter(registration, interest)
+        if connect_on_register:
+            self._connect(registration)
+
+    def add_interest(self, app_id: str, interest: str) -> None:
+        """The user selects another interest in the app's UI."""
+        registration = self._registration(app_id)
+        if interest not in registration.info.interests:
+            registration.info.interests.append(interest)
+            self._install_filter(registration, interest)
+
+    def unregister_app(self, app_id: str) -> None:
+        """The user finishes the CI app: tear down connectivity and
+        remove all of the app's modem filters."""
+        registration = self._registrations.pop(app_id, None)
+        if registration is None:
+            return
+        for interest in registration.info.interests:
+            self.modem.unsubscribe(self._filter_name(app_id, interest))
+        if registration.connected:
+            self.mrs.release_connectivity(self.ue,
+                                          registration.info.service_id)
+
+    @property
+    def registered_apps(self) -> list[str]:
+        return list(self._registrations)
+
+    # -- modem plumbing -------------------------------------------------------
+
+    @staticmethod
+    def _filter_name(app_id: str, interest: str) -> str:
+        return f"{app_id}:{interest}"
+
+    def _install_filter(self, registration: _Registration,
+                        interest: str) -> None:
+        expression_filter = self.namespace.offering_filter(
+            registration.info.lte_direct_service, interest)
+        self.modem.subscribe(
+            self._filter_name(registration.info.app_id, interest),
+            expression_filter,
+            lambda obs, reg=registration: self._on_match(reg, obs))
+
+    def _connect(self, registration: _Registration,
+                 discovery_payload: str = "") -> None:
+        session = self.mrs.request_connectivity(
+            self.ue, registration.info.service_id,
+            discovery_payload=discovery_payload)
+        registration.connected = True
+        if registration.on_connected is not None:
+            registration.on_connected(session)
+
+    def _on_match(self, registration: _Registration,
+                  observation: Observation) -> None:
+        """A discovery message matched one of the app's interests."""
+        self.matches_seen += 1
+        if not registration.connected:
+            self._connect(registration,
+                          discovery_payload=observation.message.payload)
+        registration.on_discovery(observation)
+
+    def _registration(self, app_id: str) -> _Registration:
+        try:
+            return self._registrations[app_id]
+        except KeyError:
+            raise KeyError(f"app {app_id!r} is not registered") from None

@@ -1,0 +1,64 @@
+"""The CI-server-side LTE-direct localisation manager.
+
+Receives (landmark name, rxPower) updates forwarded by clients'
+localisation handlers, runs trilateration per user, and exposes the
+current estimate to the AR back-end for search-space pruning
+(Sections 5.5 and 6.3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.d2d.messages import Observation
+from repro.localization.landmarks import LandmarkMap
+from repro.localization.tracker import LocationTracker
+
+
+class LocalizationManager:
+    """Per-user location tracking on the CI server."""
+
+    def __init__(self, landmark_map: LandmarkMap,
+                 staleness: float = 30.0, min_landmarks: int = 3) -> None:
+        self.map = landmark_map
+        self.staleness = staleness
+        self.min_landmarks = min_landmarks
+        self._trackers: dict[str, LocationTracker] = {}
+
+    def tracker_for(self, user_id: str) -> LocationTracker:
+        tracker = self._trackers.get(user_id)
+        if tracker is None:
+            tracker = LocationTracker(self.map, staleness=self.staleness,
+                                      min_landmarks=self.min_landmarks)
+            self._trackers[user_id] = tracker
+        return tracker
+
+    def report(self, user_id: str, landmark_name: str, rx_power: float,
+               timestamp: float) -> None:
+        """One rxPower update from a user's localisation handler."""
+        self.tracker_for(user_id).observe(landmark_name, rx_power,
+                                          timestamp)
+
+    def report_observation(self, user_id: str,
+                           observation: Observation) -> None:
+        """Convenience: feed a whole discovery observation."""
+        self.report(user_id, observation.landmark, observation.rx_power,
+                    observation.timestamp)
+
+    def location(self, user_id: str,
+                 now: float) -> Optional[tuple[float, float]]:
+        tracker = self._trackers.get(user_id)
+        if tracker is None:
+            return None
+        return tracker.estimate(now)
+
+    def strongest_landmarks(self, user_id: str, now: float,
+                            count: int = 2) -> list[str]:
+        tracker = self._trackers.get(user_id)
+        if tracker is None:
+            return []
+        return tracker.strongest_landmarks(now, count)
+
+    @property
+    def users(self) -> list[str]:
+        return list(self._trackers)

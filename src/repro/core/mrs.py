@@ -1,0 +1,126 @@
+"""MEC Registration Server (MRS).
+
+The MRS is ACACIA's core-network component (an Application Function in
+3GPP terms, Section 5.3): it manages CI services and creates/deletes
+the network connectivity between CI applications and their CI servers
+in the mobile edge clouds.  The first service discovery message a
+device manager forwards is used to locate the closest CI server; the
+MRS then drives the PCRF to trigger the network-initiated dedicated
+bearer (Section 5.4, step 1-2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.service import CIServerInstance, CIService, ServiceRegistry
+from repro.epc.entities import ServicePolicy
+from repro.epc.procedures import ProcedureResult
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.network import MobileNetwork
+    from repro.epc.ue import UEDevice
+
+
+@dataclass
+class ActiveSession:
+    """One UE's live connectivity to a CI service."""
+
+    imsi: str
+    service_id: str
+    instance: CIServerInstance
+    ebi: int
+    setup_result: ProcedureResult
+
+
+class MecRegistrationServer:
+    """Manages CI services and on-demand MEC connectivity."""
+
+    def __init__(self, network: "MobileNetwork", name: str = "mrs") -> None:
+        self.network = network
+        self.name = name
+        self.registry = ServiceRegistry()
+        self.sessions: dict[tuple[str, str], ActiveSession] = {}
+        self.requests_served = 0
+
+    # -- service management (operator-facing) ------------------------------
+
+    def register_service(self, service: CIService) -> None:
+        """Register a CI service and configure its PCRF policy."""
+        self.registry.register(service)
+        self.network.pcrf.configure(ServicePolicy(
+            service_id=service.service_id, qci=service.qci))
+
+    def deploy_instance(self, service_id: str, server_name: str,
+                        site_name: str,
+                        serves_enbs: Optional[set[str]] = None) -> None:
+        """Record a CI server deployment on an edge site."""
+        service = self.registry.get(service_id)
+        server = self.network.servers[server_name]
+        service.add_instance(CIServerInstance(
+            server_name=server_name, site_name=site_name,
+            server_ip=server.ip,
+            serves_enbs=frozenset(serves_enbs or {self.network.enb.name})))
+
+    # -- connectivity lifecycle (device-manager-facing) ----------------------
+
+    def request_connectivity(self, ue: "UEDevice", service_id: str,
+                             discovery_payload: str = "") -> ActiveSession:
+        """Create the dedicated bearer to the closest CI server.
+
+        Idempotent per (UE, service): repeated interest matches while a
+        session is live do not create extra bearers -- this is exactly
+        the control-overhead saving of Section 5.3.
+        """
+        key = (ue.imsi, service_id)
+        if key in self.sessions:
+            return self.sessions[key]
+        service = self.registry.get(service_id)
+        # closest instance to the UE's *current* cell
+        enb_name = self.network.mme.context(ue.imsi).enb.name
+        instance = service.instance_for_enb(enb_name)
+        result = self.network.control_plane.activate_dedicated_bearer(
+            ue, service_id, instance.server_ip, instance.site_name,
+            requested_by=self.name)
+        session = ActiveSession(
+            imsi=ue.imsi, service_id=service_id, instance=instance,
+            ebi=result.bearer.ebi, setup_result=result)
+        self.sessions[key] = session
+        self.requests_served += 1
+        return session
+
+    def release_connectivity(self, ue: "UEDevice",
+                             service_id: str) -> Optional[ProcedureResult]:
+        """Tear down the dedicated bearer when the CI app finishes."""
+        session = self.sessions.pop((ue.imsi, service_id), None)
+        if session is None:
+            return None
+        return self.network.control_plane.deactivate_dedicated_bearer(
+            ue, session.ebi, requested_by=self.name)
+
+    def session_for(self, ue: "UEDevice",
+                    service_id: str) -> Optional[ActiveSession]:
+        return self.sessions.get((ue.imsi, service_id))
+
+    def relocate_session(self, ue: "UEDevice",
+                         service_id: str) -> Optional[ActiveSession]:
+        """Re-anchor a session onto the closest CI server instance.
+
+        After a handover, the UE's eNodeB may be served by a different
+        edge site.  The SGW anchor keeps the old bearer working, but
+        latency-wise the session should move: this tears the old
+        dedicated bearer down and builds a new one to the instance
+        closest to the current cell.  No-op when the current instance
+        is already the best one.  Returns the (possibly new) session.
+        """
+        session = self.sessions.get((ue.imsi, service_id))
+        if session is None:
+            return None
+        service = self.registry.get(service_id)
+        enb_name = self.network.mme.context(ue.imsi).enb.name
+        best = service.instance_for_enb(enb_name)
+        if best is session.instance:
+            return session
+        self.release_connectivity(ue, service_id)
+        return self.request_connectivity(ue, service_id)

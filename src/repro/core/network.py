@@ -1,0 +1,360 @@
+"""Testbed builder: assembles the full simulated mobile network.
+
+:class:`MobileNetwork` wires the pieces the paper's testbeds provide:
+one eNodeB, a central gateway site (the conventional EPC data path to
+the internet), optional MEC sites with local split GW-Us next to CI
+servers, the control-plane entities, the SDN controller and the shared
+control ledger.  Experiments then attach UEs, servers and background
+load, and use :class:`Pinger` for RTT measurements.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.config import NetworkConfig
+from repro.epc.entities import (GatewaySite, HSS, MME, PCRF, PGWC, SGWC,
+                                SubscriberProfile)
+from repro.epc.enodeb import ENodeB
+from repro.epc.identifiers import ImsiAllocator
+from repro.epc.overhead import ControlLedger
+from repro.epc.paging import PagingManager
+from repro.epc.procedures import EPCControlPlane, ProcedureResult
+from repro.epc.qos import apply_qci_priorities
+from repro.epc.ue import UEDevice
+from repro.sdn.controller import SdnController
+from repro.sdn.dataplane import DataPlaneProfile
+from repro.sdn.openflow import FlowMatch, FlowRule, GtpDecap, Output
+from repro.sdn.switch import FlowSwitch
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+from repro.sim.node import Node, PacketSink
+from repro.sim.packet import Packet
+from repro.sim.traffic import PoissonSource
+
+
+class MobileNetwork:
+    """A complete LTE/EPC network with optional MEC sites."""
+
+    def __init__(self, config: Optional[NetworkConfig] = None) -> None:
+        self.config = config or NetworkConfig()
+        self.sim = Simulator()
+        self.rng = np.random.default_rng(self.config.seed)
+        self.ledger = ControlLedger()
+        self.controller = SdnController(ledger=self.ledger)
+        self.mme = MME()
+        self.hss = HSS()
+        self.pcrf = PCRF()
+        self.sgwc = SGWC()
+        self.pgwc = PGWC()
+        self.control_plane = EPCControlPlane(
+            self.sim, self.mme, self.hss, self.pcrf, self.sgwc, self.pgwc,
+            self.controller, ledger=self.ledger)
+        self.paging = PagingManager(self.control_plane)
+        self.imsis = ImsiAllocator()
+        self.enbs: dict[str, ENodeB] = {}
+        self.ues: dict[str, UEDevice] = {}
+        self.servers: dict[str, Node] = {}
+        self.sites: dict[str, GatewaySite] = {}
+        #: per-site S1 wiring parameters, for attaching later eNodeBs
+        self._site_params: dict[str, tuple[float, float, int]] = {}
+        self._ue_count = itertools.count(1)
+        self._enb_count = itertools.count(0)
+        self._server_ips = itertools.count(10)
+        self._bg_count = itertools.count(1)
+        self.enb = self.add_enb("enb0")     # the default base station
+        self._build_central_site()
+
+    # -- topology construction -------------------------------------------
+
+    def _make_link(self, name: str, bandwidth: float, delay: float,
+                   queue_bytes: int, jitter: float = 0.0,
+                   qos: bool = True) -> Link:
+        link = Link(self.sim, name, bandwidth=bandwidth, delay=delay,
+                    queue_bytes=queue_bytes, qos_priority=qos,
+                    jitter=jitter, rng=self.rng if jitter > 0 else None)
+        if qos:
+            apply_qci_priorities(link)
+        return link
+
+    def add_enb(self, name: Optional[str] = None) -> ENodeB:
+        """Deploy another base station, wired to every gateway site."""
+        index = next(self._enb_count)
+        name = name or f"enb{index}"
+        if name in self.enbs:
+            raise ValueError(f"eNodeB {name!r} already exists")
+        enb = ENodeB(self.sim, name, ip=f"192.168.1.{index + 1}")
+        self.enbs[name] = enb
+        for site in self.sites.values():
+            self._wire_enb_to_site(enb, site)
+        return enb
+
+    def _wire_enb_to_site(self, enb: ENodeB, site: GatewaySite) -> None:
+        backhaul_delay, bandwidth, queue_bytes = self._site_params[site.name]
+        s1 = self._make_link(f"s1.{site.name}.{enb.name}", bandwidth,
+                             backhaul_delay, queue_bytes)
+        enb_port = f"s1:{site.name}"
+        sgw_port = f"s1:{enb.name}"
+        enb.attach(enb_port, s1)
+        site.sgw_u.attach(sgw_port, s1)
+        site.enb_ports[enb.name] = enb_port
+        site.sgw_dl_ports[enb.name] = sgw_port
+
+    def _build_site(self, name: str, backhaul_delay: float,
+                    core_delay: float, bandwidth: float, queue_bytes: int,
+                    profile: DataPlaneProfile) -> GatewaySite:
+        sgw_u = FlowSwitch(self.sim, f"sgw-u.{name}", profile=profile,
+                           ip=f"172.16.{len(self.sites)}.1")
+        pgw_u = FlowSwitch(self.sim, f"pgw-u.{name}", profile=profile,
+                           ip=f"172.16.{len(self.sites)}.2")
+        s5 = self._make_link(f"s5.{name}", bandwidth, core_delay,
+                             queue_bytes)
+        sgw_u.attach("s5", s5)
+        pgw_u.attach("s5", s5)
+        site = GatewaySite(
+            name=name, sgw_u=sgw_u, pgw_u=pgw_u, enb_ports={},
+            sgw_dl_ports={}, sgw_ul_port="s5", pgw_dl_port="s5",
+            pgw_ul_port="")      # set when the first server attaches
+        self.sites[name] = site
+        self._site_params[name] = (backhaul_delay, bandwidth, queue_bytes)
+        for enb in self.enbs.values():
+            self._wire_enb_to_site(enb, site)
+        self.control_plane.add_site(site)
+        self.paging.attach_to_site(site)
+        return site
+
+    def _build_central_site(self) -> None:
+        cfg = self.config
+        self._build_site("central", cfg.backhaul_delay, cfg.core_delay,
+                         cfg.core_bandwidth, cfg.core_queue_bytes,
+                         cfg.central_profile)
+        self.add_server("internet", site_name="central",
+                        delay=cfg.internet_delay, echo=True)
+
+    def add_mec_site(self, name: str = "mec",
+                     profile: Optional[DataPlaneProfile] = None,
+                     ) -> GatewaySite:
+        """Deploy local split GW-Us one hop from the eNodeB."""
+        cfg = self.config
+        return self._build_site(
+            name, cfg.mec_backhaul_delay, cfg.mec_core_delay,
+            cfg.mec_bandwidth, cfg.mec_queue_bytes,
+            profile or cfg.mec_profile)
+
+    def add_server(self, name: str, site_name: str = "central",
+                   delay: Optional[float] = None, echo: bool = False,
+                   node: Optional[Node] = None,
+                   on_packet: Optional[Callable[[Packet], None]] = None,
+                   ) -> Node:
+        """Attach a server to a site's PGW-U (its SGi network).
+
+        The first server attached to a site becomes the site's default
+        uplink destination port.
+        """
+        if name in self.servers:
+            raise ValueError(f"server {name!r} already exists")
+        site = self.sgwc.site(site_name)
+        cfg = self.config
+        if delay is None:
+            delay = (cfg.mec_server_delay if site_name != "central"
+                     else cfg.internet_delay)
+        ip = f"203.0.{113 if site_name == 'central' else 114}.{next(self._server_ips)}"
+        if node is None:
+            node = PacketSink(self.sim, name, ip=ip, echo=echo,
+                              on_packet=on_packet)
+        elif node.ip is None or node.ip == node.name:
+            # custom nodes built without an address get one here
+            node.ip = ip
+        bandwidth = (cfg.core_bandwidth if site_name == "central"
+                     else cfg.mec_bandwidth)
+        queue = (cfg.core_queue_bytes if site_name == "central"
+                 else cfg.mec_queue_bytes)
+        link = self._make_link(f"sgi.{name}", bandwidth, delay, queue)
+        port = f"sgi:{name}"
+        site.pgw_u.attach(port, link)
+        node.attach("net", link)
+        if not site.pgw_ul_port:
+            site.pgw_ul_port = port
+        self.servers[name] = node
+        return node
+
+    def add_ue(self, name: Optional[str] = None,
+               manage_idle: bool = False,
+               ul_bandwidth: Optional[float] = None,
+               enb_name: Optional[str] = None) -> UEDevice:
+        """Create a UE, wire its radio link, provision it and attach it."""
+        cfg = self.config
+        index = next(self._ue_count)
+        name = name or f"ue{index}"
+        enb = self.enbs[enb_name] if enb_name is not None else self.enb
+        ue = UEDevice(self.sim, name, imsi=self.imsis.allocate(),
+                      manage_idle=manage_idle)
+        port = self._wire_radio(ue, enb, ul_bandwidth)
+        self.hss.provision(SubscriberProfile(imsi=ue.imsi))
+        # the eNB learns the UE's radio port once the IP is known, which
+        # happens inside attach -- so register lazily via a wrapper
+        result = self._attach(ue, enb, radio_port=port)
+        ue.attach_result = result
+        self.paging.track(ue)
+        self.ues[name] = ue
+        return ue
+
+    def _wire_radio(self, ue: UEDevice, enb: ENodeB,
+                    ul_bandwidth: Optional[float] = None) -> str:
+        cfg = self.config
+        radio = Link(
+            self.sim, f"radio.{ue.name}.{enb.name}",
+            bandwidth=ul_bandwidth or cfg.radio_ul_bandwidth,
+            bandwidth_reverse=cfg.radio_dl_bandwidth,
+            delay=cfg.radio_delay, queue_bytes=cfg.radio_queue_bytes,
+            qos_priority=True, jitter=cfg.radio_jitter, rng=self.rng)
+        apply_qci_priorities(radio)
+        # the UE attaches first: its outbound direction is the uplink
+        ue.ports.pop("radio", None)     # drop any previous cell's link
+        ue.attach("radio", radio)
+        port = f"radio:{ue.name}"
+        enb.attach(port, radio)
+        return port
+
+    def _attach(self, ue: UEDevice, enb: ENodeB,
+                radio_port: str) -> ProcedureResult:
+        # IP allocation happens inside the procedure; pre-register the
+        # radio port under a placeholder then fix it up after attach.
+        placeholder = f"pending:{ue.name}"
+        enb.radio_ports[placeholder] = radio_port
+
+        original_assign = ue.assign_ip
+
+        def assign_and_register(address: str) -> None:
+            original_assign(address)
+            enb.register_ue(address, radio_port)
+
+        ue.assign_ip = assign_and_register  # type: ignore[method-assign]
+        try:
+            result = self.control_plane.attach(ue, enb)
+        finally:
+            ue.assign_ip = original_assign  # type: ignore[method-assign]
+            del enb.radio_ports[placeholder]
+        return result
+
+    def handover(self, ue: UEDevice, target_enb_name: str
+                 ) -> ProcedureResult:
+        """Move a UE to another base station (X2 handover).
+
+        Wires a fresh radio link at the target cell, then runs the
+        control-plane handover: the SGW-Us re-point each bearer's
+        downlink at the target while the S5 legs (and any MEC-site
+        anchoring) stay put.
+        """
+        target = self.enbs[target_enb_name]
+        port = self._wire_radio(ue, target)
+        return self.control_plane.handover(ue, target, radio_port=port)
+
+    def s1_handover(self, ue: UEDevice, target_enb_name: str
+                    ) -> ProcedureResult:
+        """MME-coordinated handover variant (no X2 between the cells)."""
+        target = self.enbs[target_enb_name]
+        port = self._wire_radio(ue, target)
+        return self.control_plane.s1_handover(ue, target, radio_port=port)
+
+    # -- ACACIA / baseline wiring ------------------------------------------
+
+    def create_mec_bearer(self, ue: UEDevice, server_name: str,
+                          service_id: str = "ar-retail",
+                          site_name: str = "mec") -> ProcedureResult:
+        """Dedicated bearer from a UE to a MEC server (the ACACIA path)."""
+        server = self.servers[server_name]
+        return self.control_plane.activate_dedicated_bearer(
+            ue, service_id, server.ip, site_name)
+
+    def route_via_default_bearer(self, ue: UEDevice,
+                                 server_name: str) -> None:
+        """SGi routing so the default bearer can reach a central-attached
+        server (the CLOUD and non-split MEC baselines)."""
+        server = self.servers[server_name]
+        site = self.sgwc.site("central")
+        bearer = ue.bearers.default_bearer()
+        if bearer is None:
+            raise RuntimeError(f"{ue.name} has no default bearer")
+        port = f"sgi:{server_name}"
+        if port not in site.pgw_u.ports:
+            raise ValueError(f"{server_name!r} is not attached to the "
+                             f"central PGW-U")
+        if port == site.pgw_ul_port:
+            return      # the catch-all uplink rule already goes there
+        site.pgw_u.install(FlowRule(
+            FlowMatch(teid=bearer.pgw_fteid.teid, dst_ip=server.ip),
+            [GtpDecap(), Output(port)],
+            priority=150, cookie=f"sgi-route:{ue.imsi}:{server_name}"))
+
+    def add_background_load(self, rate: float, site_name: str = "central",
+                            sink_server: str = "internet",
+                            ) -> PoissonSource:
+        """Inject Poisson background traffic through a site's GW-Us.
+
+        Models the competing traffic of other users sharing the central
+        gateways (Figures 3(g) and 10(b)).
+        """
+        site = self.sgwc.site(site_name)
+        sink = self.servers[sink_server]
+        index = next(self._bg_count)
+        cfg = self.config
+        source = PoissonSource(self.sim, f"bg{index}", dst=sink.ip,
+                               rate=rate, rng=self.rng,
+                               ip=f"198.18.0.{index}", qci=9)
+        # fast ingress so the offered load fully reaches the shared GW-Us
+        link = self._make_link(f"bg{index}", 10 * cfg.core_bandwidth, 0.001,
+                               cfg.core_queue_bytes)
+        source.attach("out", link)
+        port = f"bg:{index}"
+        site.sgw_u.attach(port, link)
+        site.sgw_u.install(FlowRule(
+            FlowMatch(src_ip=source.ip),
+            [Output(site.sgw_ul_port)], priority=50, cookie="bg"))
+        site.pgw_u.install(FlowRule(
+            FlowMatch(src_ip=source.ip),
+            [Output(f"sgi:{sink_server}")], priority=50, cookie="bg"))
+        return source
+
+
+class Pinger:
+    """ICMP-style RTT measurement from a UE to an echoing server."""
+
+    def __init__(self, network: MobileNetwork, ue: UEDevice,
+                 server_name: str, size: int = 64,
+                 interval: float = 0.2) -> None:
+        self.network = network
+        self.ue = ue
+        self.server = network.servers[server_name]
+        self.size = size
+        self.interval = interval
+        self.rtts: list[float] = []
+        self._sent: dict[int, float] = {}
+        self._previous_handler = ue.on_downlink
+        ue.on_downlink = self._on_reply
+
+    def _on_reply(self, packet: Packet) -> None:
+        original = packet.meta.get("echo_of")
+        sent_at = self._sent.pop(original, None)
+        if sent_at is not None:
+            self.rtts.append(self.network.sim.now - sent_at)
+        elif self._previous_handler is not None:
+            self._previous_handler(packet)
+
+    def run(self, count: int, start: float = 0.0) -> None:
+        """Schedule ``count`` pings starting at absolute sim time
+        ``start`` (or now, if that is already past); call ``sim.run()``
+        afterwards."""
+        now = self.network.sim.now
+        for i in range(count):
+            at = max(now, start) + i * self.interval
+            self.network.sim.schedule(at - now, self._send_one)
+
+    def _send_one(self) -> None:
+        packet = Packet(src=self.ue.ip, dst=self.server.ip, size=self.size,
+                        protocol="ICMP", created_at=self.network.sim.now)
+        self._sent[packet.packet_id] = self.network.sim.now
+        self.ue.send_app(packet)

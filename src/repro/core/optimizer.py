@@ -1,0 +1,82 @@
+"""Context-aware search-space optimisation.
+
+Implements the three database-pruning strategies the paper evaluates
+(Section 7.3):
+
+* **Naive** -- search the whole floor (all objects);
+* **rxPower** -- search the sections of the landmarks with the highest
+  and second-highest received power;
+* **ACACIA** -- trilaterate the user and search only the sub-sections
+  within a radius of the estimate (2-6 of 21 cells in practice).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.vision.database import ObjectDatabase, ObjectRecord
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a cycle through repro.apps
+    from repro.apps.scenario import StoreScenario
+
+
+@dataclass
+class SearchSpace:
+    """A pruned candidate set plus provenance for reporting."""
+
+    scheme: str
+    records: list[ObjectRecord]
+    subsections: Optional[list[int]] = None
+    sections: Optional[list[str]] = None
+
+    @property
+    def size(self) -> int:
+        return len(self.records)
+
+
+class SearchSpaceOptimizer:
+    """Maps user context onto database subsets."""
+
+    def __init__(self, db: ObjectDatabase, scenario: StoreScenario,
+                 acacia_radius: float = 3.5) -> None:
+        self.db = db
+        self.scenario = scenario
+        self.acacia_radius = acacia_radius
+
+    def naive(self) -> SearchSpace:
+        """The whole floor."""
+        return SearchSpace(scheme="naive", records=self.db.all_records())
+
+    def rxpower(self, strongest_landmarks: list[str]) -> SearchSpace:
+        """Sections of the two strongest landmarks.
+
+        Falls back to the whole floor when no landmarks were heard
+        (e.g. before the first discovery period).
+        """
+        if not strongest_landmarks:
+            return self.naive()
+        sections = []
+        for name in strongest_landmarks:
+            section = self.scenario.section_of_landmark(name)
+            if section not in sections:
+                sections.append(section)
+        return SearchSpace(scheme="rxpower",
+                           records=self.db.in_sections(sections),
+                           sections=sections)
+
+    def acacia(self, location: Optional[tuple[float, float]],
+               fallback_landmarks: Optional[list[str]] = None
+               ) -> SearchSpace:
+        """Sub-sections around the trilaterated location.
+
+        Before a location fix exists, degrade gracefully to the rxPower
+        scheme (and from there to naive).
+        """
+        if location is None:
+            return self.rxpower(fallback_landmarks or [])
+        subsections = self.scenario.subsections_near(
+            location, radius=self.acacia_radius)
+        return SearchSpace(scheme="acacia",
+                           records=self.db.in_subsections(subsections),
+                           subsections=subsections)

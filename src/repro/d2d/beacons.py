@@ -1,0 +1,117 @@
+"""Alternative proximity-discovery technologies (paper Section 8).
+
+The paper notes ACACIA can use Bluetooth iBeacon or Wi-Fi Aware instead
+of LTE-direct: both are publish/subscribe-style and report a received
+power level.  This module models them with the *same subscribe API* as
+the LTE modem (:class:`~repro.d2d.modem.LteDirectModem`), so the ACACIA
+device manager works unchanged over any of the three.
+
+The salient differences captured here:
+
+* **radio**: BLE beacons transmit at ~0 dBm (vs ~20 dBm for
+  LTE-direct), giving far shorter range; Wi-Fi Aware sits in between;
+* **filter location**: iBeacon/Wi-Fi Aware matching happens on the
+  application processor, not in the modem, so every decodable broadcast
+  wakes the host -- the scanner counts those wakeups, quantifying the
+  scalability edge the paper attributes to LTE-direct's modem-resident
+  filtering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.d2d.expressions import ExpressionFilter
+from repro.d2d.messages import DiscoveryMessage, Observation
+from repro.d2d.radio import RadioModel
+
+
+@dataclass(frozen=True)
+class ProximityTechnology:
+    """A proximity-discovery technology profile."""
+
+    name: str
+    radio: RadioModel
+    advertise_period: float      # seconds between broadcasts
+    modem_filtering: bool        # True -> matching below the app processor
+
+
+#: LTE-direct: long range, 5-10 s discovery period, modem filtering.
+LTE_DIRECT = ProximityTechnology(
+    name="lte-direct",
+    radio=RadioModel(),          # the defaults are LTE-direct's
+    advertise_period=10.0,
+    modem_filtering=True)
+
+#: Bluetooth iBeacon: ~0 dBm transmit power, short range, fast
+#: advertising, host-side filtering.
+IBEACON = ProximityTechnology(
+    name="ibeacon",
+    radio=RadioModel(tx_power=0.0, pl0=60.0, exponent=2.8,
+                     shadowing_sigma=4.0, noise_floor=-90.0,
+                     sensitivity=-95.0),
+    advertise_period=0.5,
+    modem_filtering=False)
+
+#: Wi-Fi Aware: mid-power 2.4 GHz discovery, host-side filtering.
+WIFI_AWARE = ProximityTechnology(
+    name="wifi-aware",
+    radio=RadioModel(tx_power=15.0, pl0=65.0, exponent=3.0,
+                     shadowing_sigma=4.0, noise_floor=-92.0,
+                     sensitivity=-92.0),
+    advertise_period=2.0,
+    modem_filtering=False)
+
+TECHNOLOGIES = {t.name: t for t in (LTE_DIRECT, IBEACON, WIFI_AWARE)}
+
+
+class BeaconScanner:
+    """Host-side discovery filter table (the iBeacon/Wi-Fi Aware analog
+    of :class:`~repro.d2d.modem.LteDirectModem`).
+
+    Exposes the same ``subscribe``/``unsubscribe``/``receive_broadcast``
+    surface so :class:`~repro.core.device_manager.AcaciaDeviceManager`
+    can use either interchangeably.  The difference: every decodable
+    broadcast is counted as a host wakeup *before* filtering.
+    """
+
+    def __init__(self, device_id: str) -> None:
+        self.device_id = device_id
+        self._filters: dict[str, tuple[ExpressionFilter,
+                                       Callable[[Observation], None]]] = {}
+        self.broadcasts_heard = 0
+        self.host_wakeups = 0
+        self.filtered_out = 0
+        self.delivered = 0
+
+    def subscribe(self, name: str, expression_filter: ExpressionFilter,
+                  callback: Callable[[Observation], None]) -> None:
+        self._filters[name] = (expression_filter, callback)
+
+    def unsubscribe(self, name: str) -> None:
+        self._filters.pop(name, None)
+
+    def clear(self) -> None:
+        self._filters.clear()
+
+    @property
+    def subscription_count(self) -> int:
+        return len(self._filters)
+
+    def receive_broadcast(self, message: DiscoveryMessage, rx_power: float,
+                          snr: float, now: float) -> Optional[Observation]:
+        self.broadcasts_heard += 1
+        self.host_wakeups += 1          # filtering happens on the host
+        matched = [cb for (flt, cb) in self._filters.values()
+                   if flt.matches(message.code)]
+        if not matched:
+            self.filtered_out += 1
+            return None
+        observation = Observation(message=message, rx_power=rx_power,
+                                  snr=snr, timestamp=now,
+                                  subscriber_id=self.device_id)
+        self.delivered += 1
+        for callback in matched:
+            callback(observation)
+        return observation

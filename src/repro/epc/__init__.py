@@ -1,0 +1,48 @@
+"""LTE/EPC substrate.
+
+Models the mobile-network pieces ACACIA builds on: identifiers and
+address pools, the 3GPP QCI QoS table, default/dedicated EPS bearers with
+traffic-flow-template (TFT) classification, GTP-C/GTP-U messaging, the
+control-plane entities (MME, HSS, PCRF/PCEF, split SGW-C/PGW-C), the
+data-plane nodes (UE, eNodeB) and the signalling procedures (attach,
+network-initiated dedicated-bearer activation, idle release and service
+request, X2 handover) whose message counts/bytes reproduce the paper's
+control overhead analysis (Section 4).  Optional components round out
+the operator machinery: downlink paging, GBR admission control with ARP
+preemption, and PCEF usage accounting.
+"""
+
+from repro.epc.admission import (AdmissionController, AdmissionError, Arp,
+                                 Reservation)
+from repro.epc.bearer import Bearer, PacketFilter, TrafficFlowTemplate
+from repro.epc.charging import (BearerUsage, ChargingFunction,
+                                ChargingRecord, Tariff, UsageCollector)
+from repro.epc.identifiers import (FTeid, ImsiAllocator, IpPool,
+                                   TeidAllocator)
+from repro.epc.overhead import ControlLedger, daily_overhead_bytes
+from repro.epc.paging import PagingManager
+from repro.epc.qos import QCI_TABLE, QosClass
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionError",
+    "Arp",
+    "Bearer",
+    "BearerUsage",
+    "ChargingFunction",
+    "ChargingRecord",
+    "ControlLedger",
+    "FTeid",
+    "ImsiAllocator",
+    "IpPool",
+    "PacketFilter",
+    "PagingManager",
+    "QCI_TABLE",
+    "QosClass",
+    "Reservation",
+    "Tariff",
+    "TeidAllocator",
+    "TrafficFlowTemplate",
+    "UsageCollector",
+    "daily_overhead_bytes",
+]

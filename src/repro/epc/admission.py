@@ -1,0 +1,155 @@
+"""GBR admission control with ARP-based preemption.
+
+Bearers with GBR QCIs (1-4) reserve guaranteed bit rate on their
+serving gateway site.  The admission controller tracks the reserved
+pool per site; when a request does not fit, the Allocation and
+Retention Priority (ARP) rules of TS 23.203 apply: a request whose ARP
+priority beats an existing preemptable bearer may evict it.
+
+ACACIA's MEC bearers are non-GBR (QCI 7) in the paper, so admission is
+an optional component -- but the machinery is needed the moment an
+operator maps a CI service onto a GBR class (e.g. QCI 3 for
+"real-time gaming"-grade AR).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.epc.qos import qos_for
+
+
+class AdmissionError(RuntimeError):
+    """Raised when a GBR bearer cannot be admitted (and nothing could
+    be preempted to make room)."""
+
+
+@dataclass(frozen=True)
+class Arp:
+    """Allocation and Retention Priority (TS 23.203)."""
+
+    priority: int = 9                   # 1 (highest) .. 15 (lowest)
+    preemption_capable: bool = False    # may evict others
+    preemption_vulnerable: bool = True  # may be evicted
+
+    def __post_init__(self) -> None:
+        if not (1 <= self.priority <= 15):
+            raise ValueError("ARP priority must be in [1, 15]")
+
+    def beats(self, other: "Arp") -> bool:
+        """May a request with this ARP preempt a bearer with ``other``?"""
+        return (self.preemption_capable and other.preemption_vulnerable
+                and self.priority < other.priority)
+
+
+@dataclass
+class Reservation:
+    """One admitted GBR reservation."""
+
+    imsi: str
+    ebi: int
+    site_name: str
+    gbr: float                          # bits/sec
+    arp: Arp
+
+    @property
+    def key(self) -> tuple[str, int]:
+        return (self.imsi, self.ebi)
+
+
+@dataclass
+class _SitePool:
+    capacity: float
+    reservations: dict[tuple[str, int], Reservation] = field(
+        default_factory=dict)
+
+    @property
+    def reserved(self) -> float:
+        return sum(r.gbr for r in self.reservations.values())
+
+    @property
+    def available(self) -> float:
+        return self.capacity - self.reserved
+
+
+class AdmissionController:
+    """Per-site GBR pools with ARP preemption."""
+
+    def __init__(self) -> None:
+        self._pools: dict[str, _SitePool] = {}
+        self.admitted = 0
+        self.rejected = 0
+        self.preempted: list[Reservation] = []
+
+    def register_site(self, site_name: str, gbr_capacity: float) -> None:
+        """Declare how much of a site's bandwidth is reservable."""
+        if gbr_capacity <= 0:
+            raise ValueError("GBR capacity must be positive")
+        self._pools[site_name] = _SitePool(capacity=gbr_capacity)
+
+    def pool(self, site_name: str) -> _SitePool:
+        try:
+            return self._pools[site_name]
+        except KeyError:
+            raise KeyError(f"no GBR pool registered for site "
+                           f"{site_name!r}") from None
+
+    # -- admission --------------------------------------------------------
+
+    def request(self, imsi: str, ebi: int, site_name: str, qci: int,
+                gbr: float, arp: Optional[Arp] = None) -> Reservation:
+        """Admit a bearer, preempting lower-ARP bearers if permitted.
+
+        Non-GBR QCIs are admitted unconditionally (no reservation).
+        Returns the reservation; raises :class:`AdmissionError` when the
+        pool is full and preemption cannot make room.  Preempted
+        reservations are appended to :attr:`preempted` -- the caller is
+        responsible for deactivating the corresponding bearers.
+        """
+        arp = arp if arp is not None else Arp()
+        reservation = Reservation(imsi=imsi, ebi=ebi, site_name=site_name,
+                                  gbr=gbr, arp=arp)
+        if not qos_for(qci).is_gbr or gbr <= 0:
+            self.admitted += 1
+            return reservation          # non-GBR: nothing to reserve
+        pool = self.pool(site_name)
+        if gbr > pool.capacity:
+            self.rejected += 1
+            raise AdmissionError(
+                f"GBR {gbr / 1e6:.1f} Mbps exceeds site capacity")
+        while pool.available < gbr:
+            victim = self._preemption_victim(pool, arp)
+            if victim is None:
+                self.rejected += 1
+                raise AdmissionError(
+                    f"site {site_name!r} GBR pool exhausted "
+                    f"({pool.available / 1e6:.1f} of {gbr / 1e6:.1f} Mbps "
+                    f"free) and nothing preemptable")
+            del pool.reservations[victim.key]
+            self.preempted.append(victim)
+        pool.reservations[reservation.key] = reservation
+        self.admitted += 1
+        return reservation
+
+    @staticmethod
+    def _preemption_victim(pool: _SitePool,
+                           requester: Arp) -> Optional[Reservation]:
+        candidates = [r for r in pool.reservations.values()
+                      if requester.beats(r.arp)]
+        if not candidates:
+            return None
+        # evict the lowest-priority (numerically highest) first
+        return max(candidates, key=lambda r: r.arp.priority)
+
+    def release(self, imsi: str, ebi: int, site_name: str) -> None:
+        """Free a reservation (no-op if none exists)."""
+        pool = self._pools.get(site_name)
+        if pool is not None:
+            pool.reservations.pop((imsi, ebi), None)
+
+    def drain_preempted(self) -> list[Reservation]:
+        """Return and clear the list of preempted reservations."""
+        out = self.preempted
+        self.preempted = []
+        return out

@@ -1,0 +1,192 @@
+"""EPS bearers and Traffic Flow Templates.
+
+A bearer is the LTE connectivity primitive: a tunnel path
+UE <-radio-> eNodeB <-S1/GTP-> SGW-U <-S5/GTP-> PGW-U, identified on the
+UE side by an EPS Bearer Identity (EBI, 5..15).  Traffic Flow Templates
+(TFTs) are ordered packet filters (essentially five-tuples with
+wildcards) that classify traffic onto bearers -- uplink TFTs live in the
+UE's LTE modem, downlink TFTs in the PGW.  This on-device classification
+is what lets ACACIA steer only CI traffic onto the MEC dedicated bearer
+without any middlebox inspection (Section 5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.epc.identifiers import FTeid
+from repro.epc.qos import qos_for
+from repro.sim.packet import Packet
+
+#: First EBI value; 3GPP reserves 0-4.
+MIN_EBI = 5
+MAX_EBI = 15
+
+
+@dataclass(frozen=True)
+class PacketFilter:
+    """One TFT packet-filter component (five-tuple with wildcards).
+
+    ``None`` fields match anything.  ``precedence`` orders evaluation
+    (lower value wins), as in TS 24.008.
+    """
+
+    precedence: int = 255
+    direction: str = "bidirectional"    # "uplink" | "downlink" | "bidirectional"
+    remote_address: Optional[str] = None
+    local_address: Optional[str] = None
+    protocol: Optional[str] = None
+    remote_port: Optional[int] = None
+    local_port: Optional[int] = None
+
+    def matches(self, packet: Packet, direction: str) -> bool:
+        """Test a packet travelling ``direction`` ("uplink"/"downlink")."""
+        if self.direction != "bidirectional" and self.direction != direction:
+            return False
+        if direction == "uplink":
+            local, remote = packet.src, packet.dst
+            local_port, remote_port = packet.src_port, packet.dst_port
+        else:
+            local, remote = packet.dst, packet.src
+            local_port, remote_port = packet.dst_port, packet.src_port
+        if self.remote_address is not None and remote != self.remote_address:
+            return False
+        if self.local_address is not None and local != self.local_address:
+            return False
+        if self.protocol is not None and packet.protocol != self.protocol:
+            return False
+        if self.remote_port is not None and remote_port != self.remote_port:
+            return False
+        if self.local_port is not None and local_port != self.local_port:
+            return False
+        return True
+
+
+class TrafficFlowTemplate:
+    """An ordered set of packet filters attached to one bearer."""
+
+    def __init__(self, filters: Optional[list[PacketFilter]] = None) -> None:
+        self.filters: list[PacketFilter] = list(filters or [])
+        self.filters.sort(key=lambda f: f.precedence)
+
+    def add(self, packet_filter: PacketFilter) -> None:
+        self.filters.append(packet_filter)
+        self.filters.sort(key=lambda f: f.precedence)
+
+    def matches(self, packet: Packet, direction: str) -> bool:
+        return any(f.matches(packet, direction) for f in self.filters)
+
+    def __len__(self) -> int:
+        return len(self.filters)
+
+
+@dataclass
+class Bearer:
+    """One EPS bearer (default or dedicated).
+
+    The tunnel endpoints are filled in progressively during the setup
+    procedure: ``enb_fteid``/``sgw_s1_fteid`` bound the S1 segment and
+    ``sgw_s5_fteid``/``pgw_fteid`` the S5 segment.  For an ACACIA MEC
+    bearer the SGW/PGW F-TEIDs point at the *local* edge GW-Us.
+    """
+
+    ebi: int
+    qci: int
+    imsi: str
+    ue_ip: str
+    default: bool = False
+    tft: TrafficFlowTemplate = field(default_factory=TrafficFlowTemplate)
+    # tunnel endpoints (filled during setup)
+    enb_fteid: Optional[FTeid] = None
+    sgw_s1_fteid: Optional[FTeid] = None
+    sgw_s5_fteid: Optional[FTeid] = None
+    pgw_fteid: Optional[FTeid] = None
+    #: label of the gateway set serving this bearer ("central" / MEC site)
+    gateway_site: str = "central"
+    active: bool = True
+
+    def __post_init__(self) -> None:
+        if not (MIN_EBI <= self.ebi <= MAX_EBI):
+            raise ValueError(f"EBI must be in [{MIN_EBI},{MAX_EBI}], got {self.ebi}")
+        qos_for(self.qci)   # validates the QCI
+
+    @property
+    def qos(self):
+        return qos_for(self.qci)
+
+    def matches_uplink(self, packet: Packet) -> bool:
+        """Does this bearer's UL TFT claim the packet?
+
+        A default bearer has no TFT and matches everything (it is the
+        match-all fallback).
+        """
+        if self.default and len(self.tft) == 0:
+            return True
+        return self.tft.matches(packet, "uplink")
+
+    def matches_downlink(self, packet: Packet) -> bool:
+        if self.default and len(self.tft) == 0:
+            return True
+        return self.tft.matches(packet, "downlink")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "default" if self.default else "dedicated"
+        return (f"<Bearer ebi={self.ebi} {kind} qci={self.qci} "
+                f"site={self.gateway_site} ue={self.ue_ip}>")
+
+
+class BearerRegistry:
+    """Per-UE bearer bookkeeping with EBI allocation."""
+
+    def __init__(self) -> None:
+        self.bearers: dict[int, Bearer] = {}
+
+    def allocate_ebi(self) -> int:
+        for ebi in range(MIN_EBI, MAX_EBI + 1):
+            if ebi not in self.bearers:
+                return ebi
+        raise RuntimeError("no free EPS bearer identities")
+
+    def add(self, bearer: Bearer) -> None:
+        if bearer.ebi in self.bearers:
+            raise ValueError(f"EBI {bearer.ebi} already in use")
+        self.bearers[bearer.ebi] = bearer
+
+    def remove(self, ebi: int) -> Bearer:
+        return self.bearers.pop(ebi)
+
+    def default_bearer(self) -> Optional[Bearer]:
+        for bearer in self.bearers.values():
+            if bearer.default:
+                return bearer
+        return None
+
+    def classify_uplink(self, packet: Packet) -> Optional[Bearer]:
+        """UL TFT evaluation: dedicated bearers first, default last."""
+        dedicated = [b for b in self.bearers.values()
+                     if not b.default and b.active]
+        for bearer in dedicated:
+            if bearer.matches_uplink(packet):
+                return bearer
+        default = self.default_bearer()
+        if default is not None and default.active:
+            return default
+        return None
+
+    def classify_downlink(self, packet: Packet) -> Optional[Bearer]:
+        dedicated = [b for b in self.bearers.values()
+                     if not b.default and b.active]
+        for bearer in dedicated:
+            if bearer.matches_downlink(packet):
+                return bearer
+        default = self.default_bearer()
+        if default is not None and default.active:
+            return default
+        return None
+
+    def __len__(self) -> int:
+        return len(self.bearers)
+
+    def __iter__(self):
+        return iter(self.bearers.values())

@@ -1,0 +1,136 @@
+"""PCEF usage accounting and charging records.
+
+The PGW "enforces operator-defined policies (QoS), packet filtering and
+accounting" (paper Section 3).  The per-bearer flow rules installed on
+the GW-Us already count packets and bytes (OpenFlow rule counters);
+this module aggregates those counters into per-bearer usage records and
+rates them into charging data records (CDRs) with per-QCI tariffs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.epc.entities import GatewaySite
+
+
+@dataclass
+class BearerUsage:
+    """Aggregated traffic counters for one bearer."""
+
+    imsi: str
+    ebi: int
+    uplink_packets: int = 0
+    uplink_bytes: int = 0
+    downlink_packets: int = 0
+    downlink_bytes: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.uplink_bytes + self.downlink_bytes
+
+
+@dataclass(frozen=True)
+class Tariff:
+    """Price per megabyte by QCI class (operator rating table)."""
+
+    default_per_mb: float = 0.01
+    per_qci_per_mb: dict = field(default_factory=dict)
+
+    def rate(self, qci: Optional[int], total_bytes: int) -> float:
+        per_mb = self.per_qci_per_mb.get(qci, self.default_per_mb)
+        return total_bytes / 1e6 * per_mb
+
+
+@dataclass
+class ChargingRecord:
+    """One CDR: usage plus the rated charge."""
+
+    usage: BearerUsage
+    qci: Optional[int]
+    charge: float
+
+
+class UsageCollector:
+    """Scrapes per-bearer usage from GW-U flow-rule counters.
+
+    Rule cookies follow ``{imsi}:ebi{ebi}:{ul|dl}`` (the convention of
+    :mod:`repro.epc.procedures`), which is all that is needed to map
+    counters back to bearers.
+    """
+
+    def __init__(self) -> None:
+        #: checkpointed counters so repeated collections are deltas
+        self._seen: dict[tuple[str, str], tuple[int, int]] = {}
+
+    @staticmethod
+    def _parse_cookie(cookie: str) -> Optional[tuple[str, int, str]]:
+        parts = cookie.split(":")
+        if len(parts) != 3 or not parts[1].startswith("ebi"):
+            return None
+        try:
+            return parts[0], int(parts[1][3:]), parts[2]
+        except ValueError:
+            return None
+
+    def collect(self, site: "GatewaySite") -> dict[tuple[str, int],
+                                                   BearerUsage]:
+        """Aggregate current usage per bearer at one gateway site.
+
+        Uplink is measured at the PGW-U (post-decap egress toward the
+        SGi network); downlink at the PGW-U's ingress classification
+        rule.  Only deltas since the previous collection are added, so
+        calling this periodically yields interval usage.
+        """
+        usage: dict[tuple[str, int], BearerUsage] = {}
+        for rule in site.pgw_u.table:
+            parsed = self._parse_cookie(rule.cookie)
+            if parsed is None:
+                continue
+            imsi, ebi, direction = parsed
+            key = (imsi, ebi)
+            record = usage.setdefault(key, BearerUsage(imsi=imsi, ebi=ebi))
+            seen_key = (rule.cookie, site.name)
+            prev_packets, prev_bytes = self._seen.get(seen_key, (0, 0))
+            delta_packets = rule.packets - prev_packets
+            delta_bytes = rule.bytes - prev_bytes
+            self._seen[seen_key] = (rule.packets, rule.bytes)
+            if direction == "ul":
+                record.uplink_packets += delta_packets
+                record.uplink_bytes += delta_bytes
+            else:
+                record.downlink_packets += delta_packets
+                record.downlink_bytes += delta_bytes
+        return usage
+
+
+class ChargingFunction:
+    """Rates collected usage into CDRs."""
+
+    def __init__(self, tariff: Optional[Tariff] = None) -> None:
+        self.tariff = tariff if tariff is not None else Tariff()
+        self.collector = UsageCollector()
+        self.records: list[ChargingRecord] = []
+
+    def bill_site(self, site: "GatewaySite",
+                  qci_by_bearer: Optional[dict[tuple[str, int], int]] = None,
+                  ) -> list[ChargingRecord]:
+        """Collect usage at a site and emit one CDR per active bearer."""
+        qci_by_bearer = qci_by_bearer or {}
+        out = []
+        for key, usage in self.collector.collect(site).items():
+            if usage.total_bytes == 0:
+                continue
+            qci = qci_by_bearer.get(key)
+            record = ChargingRecord(
+                usage=usage, qci=qci,
+                charge=self.tariff.rate(qci, usage.total_bytes))
+            out.append(record)
+        self.records.extend(out)
+        return out
+
+    @property
+    def total_charged(self) -> float:
+        return sum(record.charge for record in self.records)

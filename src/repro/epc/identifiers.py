@@ -1,0 +1,83 @@
+"""Identifier allocation: IMSIs, IP pools, GTP tunnel endpoints.
+
+Every GTP-U tunnel segment is identified by a Tunnel Endpoint Identifier
+(TEID) that is meaningful only to the node that allocated it; a
+Fully-Qualified TEID (F-TEID) pairs the TEID with the IP address of the
+node terminating the tunnel.  Section 5.4 of the paper hinges on F-TEIDs:
+the GW-Cs place the *local* (edge) GW-U addresses in the Create Bearer
+messages, which is what steers the dedicated bearer's data plane onto the
+MEC-resident switches.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import itertools
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FTeid:
+    """Fully-Qualified Tunnel Endpoint Identifier (TEID + node address)."""
+
+    teid: int
+    address: str
+
+    def __str__(self) -> str:
+        return f"{self.address}/teid=0x{self.teid:x}"
+
+
+class TeidAllocator:
+    """Allocates unique TEIDs for one tunnel-terminating node."""
+
+    def __init__(self, start: int = 0x1000) -> None:
+        self._counter = itertools.count(start)
+        self._released: list[int] = []
+        self.allocated: set[int] = set()
+
+    def allocate(self) -> int:
+        teid = self._released.pop() if self._released else next(self._counter)
+        self.allocated.add(teid)
+        return teid
+
+    def release(self, teid: int) -> None:
+        if teid not in self.allocated:
+            raise KeyError(f"TEID 0x{teid:x} is not allocated")
+        self.allocated.remove(teid)
+        self._released.append(teid)
+
+
+class ImsiAllocator:
+    """Allocates IMSIs under a PLMN (MCC+MNC) prefix."""
+
+    def __init__(self, mcc: str = "310", mnc: str = "410") -> None:
+        if not (mcc.isdigit() and len(mcc) == 3):
+            raise ValueError("MCC must be 3 digits")
+        if not (mnc.isdigit() and len(mnc) in (2, 3)):
+            raise ValueError("MNC must be 2 or 3 digits")
+        self.prefix = mcc + mnc
+        self._counter = itertools.count(1)
+
+    def allocate(self) -> str:
+        msin_len = 15 - len(self.prefix)
+        return self.prefix + str(next(self._counter)).zfill(msin_len)
+
+
+class IpPool:
+    """Sequential allocator over an IPv4 subnet (the PGW's UE pool)."""
+
+    def __init__(self, cidr: str = "10.45.0.0/16") -> None:
+        self.network = ipaddress.ip_network(cidr)
+        self._hosts = self.network.hosts()
+        self.allocated: set[str] = set()
+
+    def allocate(self) -> str:
+        try:
+            address = str(next(self._hosts))
+        except StopIteration:
+            raise RuntimeError(f"IP pool {self.network} exhausted") from None
+        self.allocated.add(address)
+        return address
+
+    def __contains__(self, address: str) -> bool:
+        return ipaddress.ip_address(address) in self.network

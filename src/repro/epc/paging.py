@@ -1,0 +1,110 @@
+"""Downlink paging for idle UEs.
+
+The paper's background section notes the SGW "contains buffers for
+paging functionality": when downlink data arrives for a UE whose radio
+connection was released, the SGW buffers it, notifies the MME, the MME
+pages the UE through its last-known eNodeB, the UE performs a service
+request (re-establishing the bearers), and the buffered packets are
+flushed down the re-installed path.
+
+:class:`PagingManager` implements that loop on top of the SGW-U's
+table-miss hook: once a UE's downlink flow rules are removed at
+release, downlink packets miss the flow table and are punted here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.epc import messages as m
+from repro.epc.messages import MessageType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.epc.procedures import EPCControlPlane
+    from repro.sim.packet import Packet
+
+PAGING_MESSAGE = MessageType("SCTP", "Paging", 96)
+PAGING_RRC = MessageType("RRC", "Paging(PCCH)", 40)
+
+#: Per-UE buffer limit (packets), mirroring a small SGW paging buffer.
+DEFAULT_BUFFER_PACKETS = 64
+
+#: Delay between the page going out and the UE's service request
+#: completing (paging cycle + random access), seconds.
+DEFAULT_PAGING_DELAY = 0.15
+
+
+@dataclass
+class _PendingPage:
+    packets: list = field(default_factory=list)   # (packet, switch) pairs
+    page_sent: bool = False
+
+
+class PagingManager:
+    """Buffers downlink traffic for idle UEs and pages them."""
+
+    def __init__(self, control_plane: "EPCControlPlane",
+                 buffer_packets: int = DEFAULT_BUFFER_PACKETS,
+                 paging_delay: float = DEFAULT_PAGING_DELAY) -> None:
+        self.control_plane = control_plane
+        self.buffer_packets = buffer_packets
+        self.paging_delay = paging_delay
+        self._pending: dict[str, _PendingPage] = {}
+        self.pages_sent = 0
+        self.packets_buffered = 0
+        self.packets_dropped = 0
+        self._ues_by_ip: dict[str, object] = {}
+
+    # -- wiring -----------------------------------------------------------
+
+    def track(self, ue) -> None:
+        """Register a UE so misses on its IP can be attributed."""
+        self._ues_by_ip[ue.ip] = ue
+
+    def attach_to_site(self, site) -> None:
+        """Install this manager as the site's SGW-U miss handler."""
+        sgw_u = site.sgw_u
+        sgw_u.miss_handler = lambda packet: self._on_miss(packet, sgw_u)
+
+    # -- the paging loop ------------------------------------------------------
+
+    def _on_miss(self, packet: "Packet", switch) -> None:
+        ue = self._ues_by_ip.get(packet.dst)
+        if ue is None or ue.rrc_connected:
+            return      # not ours / not an idle-UE miss
+        pending = self._pending.setdefault(ue.ip, _PendingPage())
+        if len(pending.packets) >= self.buffer_packets:
+            self.packets_dropped += 1
+            return
+        pending.packets.append((packet, switch))
+        self.packets_buffered += 1
+        if not pending.page_sent:
+            pending.page_sent = True
+            self._page(ue)
+
+    def _page(self, ue) -> None:
+        cp = self.control_plane
+        context = cp.mme.context(ue.imsi)
+        cp._emit(m.DOWNLINK_DATA_NOTIFICATION, "sgw-c", cp.mme.name)
+        cp._emit(m.DOWNLINK_DATA_NOTIFICATION_ACK, cp.mme.name, "sgw-c")
+        cp._emit(PAGING_MESSAGE, cp.mme.name, context.enb.name)
+        cp._emit(PAGING_RRC, context.enb.name, ue.name)
+        self.pages_sent += 1
+        cp.sim.schedule(self.paging_delay, self._ue_responds, ue)
+
+    def _ue_responds(self, ue) -> None:
+        if not ue.rrc_connected:
+            ue.rrc_connected = True
+            ue.promotions += 1
+            self.control_plane.service_request(ue)
+        self._flush(ue)
+
+    def _flush(self, ue) -> None:
+        """Re-offer the buffered packets to the SGW-U that punted them,
+        now that its S1 downlink rules are back."""
+        pending = self._pending.pop(ue.ip, None)
+        if pending is None:
+            return
+        for packet, switch in pending.packets:
+            switch.on_receive(packet, link=None)

@@ -1,0 +1,558 @@
+"""EPC signalling procedures.
+
+Implements the control-plane choreography the paper relies on:
+
+* **attach** -- default bearer establishment through the central
+  gateways (always-on internet connectivity);
+* **network-initiated dedicated bearer activation** -- the Section 5.4
+  sequence (Request -> Create -> Set-up -> Route): MRS -> PCRF -> PCEF/
+  PGW-C -> SGW-C -> MME -> eNB -> UE, with the GW-Cs placing *local*
+  GW-U addresses in the F-TEIDs so the bearer's data plane lands on the
+  MEC-site switches, then OpenFlow rules pushed by the controller;
+* **dedicated bearer deactivation**;
+* **release to idle / service request** -- the RRC inactivity cycle
+  whose message counts and byte totals are calibrated to the paper's
+  measured 15 messages / 2914 bytes (Section 4).
+
+Every message is recorded in a :class:`~repro.epc.overhead.ControlLedger`
+and procedures return the elapsed signalling latency computed from
+per-hop delays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.epc import messages as m
+from repro.epc.bearer import Bearer, PacketFilter, TrafficFlowTemplate
+from repro.epc.entities import (GatewaySite, HSS, MME, PCRF, PGWC, SGWC,
+                                UeContext)
+from repro.epc.identifiers import FTeid
+from repro.epc.messages import ControlMessage
+from repro.epc.overhead import ControlLedger
+from repro.sdn.openflow import FlowMatch, FlowRule, GtpDecap, GtpEncap, Output
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.epc.enodeb import ENodeB
+    from repro.epc.ue import UEDevice
+    from repro.sdn.controller import SdnController
+    from repro.sim.engine import Simulator
+
+#: Per-hop control-message latencies (seconds) by transport.
+DEFAULT_HOP_DELAYS = {
+    "RRC": 0.008,        # over the air
+    "SCTP": 0.0015,      # S1-AP backhaul hop
+    "GTPv2": 0.0015,     # core control hop
+    "Diameter": 0.0015,  # Rx / Gx hop
+    "OpenFlow": 0.001,   # controller -> switch
+    "X2AP": 0.002,       # inter-eNodeB backhaul hop
+}
+
+#: Flow-rule priorities: dedicated-bearer DL classification must beat the
+#: default bearer's catch-all at the PGW-U.
+PRIORITY_DEFAULT = 100
+PRIORITY_DEDICATED = 200
+
+
+@dataclass
+class ProcedureResult:
+    """Outcome of one signalling procedure."""
+
+    name: str
+    messages: list[ControlMessage] = field(default_factory=list)
+    elapsed: float = 0.0
+    bearer: Optional[Bearer] = None
+
+    @property
+    def message_count(self) -> int:
+        return len(self.messages)
+
+    @property
+    def byte_count(self) -> int:
+        return sum(msg.size for msg in self.messages)
+
+
+class EPCControlPlane:
+    """Binds the control entities together and runs the procedures."""
+
+    def __init__(self, sim: "Simulator", mme: MME, hss: HSS, pcrf: PCRF,
+                 sgwc: SGWC, pgwc: PGWC, controller: "SdnController",
+                 ledger: Optional[ControlLedger] = None,
+                 hop_delays: Optional[dict[str, float]] = None) -> None:
+        self.sim = sim
+        self.mme = mme
+        self.hss = hss
+        self.pcrf = pcrf
+        self.sgwc = sgwc
+        self.pgwc = pgwc
+        self.controller = controller
+        self.ledger = ledger if ledger is not None else controller.ledger
+        if controller.ledger is not self.ledger:
+            raise ValueError(
+                "controller and control plane must share one ledger")
+        self.hop_delays = dict(DEFAULT_HOP_DELAYS)
+        if hop_delays:
+            self.hop_delays.update(hop_delays)
+        #: optional GBR admission control (repro.epc.admission)
+        self.admission = None
+
+    # -- plumbing ---------------------------------------------------------
+
+    def add_site(self, site: GatewaySite) -> None:
+        self.sgwc.add_site(site)
+        self.pgwc.add_site(site)
+        self.controller.register(site.sgw_u)
+        self.controller.register(site.pgw_u)
+
+    def _emit(self, mtype: m.MessageType, sender: str,
+              receiver: str, **fields) -> ControlMessage:
+        message = ControlMessage(mtype, sender, receiver, fields,
+                                 timestamp=self.sim.now)
+        self.ledger.record(message)
+        return message
+
+    def _finish(self, result: ProcedureResult, start_index: int) -> None:
+        result.messages = self.ledger.messages[start_index:]
+        result.elapsed = sum(
+            self.hop_delays.get(msg.protocol, 0.0015)
+            for msg in result.messages)
+
+    # -- flow-rule helpers --------------------------------------------------
+
+    @staticmethod
+    def _ul_cookie(bearer: Bearer) -> str:
+        return f"{bearer.imsi}:ebi{bearer.ebi}:ul"
+
+    @staticmethod
+    def _dl_cookie(bearer: Bearer) -> str:
+        return f"{bearer.imsi}:ebi{bearer.ebi}:dl"
+
+    def _install_uplink_flows(self, bearer: Bearer,
+                              site: GatewaySite) -> None:
+        if not site.pgw_ul_port:
+            raise RuntimeError(
+                f"site {site.name!r} has no SGi destination; attach a "
+                f"server to it before establishing bearers")
+        self._install_sgw_ul_rule(bearer, site)
+        self.controller.install_rule(site.pgw_u.name, FlowRule(
+            FlowMatch(teid=bearer.pgw_fteid.teid),
+            [GtpDecap(), Output(site.pgw_ul_port)],
+            priority=PRIORITY_DEFAULT, cookie=self._ul_cookie(bearer)))
+
+    def _install_sgw_ul_rule(self, bearer: Bearer,
+                             site: GatewaySite) -> None:
+        self.controller.install_rule(site.sgw_u.name, FlowRule(
+            FlowMatch(teid=bearer.sgw_s1_fteid.teid),
+            [GtpDecap(),
+             GtpEncap(bearer.pgw_fteid.teid, site.sgw_u.ip, site.pgw_u.ip),
+             Output(site.sgw_ul_port)],
+            priority=PRIORITY_DEFAULT, cookie=self._ul_cookie(bearer)))
+
+    def _install_downlink_flows(self, bearer: Bearer, site: GatewaySite,
+                                enb: "ENodeB",
+                                server_ip: Optional[str] = None) -> None:
+        self._install_pgw_dl_rule(bearer, site, server_ip)
+        self._install_sgw_dl_rule(bearer, site, enb)
+
+    def _install_pgw_dl_rule(self, bearer: Bearer, site: GatewaySite,
+                             server_ip: Optional[str] = None) -> None:
+        cookie = self._dl_cookie(bearer)
+        if server_ip is None:
+            match = FlowMatch(dst_ip=bearer.ue_ip)
+            priority = PRIORITY_DEFAULT
+        else:
+            match = FlowMatch(src_ip=server_ip, dst_ip=bearer.ue_ip)
+            priority = PRIORITY_DEDICATED
+        self.controller.install_rule(site.pgw_u.name, FlowRule(
+            match,
+            [GtpEncap(bearer.sgw_s5_fteid.teid, site.pgw_u.ip, site.sgw_u.ip),
+             Output(site.pgw_dl_port)],
+            priority=priority, cookie=cookie))
+
+    def _install_sgw_dl_rule(self, bearer: Bearer, site: GatewaySite,
+                             enb: "ENodeB") -> None:
+        priority = (PRIORITY_DEFAULT if bearer.default
+                    else PRIORITY_DEDICATED)
+        self.controller.install_rule(site.sgw_u.name, FlowRule(
+            FlowMatch(teid=bearer.sgw_s5_fteid.teid),
+            [GtpDecap(),
+             GtpEncap(bearer.enb_fteid.teid, site.sgw_u.ip,
+                      bearer.enb_fteid.address),
+             Output(site.sgw_dl_port(enb.name))],
+            priority=priority, cookie=self._dl_cookie(bearer)))
+
+    def _allocate_tunnel_endpoints(self, bearer: Bearer, site: GatewaySite,
+                                   enb: "ENodeB") -> None:
+        bearer.sgw_s1_fteid = FTeid(site.sgw_teids.allocate(), site.sgw_u.ip)
+        bearer.sgw_s5_fteid = FTeid(site.sgw_teids.allocate(), site.sgw_u.ip)
+        bearer.pgw_fteid = FTeid(site.pgw_teids.allocate(), site.pgw_u.ip)
+        bearer.enb_fteid = enb.setup_bearer(
+            bearer.ue_ip, bearer.ebi, bearer.sgw_s1_fteid,
+            site.enb_port(enb.name))
+        bearer.gateway_site = site.name
+
+    # -- procedures -----------------------------------------------------------
+
+    def attach(self, ue: "UEDevice", enb: "ENodeB",
+               site_name: str = "central") -> ProcedureResult:
+        """Attach a UE: authentication + default bearer establishment."""
+        if ue.attached:
+            raise RuntimeError(f"{ue.name} is already attached")
+        profile = self.hss.lookup(ue.imsi)     # raises for unknown IMSI
+        site = self.sgwc.site(site_name)
+        result = ProcedureResult("attach")
+        start = len(self.ledger)
+
+        self._emit(m.RRC_CONNECTION_REQUEST, ue.name, enb.name)
+        self._emit(m.RRC_CONNECTION_SETUP, enb.name, ue.name)
+        self._emit(m.RRC_CONNECTION_SETUP_COMPLETE, ue.name, enb.name)
+        self._emit(m.ATTACH_INITIAL_UE_MESSAGE, enb.name, self.mme.name,
+                   imsi=ue.imsi)
+        self._emit(m.CREATE_SESSION_REQUEST, self.mme.name, self.sgwc.name)
+        self._emit(m.CREATE_SESSION_REQUEST, self.sgwc.name, self.pgwc.name)
+
+        ue.assign_ip(self.pgwc.allocate_ue_ip())
+        bearer = Bearer(ebi=ue.bearers.allocate_ebi(), qci=profile.default_qci,
+                        imsi=ue.imsi, ue_ip=ue.ip, default=True)
+        self._allocate_tunnel_endpoints(bearer, site, enb)
+
+        self._emit(m.CREATE_SESSION_RESPONSE, self.pgwc.name, self.sgwc.name,
+                   pgw_fteid=str(bearer.pgw_fteid))
+        self._emit(m.CREATE_SESSION_RESPONSE, self.sgwc.name, self.mme.name,
+                   sgw_fteid=str(bearer.sgw_s1_fteid))
+        self._emit(m.INITIAL_CONTEXT_SETUP_REQUEST, self.mme.name, enb.name)
+        self._emit(m.RRC_CONNECTION_RECONFIGURATION, enb.name, ue.name)
+        self._emit(m.RRC_CONNECTION_RECONFIGURATION_COMPLETE, ue.name,
+                   enb.name)
+        self._emit(m.INITIAL_CONTEXT_SETUP_RESPONSE, enb.name, self.mme.name,
+                   enb_fteid=str(bearer.enb_fteid))
+        self._emit(m.ATTACH_COMPLETE_UPLINK, enb.name, self.mme.name)
+        self._emit(m.MODIFY_BEARER_REQUEST, self.mme.name, self.sgwc.name)
+        self._emit(m.MODIFY_BEARER_RESPONSE, self.sgwc.name, self.mme.name)
+
+        self._install_uplink_flows(bearer, site)
+        self._install_downlink_flows(bearer, site, enb)
+
+        ue.add_bearer(bearer)
+        ue.attached = True
+        ue.rrc_connected = True
+        ue.control_plane = self
+        self.mme.register(UeContext(imsi=ue.imsi, ue=ue, enb=enb))
+
+        self._finish(result, start)
+        result.bearer = bearer
+        return result
+
+    def activate_dedicated_bearer(
+            self, ue: "UEDevice", service_id: str, server_ip: str,
+            site_name: str, server_port: Optional[int] = None,
+            requested_by: str = "mrs") -> ProcedureResult:
+        """Network-initiated dedicated bearer to a CI server (Section 5.4)."""
+        context = self.mme.context(ue.imsi)
+        enb = context.enb
+        site = self.sgwc.site(site_name)
+        result = ProcedureResult("activate-dedicated-bearer")
+        start = len(self.ledger)
+
+        # (1) Request + (2) Create: MRS -> PCRF -> PCEF in PGW-C
+        self._emit(m.AA_REQUEST, requested_by, "pcrf",
+                   service=service_id, ue_ip=ue.ip, server_ip=server_ip)
+        rule = self.pcrf.generate_rule(service_id, ue.ip, server_ip,
+                                       server_port)
+        self._emit(m.RE_AUTH_REQUEST, "pcrf", self.pgwc.name,
+                   qci=rule.qci, service=service_id)
+        self.pgwc.pcef_install(ue.imsi, rule)
+        self._emit(m.RE_AUTH_ANSWER, self.pgwc.name, "pcrf")
+
+        # GBR admission (optional): reserve bandwidth, preempting
+        # lower-ARP bearers if the rule's ARP permits
+        ebi = ue.bearers.allocate_ebi()
+        if self.admission is not None:
+            try:
+                self.admission.request(ue.imsi, ebi, site_name, rule.qci,
+                                       rule.gbr, rule.arp)
+            except Exception:
+                self.pgwc.pcef_remove(ue.imsi, service_id)
+                self._emit(m.AA_ANSWER, "pcrf", requested_by,
+                           outcome="rejected")
+                self._finish(result, start)
+                raise
+            for victim in self.admission.drain_preempted():
+                victim_ue = self.mme.context(victim.imsi).ue
+                self.deactivate_dedicated_bearer(
+                    victim_ue, victim.ebi, requested_by="admission")
+
+        # (3) Set-up: GW-Cs place *local* GW-U addresses in the F-TEIDs
+        bearer = Bearer(ebi=ebi, qci=rule.qci,
+                        imsi=ue.imsi, ue_ip=ue.ip, default=False)
+        bearer.tft = TrafficFlowTemplate([PacketFilter(
+            precedence=rule.precedence, direction="bidirectional",
+            remote_address=server_ip, remote_port=server_port)])
+        self._allocate_tunnel_endpoints(bearer, site, enb)
+
+        self._emit(m.CREATE_BEARER_REQUEST, self.pgwc.name, self.sgwc.name,
+                   pgw_fteid=str(bearer.pgw_fteid))
+        self._emit(m.CREATE_BEARER_REQUEST, self.sgwc.name, self.mme.name,
+                   sgw_fteid=str(bearer.sgw_s1_fteid))
+        self._emit(m.ERAB_SETUP_REQUEST, self.mme.name, enb.name,
+                   sgw_fteid=str(bearer.sgw_s1_fteid))
+        self._emit(m.RRC_CONNECTION_RECONFIGURATION, enb.name, ue.name,
+                   ebi=bearer.ebi, qci=bearer.qci, tft_remote=server_ip)
+        self._emit(m.RRC_CONNECTION_RECONFIGURATION_COMPLETE, ue.name,
+                   enb.name)
+        self._emit(m.ERAB_SETUP_RESPONSE, enb.name, self.mme.name,
+                   enb_fteid=str(bearer.enb_fteid))
+        self._emit(m.CREATE_BEARER_RESPONSE, self.mme.name, self.sgwc.name)
+        self._emit(m.CREATE_BEARER_RESPONSE, self.sgwc.name, self.pgwc.name)
+        self._emit(m.AA_ANSWER, "pcrf", requested_by)
+
+        # (4) Route: OpenFlow rules onto the local GW-Us
+        self._install_uplink_flows(bearer, site)
+        self._install_downlink_flows(bearer, site, enb, server_ip=server_ip)
+
+        ue.add_bearer(bearer)
+
+        self._finish(result, start)
+        result.bearer = bearer
+        return result
+
+    def deactivate_dedicated_bearer(self, ue: "UEDevice", ebi: int,
+                                    requested_by: str = "mrs"
+                                    ) -> ProcedureResult:
+        """Tear down a dedicated bearer and its flow state."""
+        context = self.mme.context(ue.imsi)
+        enb = context.enb
+        bearer = ue.bearers.bearers.get(ebi)
+        if bearer is None or bearer.default:
+            raise ValueError(f"EBI {ebi} is not a dedicated bearer of "
+                             f"{ue.name}")
+        site = self.sgwc.site(bearer.gateway_site)
+        result = ProcedureResult("deactivate-dedicated-bearer")
+        start = len(self.ledger)
+
+        self._emit(m.SESSION_TERMINATION_REQUEST, requested_by, "pcrf")
+        self._emit(m.RE_AUTH_REQUEST, "pcrf", self.pgwc.name)
+        self._emit(m.DELETE_BEARER_REQUEST, self.pgwc.name, self.sgwc.name)
+        self._emit(m.DELETE_BEARER_REQUEST, self.sgwc.name, self.mme.name)
+        self._emit(m.ERAB_RELEASE_COMMAND, self.mme.name, enb.name)
+        self._emit(m.RRC_CONNECTION_RECONFIGURATION, enb.name, ue.name)
+        self._emit(m.RRC_CONNECTION_RECONFIGURATION_COMPLETE, ue.name,
+                   enb.name)
+        self._emit(m.ERAB_RELEASE_RESPONSE, enb.name, self.mme.name)
+        self._emit(m.DELETE_BEARER_RESPONSE, self.mme.name, self.sgwc.name)
+        self._emit(m.DELETE_BEARER_RESPONSE, self.sgwc.name, self.pgwc.name)
+        self._emit(m.RE_AUTH_ANSWER, self.pgwc.name, "pcrf")
+        self._emit(m.SESSION_TERMINATION_ANSWER, "pcrf", requested_by)
+
+        service_ids = [sid for (imsi, sid) in self.pgwc.pcef_rules
+                       if imsi == ue.imsi]
+        for sid in service_ids:
+            self.pgwc.pcef_remove(ue.imsi, sid)
+
+        self.controller.remove_rules(site.sgw_u.name, self._ul_cookie(bearer))
+        self.controller.remove_rules(site.pgw_u.name, self._ul_cookie(bearer))
+        self.controller.remove_rules(site.sgw_u.name, self._dl_cookie(bearer))
+        self.controller.remove_rules(site.pgw_u.name, self._dl_cookie(bearer))
+
+        site.sgw_teids.release(bearer.sgw_s1_fteid.teid)
+        site.sgw_teids.release(bearer.sgw_s5_fteid.teid)
+        site.pgw_teids.release(bearer.pgw_fteid.teid)
+        enb.release_bearer(ue.ip, ebi)
+        ue.remove_bearer(ebi)
+        if self.admission is not None:
+            self.admission.release(ue.imsi, ebi, bearer.gateway_site)
+
+        self._finish(result, start)
+        result.bearer = bearer
+        return result
+
+    def release_to_idle(self, ue: "UEDevice") -> ProcedureResult:
+        """RRC-inactivity release: the calibrated 7-message sequence
+        (3 SCTP + 2 GTPv2 + 2 OpenFlow) for a single-bearer UE."""
+        context = self.mme.context(ue.imsi)
+        enb = context.enb
+        result = ProcedureResult("release-to-idle")
+        start = len(self.ledger)
+
+        self._emit(m.UE_CONTEXT_RELEASE_REQUEST, enb.name, self.mme.name)
+        self._emit(m.RELEASE_ACCESS_BEARERS_REQUEST, self.mme.name,
+                   self.sgwc.name)
+        self._emit(m.RELEASE_ACCESS_BEARERS_RESPONSE, self.sgwc.name,
+                   self.mme.name)
+        self._emit(m.UE_CONTEXT_RELEASE_COMMAND, self.mme.name, enb.name)
+        self._emit(m.UE_CONTEXT_RELEASE_COMPLETE, enb.name, self.mme.name)
+
+        # only the S1 leg is torn down: the SGW-U's rules go, but the
+        # PGW-U keeps tunnelling downlink toward the SGW-U, where
+        # misses feed the paging buffer (see repro.epc.paging)
+        for bearer in list(ue.bearers):
+            if not bearer.active:
+                continue
+            site = self.sgwc.site(bearer.gateway_site)
+            self.controller.remove_rules(site.sgw_u.name,
+                                         self._ul_cookie(bearer))
+            self.controller.remove_rules(site.sgw_u.name,
+                                         self._dl_cookie(bearer))
+            bearer.active = False
+
+        ue.rrc_connected = False
+        context.state = "idle"
+        self._finish(result, start)
+        return result
+
+    def service_request(self, ue: "UEDevice") -> ProcedureResult:
+        """Idle -> connected re-establishment: the calibrated 8-message
+        sequence (4 SCTP + 2 GTPv2 + 2 OpenFlow) for a single-bearer UE."""
+        context = self.mme.context(ue.imsi)
+        enb = context.enb
+        if context.state == "connected":
+            return ProcedureResult("service-request(noop)")
+        result = ProcedureResult("service-request")
+        start = len(self.ledger)
+
+        self._emit(m.INITIAL_UE_MESSAGE, enb.name, self.mme.name)
+        self._emit(m.INITIAL_CONTEXT_SETUP_REQUEST, self.mme.name, enb.name)
+        self._emit(m.INITIAL_CONTEXT_SETUP_RESPONSE, enb.name, self.mme.name)
+        self._emit(m.UPLINK_NAS_TRANSPORT, enb.name, self.mme.name)
+        self._emit(m.MODIFY_BEARER_REQUEST, self.mme.name, self.sgwc.name)
+        self._emit(m.MODIFY_BEARER_RESPONSE, self.sgwc.name, self.mme.name)
+
+        for bearer in list(ue.bearers):
+            if bearer.active:
+                continue
+            site = self.sgwc.site(bearer.gateway_site)
+            self._install_sgw_ul_rule(bearer, site)
+            self._install_sgw_dl_rule(bearer, site, enb)
+            bearer.active = True
+
+        ue.rrc_connected = True
+        context.state = "connected"
+        self._finish(result, start)
+        return result
+
+    def handover(self, ue: "UEDevice", target_enb: "ENodeB",
+                 radio_port: str) -> ProcedureResult:
+        """X2-based handover with S1 path switch.
+
+        The SGW-U is the mobility anchor: every bearer keeps its S5
+        segment and its serving gateway site; only the S1 leg moves --
+        the target eNodeB allocates fresh downlink TEIDs and the SGW-C
+        re-points the SGW-U's downlink flow rules at the target.  A
+        dedicated MEC bearer therefore survives the handover with its
+        local gateways intact (the CI server does not change).
+
+        ``radio_port`` is the target eNodeB's port name for the UE's
+        (re-attached) radio link; the network builder wires the link
+        before invoking the procedure.
+        """
+        context = self.mme.context(ue.imsi)
+        source = context.enb
+        if source is target_enb:
+            return ProcedureResult("handover(noop)")
+        if not ue.rrc_connected:
+            raise RuntimeError(
+                f"{ue.name} is idle; handover needs RRC connected")
+        result = ProcedureResult("handover")
+        start = len(self.ledger)
+
+        # preparation over X2: target admits the UE and all its bearers
+        self._emit(m.X2_HANDOVER_REQUEST, source.name, target_enb.name,
+                   imsi=ue.imsi)
+        target_enb.register_ue(ue.ip, radio_port)
+        active = [b for b in ue.bearers if b.active]
+        for bearer in active:
+            site = self.sgwc.site(bearer.gateway_site)
+            bearer.enb_fteid = target_enb.setup_bearer(
+                ue.ip, bearer.ebi, bearer.sgw_s1_fteid,
+                site.enb_port(target_enb.name))
+        self._emit(m.X2_HANDOVER_REQUEST_ACK, target_enb.name, source.name)
+
+        # execution: the UE is commanded over and syncs to the target
+        self._emit(m.RRC_CONNECTION_RECONFIGURATION, source.name, ue.name,
+                   handover=True)
+        self._emit(m.X2_SN_STATUS_TRANSFER, source.name, target_enb.name)
+        self._emit(m.RRC_CONNECTION_RECONFIGURATION_COMPLETE, ue.name,
+                   target_enb.name)
+
+        # completion: S1 path switch re-anchors the downlink at the SGW-Us
+        self._emit(m.PATH_SWITCH_REQUEST, target_enb.name, self.mme.name)
+        self._emit(m.MODIFY_BEARER_REQUEST, self.mme.name, self.sgwc.name)
+        self._emit(m.MODIFY_BEARER_RESPONSE, self.sgwc.name, self.mme.name)
+        for bearer in active:
+            site = self.sgwc.site(bearer.gateway_site)
+            self.controller.remove_rules(site.sgw_u.name,
+                                         self._dl_cookie(bearer))
+            self._install_sgw_dl_rule(bearer, site, target_enb)
+        self._emit(m.PATH_SWITCH_REQUEST_ACK, self.mme.name,
+                   target_enb.name)
+        self._emit(m.X2_UE_CONTEXT_RELEASE, target_enb.name, source.name)
+        for bearer in active:
+            source.release_bearer(ue.ip, bearer.ebi)
+        source.radio_ports.pop(ue.ip, None)
+        context.enb = target_enb
+
+        self._finish(result, start)
+        return result
+
+    def s1_handover(self, ue: "UEDevice", target_enb: "ENodeB",
+                    radio_port: str) -> ProcedureResult:
+        """S1 (MME-coordinated) handover, for cells without an X2 link.
+
+        Same data-plane outcome as :meth:`handover` -- the SGW-U
+        anchors every bearer and only the S1 leg moves -- but the
+        preparation and completion run through the MME, costing more
+        signalling and a longer interruption.
+        """
+        context = self.mme.context(ue.imsi)
+        source = context.enb
+        if source is target_enb:
+            return ProcedureResult("s1-handover(noop)")
+        if not ue.rrc_connected:
+            raise RuntimeError(
+                f"{ue.name} is idle; handover needs RRC connected")
+        result = ProcedureResult("s1-handover")
+        start = len(self.ledger)
+
+        # preparation through the MME
+        self._emit(m.HANDOVER_REQUIRED, source.name, self.mme.name,
+                   imsi=ue.imsi)
+        self._emit(m.HANDOVER_REQUEST, self.mme.name, target_enb.name)
+        target_enb.register_ue(ue.ip, radio_port)
+        active = [b for b in ue.bearers if b.active]
+        for bearer in active:
+            site = self.sgwc.site(bearer.gateway_site)
+            bearer.enb_fteid = target_enb.setup_bearer(
+                ue.ip, bearer.ebi, bearer.sgw_s1_fteid,
+                site.enb_port(target_enb.name))
+        self._emit(m.HANDOVER_REQUEST_ACK, target_enb.name, self.mme.name)
+        self._emit(m.HANDOVER_COMMAND, self.mme.name, source.name)
+
+        # execution over the air
+        self._emit(m.RRC_CONNECTION_RECONFIGURATION, source.name, ue.name,
+                   handover=True)
+        self._emit(m.RRC_CONNECTION_RECONFIGURATION_COMPLETE, ue.name,
+                   target_enb.name)
+        self._emit(m.HANDOVER_NOTIFY, target_enb.name, self.mme.name)
+
+        # completion: bearer modification + downlink path switch
+        self._emit(m.MODIFY_BEARER_REQUEST, self.mme.name, self.sgwc.name)
+        self._emit(m.MODIFY_BEARER_RESPONSE, self.sgwc.name, self.mme.name)
+        for bearer in active:
+            site = self.sgwc.site(bearer.gateway_site)
+            self.controller.remove_rules(site.sgw_u.name,
+                                         self._dl_cookie(bearer))
+            self._install_sgw_dl_rule(bearer, site, target_enb)
+
+        # the MME releases the source-side context
+        self._emit(m.UE_CONTEXT_RELEASE_COMMAND, self.mme.name,
+                   source.name)
+        self._emit(m.UE_CONTEXT_RELEASE_COMPLETE, source.name,
+                   self.mme.name)
+        for bearer in active:
+            source.release_bearer(ue.ip, bearer.ebi)
+        source.radio_ports.pop(ue.ip, None)
+        context.enb = target_enb
+
+        self._finish(result, start)
+        return result

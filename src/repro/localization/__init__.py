@@ -1,0 +1,23 @@
+"""LTE-direct indoor localisation: path-loss regression + trilateration.
+
+Section 5.5 of the paper: a one-time linear regression maps rxPower to
+distance for the environment; live rxPower observations from landmarks
+are converted to distances and trilaterated into an (x, y) estimate,
+accurate to ~3 m on average with seven landmarks (Figure 9(b)) -- plenty
+for pruning an AR database at sub-section granularity.
+"""
+
+from repro.localization.landmarks import Landmark, LandmarkMap
+from repro.localization.pathloss import PathLossRegression
+from repro.localization.tracker import LocationTracker
+from repro.localization.trilateration import (TrilaterationError,
+                                              trilaterate)
+
+__all__ = [
+    "Landmark",
+    "LandmarkMap",
+    "LocationTracker",
+    "PathLossRegression",
+    "TrilaterationError",
+    "trilaterate",
+]

@@ -1,0 +1,97 @@
+"""Landmark metadata: names, positions, per-landmark regressions.
+
+The LTE-direct localisation manager "reads the metadata from a file:
+the number, location and names of landmarks, and the model parameters
+(alpha, beta)" (Section 6.3).  :class:`LandmarkMap` is that metadata,
+with JSON persistence standing in for the paper's file format.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.localization.pathloss import PathLossRegression
+
+
+@dataclass(frozen=True)
+class Landmark:
+    """One publisher device at a known position."""
+
+    name: str
+    x: float
+    y: float
+
+    @property
+    def position(self) -> tuple[float, float]:
+        return (self.x, self.y)
+
+
+class LandmarkMap:
+    """Named landmarks plus the environment's path-loss model."""
+
+    def __init__(self, landmarks: Optional[list[Landmark]] = None,
+                 regression: Optional[PathLossRegression] = None) -> None:
+        self._landmarks: dict[str, Landmark] = {}
+        self.regression = regression
+        for landmark in landmarks or []:
+            self.add(landmark)
+
+    def add(self, landmark: Landmark) -> None:
+        if landmark.name in self._landmarks:
+            raise ValueError(f"duplicate landmark {landmark.name!r}")
+        self._landmarks[landmark.name] = landmark
+
+    def get(self, name: str) -> Landmark:
+        try:
+            return self._landmarks[name]
+        except KeyError:
+            raise KeyError(f"unknown landmark {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._landmarks
+
+    def __len__(self) -> int:
+        return len(self._landmarks)
+
+    def __iter__(self):
+        return iter(self._landmarks.values())
+
+    @property
+    def names(self) -> list[str]:
+        return list(self._landmarks)
+
+    # -- persistence --------------------------------------------------------
+
+    def to_json(self) -> str:
+        payload = {
+            "landmarks": [
+                {"name": lm.name, "x": lm.x, "y": lm.y}
+                for lm in self._landmarks.values()
+            ],
+            "regression": (
+                {"alpha": self.regression.alpha, "beta": self.regression.beta}
+                if self.regression is not None else None),
+        }
+        return json.dumps(payload, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "LandmarkMap":
+        payload = json.loads(text)
+        landmarks = [Landmark(item["name"], item["x"], item["y"])
+                     for item in payload["landmarks"]]
+        regression = None
+        if payload.get("regression"):
+            regression = PathLossRegression(
+                alpha=payload["regression"]["alpha"],
+                beta=payload["regression"]["beta"])
+        return cls(landmarks=landmarks, regression=regression)
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_json())
+
+    @classmethod
+    def load(cls, path: str | Path) -> "LandmarkMap":
+        return cls.from_json(Path(path).read_text())

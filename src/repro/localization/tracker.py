@@ -1,0 +1,97 @@
+"""Live location tracking from streamed rxPower observations.
+
+The CI-server-side "LTE-direct localisation manager": aggregates the
+latest rxPower per landmark (with a staleness window, since the user
+moves), converts them to distances through the environment's path-loss
+regression, and trilaterates whenever enough landmarks are fresh.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.localization.landmarks import LandmarkMap
+from repro.localization.trilateration import TrilaterationError, trilaterate
+
+
+@dataclass
+class _Reading:
+    rx_power: float
+    timestamp: float
+
+
+class LocationTracker:
+    """Per-user location estimator.
+
+    Successive readings from the same landmark are smoothed with an
+    exponentially-weighted moving average (``ewma_alpha``): a user who
+    stands still through 2-3 discovery periods gets a noticeably less
+    noisy fix, which is what lets the AR back-end prune aggressively.
+    A stale previous reading (older than ``staleness``) is discarded
+    rather than averaged, since the user has likely moved.
+    """
+
+    def __init__(self, landmark_map: LandmarkMap,
+                 staleness: float = 30.0,
+                 min_landmarks: int = 3,
+                 ewma_alpha: float = 0.5) -> None:
+        if landmark_map.regression is None:
+            raise ValueError("landmark map has no path-loss regression")
+        if min_landmarks < 2:
+            raise ValueError("trilateration needs at least two landmarks")
+        if not (0 < ewma_alpha <= 1):
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        self.map = landmark_map
+        self.staleness = staleness
+        self.min_landmarks = min_landmarks
+        self.ewma_alpha = ewma_alpha
+        self._readings: dict[str, _Reading] = {}
+        self.last_estimate: Optional[tuple[float, float]] = None
+        self.estimates_made = 0
+
+    def observe(self, landmark_name: str, rx_power: float,
+                timestamp: float) -> None:
+        """Record one rxPower reading from a named landmark."""
+        if landmark_name not in self.map:
+            raise KeyError(f"unknown landmark {landmark_name!r}")
+        previous = self._readings.get(landmark_name)
+        if previous is not None and \
+                timestamp - previous.timestamp <= self.staleness:
+            rx_power = (self.ewma_alpha * rx_power
+                        + (1 - self.ewma_alpha) * previous.rx_power)
+        self._readings[landmark_name] = _Reading(rx_power, timestamp)
+
+    def fresh_readings(self, now: float) -> dict[str, _Reading]:
+        return {name: reading for name, reading in self._readings.items()
+                if now - reading.timestamp <= self.staleness}
+
+    def estimate(self, now: float) -> Optional[tuple[float, float]]:
+        """Trilaterate from fresh readings; None if not enough of them."""
+        fresh = self.fresh_readings(now)
+        if len(fresh) < self.min_landmarks:
+            return None
+        anchors, ranges = [], []
+        for name, reading in fresh.items():
+            landmark = self.map.get(name)
+            anchors.append(landmark.position)
+            ranges.append(self.map.regression.predict_distance(
+                reading.rx_power))
+        try:
+            estimate = trilaterate(anchors, ranges)
+        except TrilaterationError:
+            return None
+        self.last_estimate = estimate
+        self.estimates_made += 1
+        return estimate
+
+    def strongest_landmarks(self, now: float, count: int = 2) -> list[str]:
+        """Names of the freshest landmarks with highest rxPower.
+
+        This is the paper's *rxPower* baseline scheme: prune the search
+        space to the sections of the two loudest landmarks instead of
+        trilaterating.
+        """
+        fresh = self.fresh_readings(now)
+        ranked = sorted(fresh.items(), key=lambda kv: -kv[1].rx_power)
+        return [name for name, _ in ranked[:count]]

@@ -1,0 +1,125 @@
+"""Nonlinear least-squares trilateration.
+
+Given landmark positions L_i and estimated ranges d_i, find x minimising
+``sum_i (||x - L_i|| - d_i)^2``.  A linearised closed-form solution
+seeds a Gauss-Newton refinement (the classic approach of Borenstein et
+al., which the paper's trilateration solver implements).  Works with
+two landmarks as well (degenerate but useful), returning the
+least-squares point on the line between them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class TrilaterationError(ValueError):
+    """Raised when the input geometry cannot produce an estimate."""
+
+
+def _linear_seed(anchors: np.ndarray, ranges: np.ndarray) -> np.ndarray:
+    """Linearised estimate: subtract the first sphere equation."""
+    x0, y0 = anchors[0]
+    d0 = ranges[0]
+    rows, rhs = [], []
+    for (xi, yi), di in zip(anchors[1:], ranges[1:]):
+        rows.append([2 * (xi - x0), 2 * (yi - y0)])
+        rhs.append(d0 ** 2 - di ** 2 + xi ** 2 - x0 ** 2
+                   + yi ** 2 - y0 ** 2)
+    solution, *_ = np.linalg.lstsq(np.array(rows, dtype=float),
+                                   np.array(rhs, dtype=float), rcond=None)
+    return solution
+
+
+def trilaterate(anchors, ranges, max_iterations: int = 50,
+                tolerance: float = 1e-6,
+                bounds: "Optional[tuple[tuple[float, float], tuple[float, float]]]" = None,
+                ) -> tuple[float, float]:
+    """Estimate a 2-D position from landmark positions and ranges.
+
+    Parameters
+    ----------
+    anchors:
+        Sequence of (x, y) landmark positions.
+    ranges:
+        Estimated distances to each landmark (same order).
+    bounds:
+        Optional ``((xmin, xmax), (ymin, ymax))`` prior (e.g. the store
+        floor); iterates are clamped into it, which also prevents the
+        refinement diverging under badly inconsistent ranges.
+
+    The refinement tracks the best iterate by RMS range residual, so a
+    diverging Gauss-Newton step can never make the answer worse than
+    the linear seed.  Raises :class:`TrilaterationError` for fewer than
+    two anchors, mismatched lengths, negative ranges or coincident
+    anchors.
+    """
+    anchors = np.asarray(anchors, dtype=float)
+    ranges = np.asarray(ranges, dtype=float)
+    if anchors.ndim != 2 or anchors.shape[1] != 2:
+        raise TrilaterationError("anchors must be (n, 2)")
+    if anchors.shape[0] != ranges.shape[0]:
+        raise TrilaterationError("anchors and ranges must align")
+    if anchors.shape[0] < 2:
+        raise TrilaterationError("need at least two landmarks")
+    if np.any(ranges < 0):
+        raise TrilaterationError("ranges must be non-negative")
+    if np.allclose(anchors.std(axis=0), 0):
+        raise TrilaterationError("anchors are coincident")
+
+    if anchors.shape[0] == 2:
+        estimate = _two_anchor_seed(anchors, ranges)
+    else:
+        estimate = _linear_seed(anchors, ranges)
+
+    def clamp(point: np.ndarray) -> np.ndarray:
+        if bounds is None:
+            return point
+        (xmin, xmax), (ymin, ymax) = bounds
+        return np.array([np.clip(point[0], xmin, xmax),
+                         np.clip(point[1], ymin, ymax)])
+
+    def rms(point: np.ndarray) -> float:
+        distances = np.linalg.norm(point - anchors, axis=1)
+        return float(np.sqrt(np.mean((distances - ranges) ** 2)))
+
+    estimate = clamp(estimate)
+    best, best_rms = estimate, rms(estimate)
+
+    # Gauss-Newton refinement of the nonlinear residuals
+    for _ in range(max_iterations):
+        deltas = estimate - anchors              # (n, 2)
+        distances = np.linalg.norm(deltas, axis=1)
+        distances = np.maximum(distances, 1e-9)
+        residuals = distances - ranges
+        jacobian = deltas / distances[:, None]
+        try:
+            step, *_ = np.linalg.lstsq(jacobian, residuals, rcond=None)
+        except np.linalg.LinAlgError:  # pragma: no cover - degenerate
+            break
+        estimate = clamp(estimate - step)
+        current = rms(estimate)
+        if current < best_rms:
+            best, best_rms = estimate, current
+        if np.linalg.norm(step) < tolerance:
+            break
+    return float(best[0]), float(best[1])
+
+
+def _two_anchor_seed(anchors: np.ndarray, ranges: np.ndarray) -> np.ndarray:
+    """With two anchors, place the point between them pro-rata."""
+    a, b = anchors
+    total = ranges.sum()
+    if total == 0:
+        return (a + b) / 2
+    fraction = ranges[0] / total
+    return a + fraction * (b - a)
+
+
+def residual_error(anchors, ranges, estimate) -> float:
+    """RMS range residual of an estimate (quality indicator)."""
+    anchors = np.asarray(anchors, dtype=float)
+    ranges = np.asarray(ranges, dtype=float)
+    point = np.asarray(estimate, dtype=float)
+    distances = np.linalg.norm(anchors - point, axis=1)
+    return float(np.sqrt(np.mean((distances - ranges) ** 2)))

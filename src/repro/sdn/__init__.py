@@ -1,0 +1,29 @@
+"""SDN substrate: the Open vSwitch / Ryu analog.
+
+ACACIA realises the split gateway user planes (SGW-U/PGW-U) as OpenFlow
+switches extended with GTP encapsulation/decapsulation actions, managed
+by a Ryu-style controller that installs GTP flow rules from the GW-C
+state.  The switch model includes the user-space slow path / kernel
+fast path distinction whose cost difference Figure 8 measures.
+"""
+
+from repro.sdn.controller import SdnController
+from repro.sdn.dataplane import (ACACIA_OVS_PROFILE, IDEAL_PROFILE,
+                                 OPENEPC_USERSPACE_PROFILE, DataPlaneProfile)
+from repro.sdn.openflow import (FlowMatch, FlowRule, GtpDecap, GtpEncap,
+                                Output)
+from repro.sdn.switch import FlowSwitch
+
+__all__ = [
+    "ACACIA_OVS_PROFILE",
+    "DataPlaneProfile",
+    "FlowMatch",
+    "FlowRule",
+    "FlowSwitch",
+    "GtpDecap",
+    "GtpEncap",
+    "IDEAL_PROFILE",
+    "OPENEPC_USERSPACE_PROFILE",
+    "Output",
+    "SdnController",
+]

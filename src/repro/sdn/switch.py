@@ -1,0 +1,106 @@
+"""Flow-table switch: the Open vSwitch analog realising GW user planes.
+
+The switch keeps a priority-ordered OpenFlow table (the *slow path*) and
+an exact-match cache (the *kernel fast path*).  The first packet of a
+flow is matched against the table, pays the slow-path CPU cost and
+installs a cache entry; later packets hit the cache at the fast-path
+cost.  The CPU is a serial resource: costs accumulate on a busy-until
+clock, which is what caps a user-space gateway's throughput in Figure 8.
+
+Packets with no matching rule are counted as table misses and dropped
+(a production switch would punt them to the controller).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.epc.gtp import gtp_teid
+from repro.sdn.dataplane import IDEAL_PROFILE, DataPlaneProfile
+from repro.sdn.openflow import FlowRule, Output
+from repro.sim.node import Node
+from repro.sim.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+    from repro.sim.link import Link
+
+
+def _cache_key(packet: Packet) -> tuple:
+    """Exact-match key: outer TEID (if tunnelled) + inner five-tuple."""
+    return (gtp_teid(packet),) + packet.five_tuple
+
+
+class FlowSwitch(Node):
+    """An SDN switch with GTP-capable actions and a fast-path cache."""
+
+    def __init__(self, sim: "Simulator", name: str,
+                 profile: DataPlaneProfile = IDEAL_PROFILE,
+                 ip: Optional[str] = None) -> None:
+        super().__init__(sim, name, ip)
+        self.profile = profile
+        self.table: list[FlowRule] = []
+        self._cache: dict[tuple, FlowRule] = {}
+        self._cpu_free_at = 0.0
+        self.table_misses = 0
+        self.fast_path_hits = 0
+        self.slow_path_hits = 0
+        #: optional table-miss punt (e.g. the SGW-U's paging hook);
+        #: called with the missed packet; return True if consumed
+        self.miss_handler = None
+
+    # -- table management (driven by the controller) ---------------------
+
+    def install(self, rule: FlowRule) -> None:
+        self.table.append(rule)
+        self.table.sort(key=lambda r: -r.priority)
+        self._cache.clear()     # conservatively invalidate the fast path
+
+    def remove(self, cookie: str) -> list[FlowRule]:
+        removed = [r for r in self.table if r.cookie == cookie]
+        self.table = [r for r in self.table if r.cookie != cookie]
+        self._cache.clear()
+        return removed
+
+    def lookup(self, packet: Packet) -> Optional[FlowRule]:
+        for rule in self.table:
+            if rule.match.matches(packet):
+                return rule
+        return None
+
+    # -- data path --------------------------------------------------------
+
+    def on_receive(self, packet: Packet, link: "Link") -> None:
+        key = _cache_key(packet)
+        rule = self._cache.get(key)
+        cached = rule is not None
+        if rule is None:
+            rule = self.lookup(packet)
+            if rule is None:
+                self.table_misses += 1
+                if self.miss_handler is not None:
+                    self.miss_handler(packet)
+                return
+            if self.profile.has_fast_path:
+                self._cache[key] = rule
+        if cached:
+            self.fast_path_hits += 1
+        else:
+            self.slow_path_hits += 1
+        cost = self.profile.cost_for(cached)
+        start = max(self.sim.now, self._cpu_free_at)
+        done = start + cost
+        self._cpu_free_at = done
+        if cost == 0.0 and start <= self.sim.now:
+            self._forward(packet, rule)
+        else:
+            self.sim.schedule(done - self.sim.now, self._forward,
+                              packet, rule)
+
+    def _forward(self, packet: Packet, rule: FlowRule) -> None:
+        rule.record(packet)
+        for action in rule.actions:
+            if isinstance(action, Output):
+                self.send(action.port, packet)
+            else:
+                packet = action.apply(packet)

@@ -1,0 +1,41 @@
+"""Discrete-event network simulation substrate.
+
+This package provides the event engine, packet/link/node primitives,
+traffic generators, measurement probes and empirical WAN models on which
+the LTE/EPC, SDN and ACACIA layers are built.
+
+The engine is deliberately small and deterministic: a single binary heap
+of timestamped callbacks plus optional generator-based processes.  All
+randomness is injected through :class:`numpy.random.Generator` instances
+so every experiment in the repository is reproducible from a seed.
+"""
+
+from repro.sim.engine import Event, Process, Simulator
+from repro.sim.link import Link
+from repro.sim.monitor import FlowStats, LatencyProbe, ThroughputMeter
+from repro.sim.node import Node, PacketSink
+from repro.sim.packet import Header, Packet
+from repro.sim.tcp import TcpSink, TcpSource
+from repro.sim.traffic import CBRSource, GreedySource, PoissonSource
+from repro.sim.wan import LTE_WAN_PROFILES, WANProfile
+
+__all__ = [
+    "CBRSource",
+    "Event",
+    "FlowStats",
+    "GreedySource",
+    "Header",
+    "LatencyProbe",
+    "Link",
+    "LTE_WAN_PROFILES",
+    "Node",
+    "Packet",
+    "PacketSink",
+    "PoissonSource",
+    "Process",
+    "Simulator",
+    "TcpSink",
+    "TcpSource",
+    "ThroughputMeter",
+    "WANProfile",
+]

@@ -1,0 +1,194 @@
+"""Deterministic discrete-event engine.
+
+The simulator keeps a binary heap of :class:`Event` records ordered by
+``(time, priority, sequence)``.  Ties are broken by insertion order, which
+makes runs bit-for-bit reproducible.  Two programming styles are
+supported:
+
+* callback style -- ``sim.schedule(delay, fn, *args)``;
+* process style -- ``sim.spawn(generator)`` where the generator yields
+  either a float delay in seconds or another :class:`Process` to join.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid scheduling requests (negative delays, etc.)."""
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are returned by :meth:`Simulator.schedule` and can be
+    cancelled.  Cancelled events stay in the heap but are skipped when
+    popped, which keeps cancellation O(1).
+    """
+
+    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, priority: int, seq: int,
+                 fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent this event's callback from running."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time, other.priority, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={self.time:.6f} {getattr(self.fn, '__name__', self.fn)} {state}>"
+
+
+class Process:
+    """A generator-driven coroutine running inside the simulator.
+
+    The generator may yield:
+
+    * ``float`` -- sleep for that many simulated seconds;
+    * :class:`Process` -- suspend until that process finishes;
+    * ``None`` -- yield control and resume immediately (time does not
+      advance).
+    """
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        self._sim = sim
+        self._gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self.finished = False
+        self.value: Any = None
+        self._waiters: list[Process] = []
+
+    def _step(self, send_value: Any = None) -> None:
+        if self.finished:
+            return
+        try:
+            yielded = self._gen.send(send_value)
+        except StopIteration as stop:
+            self.finished = True
+            self.value = stop.value
+            for waiter in self._waiters:
+                self._sim.schedule(0.0, waiter._step, self.value)
+            self._waiters.clear()
+            return
+        if yielded is None:
+            self._sim.schedule(0.0, self._step)
+        elif isinstance(yielded, Process):
+            if yielded.finished:
+                self._sim.schedule(0.0, self._step, yielded.value)
+            else:
+                yielded._waiters.append(self)
+        else:
+            delay = float(yielded)
+            if delay < 0:
+                raise SimulationError(
+                    f"process {self.name!r} yielded negative delay {delay}")
+            self._sim.schedule(delay, self._step)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "finished" if self.finished else "running"
+        return f"<Process {self.name} {state}>"
+
+
+class Simulator:
+    """Single-threaded discrete-event simulator.
+
+    Attributes
+    ----------
+    now:
+        Current simulated time in seconds.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._events_run = 0
+
+    # -- scheduling -----------------------------------------------------
+
+    def schedule(self, delay: float, fn: Callable[..., Any],
+                 *args: Any, priority: int = 0) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        event = Event(self.now + delay, priority, next(self._seq), fn, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time: float, fn: Callable[..., Any],
+                    *args: Any, priority: int = 0) -> Event:
+        """Schedule ``fn(*args)`` at an absolute simulated time."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time} before now ({self.now})")
+        return self.schedule(time - self.now, fn, *args, priority=priority)
+
+    def spawn(self, gen: Generator, name: str = "") -> Process:
+        """Start a generator as a process; its first step runs at ``now``."""
+        proc = Process(self, gen, name)
+        self.schedule(0.0, proc._step)
+        return proc
+
+    # -- execution ------------------------------------------------------
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
+        """Run events until the heap drains, ``until`` passes, or
+        ``max_events`` callbacks have executed."""
+        count = 0
+        while self._heap:
+            event = self._heap[0]
+            if until is not None and event.time > until:
+                break
+            heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.fn(*event.args)
+            self._events_run += 1
+            count += 1
+            if max_events is not None and count >= max_events:
+                break
+        if until is not None and self.now < until:
+            self.now = until
+
+    def step(self) -> bool:
+        """Run exactly one pending event.  Returns False if none remain."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.fn(*event.args)
+            self._events_run += 1
+            return True
+        return False
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    @property
+    def events_run(self) -> int:
+        """Total callbacks executed so far."""
+        return self._events_run
+
+    def drain(self, events: Iterable[Event]) -> None:
+        """Cancel a collection of events."""
+        for event in events:
+            event.cancel()

@@ -1,0 +1,231 @@
+"""Point-to-point duplex link with queueing.
+
+Each direction of the link has its own transmitter and a finite drop-tail
+queue.  Serialization delay is ``wire_size * 8 / bandwidth`` and
+propagation delay is constant, so a congested direction builds queueing
+delay exactly the way Figure 3(g)/10(b) of the paper measures it.
+
+When ``qos_priority=True`` the queue is a strict-priority queue keyed by
+the packet's QCI priority (see :mod:`repro.epc.qos`): this is what lets a
+dedicated bearer with a better QCI overtake best-effort background
+traffic on a shared link (Figure 10(a)).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+    from repro.sim.node import Node
+
+#: Default queue capacity per direction (bytes); roughly 100 full-size
+#: Ethernet frames, a typical shallow router buffer.
+DEFAULT_QUEUE_BYTES = 150_000
+
+#: QCI -> scheduling priority used when qos_priority is enabled.  Filled
+#: lazily from repro.epc.qos to avoid a circular import; packets without
+#: a QCI get the lowest priority.
+_BEST_EFFORT_PRIORITY = 100
+
+
+class _Direction:
+    """Transmitter + queue for one direction of a link."""
+
+    def __init__(self, link: "Link") -> None:
+        self.link = link
+        self.bandwidth = link.bandwidth     # overridden per direction
+        self.busy = False
+        self.queued_bytes = 0
+        self.drops = 0
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        self._fifo: deque[Packet] = deque()
+        self._prio_heap: list[tuple[int, int, Packet]] = []
+        self._seq = itertools.count()
+
+    def enqueue(self, packet: Packet) -> bool:
+        if self.queued_bytes + packet.wire_size > self.link.queue_bytes:
+            self.drops += 1
+            return False
+        self.queued_bytes += packet.wire_size
+        if self.link.qos_priority:
+            heapq.heappush(
+                self._prio_heap,
+                (self.link.priority_of(packet), next(self._seq), packet))
+        else:
+            self._fifo.append(packet)
+        return True
+
+    def dequeue(self) -> Optional[Packet]:
+        if self.link.qos_priority:
+            if not self._prio_heap:
+                return None
+            _, _, packet = heapq.heappop(self._prio_heap)
+        else:
+            if not self._fifo:
+                return None
+            packet = self._fifo.popleft()
+        self.queued_bytes -= packet.wire_size
+        return packet
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._fifo) + len(self._prio_heap)
+
+
+class Link:
+    """Duplex link between exactly two nodes.
+
+    Parameters
+    ----------
+    bandwidth:
+        Capacity per direction in bits/second.
+    delay:
+        One-way propagation delay in seconds.
+    queue_bytes:
+        Drop-tail buffer size per direction.
+    qos_priority:
+        Enable strict-priority scheduling by QCI priority.
+    jitter:
+        Optional per-packet propagation jitter: each packet's delay is
+        ``delay + Uniform(0, jitter)`` drawn from ``rng``.  Models radio
+        scheduling/HARQ variability.
+    bandwidth_reverse:
+        Optional capacity of the reverse direction (from the *second*
+        attached endpoint toward the first).  Default: symmetric.  An
+        LTE radio link is the canonical asymmetric case (uplink out of
+        the UE is far slower than the downlink toward it).
+    """
+
+    def __init__(self, sim: "Simulator", name: str, bandwidth: float,
+                 delay: float, queue_bytes: int = DEFAULT_QUEUE_BYTES,
+                 qos_priority: bool = False, jitter: float = 0.0,
+                 rng=None, bandwidth_reverse=None) -> None:
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if bandwidth_reverse is not None and bandwidth_reverse <= 0:
+            raise ValueError("reverse bandwidth must be positive")
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        if jitter < 0:
+            raise ValueError("jitter must be non-negative")
+        if jitter > 0 and rng is None:
+            raise ValueError("jitter requires an rng")
+        self.sim = sim
+        self.name = name
+        self.bandwidth = bandwidth
+        self.bandwidth_reverse = (bandwidth_reverse
+                                  if bandwidth_reverse is not None
+                                  else bandwidth)
+        self.delay = delay
+        self.jitter = jitter
+        self.rng = rng
+        self.queue_bytes = queue_bytes
+        self.qos_priority = qos_priority
+        self.up = True
+        self.dropped_while_down = 0
+        self._endpoints: list["Node"] = []
+        self._directions: dict[int, _Direction] = {}
+        self._qci_priorities: dict[int, int] = {}
+
+    # -- failure injection --------------------------------------------------
+
+    def set_up(self, up: bool) -> None:
+        """Bring the link up or down (fibre cut / radio loss).
+
+        While down, transmissions are silently dropped and counted;
+        packets already in flight still arrive (they left the wire
+        before the cut).
+        """
+        self.up = up
+
+    # -- wiring ---------------------------------------------------------
+
+    def register_endpoint(self, node: "Node") -> None:
+        if node in self._endpoints:
+            return
+        if len(self._endpoints) >= 2:
+            raise ValueError(f"link {self.name} already has two endpoints")
+        self._endpoints.append(node)
+        direction = _Direction(self)
+        # forward direction (out of the first endpoint) uses
+        # ``bandwidth``; the reverse uses ``bandwidth_reverse``
+        direction.bandwidth = (self.bandwidth if len(self._endpoints) == 1
+                               else self.bandwidth_reverse)
+        self._directions[id(node)] = direction
+
+    def other_end(self, node: "Node") -> "Node":
+        if len(self._endpoints) != 2:
+            raise ValueError(f"link {self.name} is not fully wired")
+        if node is self._endpoints[0]:
+            return self._endpoints[1]
+        if node is self._endpoints[1]:
+            return self._endpoints[0]
+        raise ValueError(f"{node!r} is not attached to link {self.name}")
+
+    def set_qci_priority(self, qci: int, priority: int) -> None:
+        """Register the scheduling priority for a QCI (lower wins)."""
+        self._qci_priorities[qci] = priority
+
+    def priority_of(self, packet: Packet) -> int:
+        if packet.qci is None:
+            return _BEST_EFFORT_PRIORITY
+        return self._qci_priorities.get(packet.qci, _BEST_EFFORT_PRIORITY)
+
+    # -- data path --------------------------------------------------------
+
+    def transmit(self, sender: "Node", packet: Packet) -> None:
+        """Queue a packet for transmission from ``sender`` to the peer."""
+        direction = self._directions.get(id(sender))
+        if direction is None:
+            raise ValueError(
+                f"{sender!r} is not attached to link {self.name}")
+        if not self.up:
+            self.dropped_while_down += 1
+            return
+        if not direction.enqueue(packet):
+            return  # drop-tail
+        if not direction.busy:
+            self._start_transmission(sender, direction)
+
+    def _start_transmission(self, sender: "Node",
+                            direction: _Direction) -> None:
+        packet = direction.dequeue()
+        if packet is None:
+            direction.busy = False
+            return
+        direction.busy = True
+        tx_time = packet.wire_size * 8 / direction.bandwidth
+        direction.tx_packets += 1
+        direction.tx_bytes += packet.wire_size
+        receiver = self.other_end(sender)
+        propagation = self.delay
+        if self.jitter > 0:
+            propagation += float(self.rng.uniform(0.0, self.jitter))
+        self.sim.schedule(tx_time + propagation,
+                          receiver.receive, packet, self)
+        self.sim.schedule(tx_time, self._start_transmission,
+                          sender, direction)
+
+    # -- stats ------------------------------------------------------------
+
+    def stats(self, node: "Node") -> dict:
+        """Per-direction counters for the direction *out of* ``node``."""
+        direction = self._directions[id(node)]
+        return {
+            "tx_packets": direction.tx_packets,
+            "tx_bytes": direction.tx_bytes,
+            "drops": direction.drops,
+            "queued_bytes": direction.queued_bytes,
+            "queue_depth": direction.queue_depth,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Link {self.name} {self.bandwidth/1e6:.1f}Mbps "
+                f"{self.delay*1e3:.2f}ms>")

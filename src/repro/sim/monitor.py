@@ -1,0 +1,97 @@
+"""Measurement probes: latency samples, throughput windows, flow stats."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.sim.packet import Packet
+
+
+@dataclass
+class FlowStats:
+    """Per-flow counters accumulated by probes."""
+
+    packets: int = 0
+    bytes: int = 0
+    latencies: list[float] = field(default_factory=list)
+
+    def record(self, packet: Packet, now: float) -> None:
+        self.packets += 1
+        self.bytes += packet.wire_size
+        self.latencies.append(now - packet.created_at)
+
+    @property
+    def mean_latency(self) -> float:
+        return float(np.mean(self.latencies)) if self.latencies else 0.0
+
+    def percentile(self, q: float) -> float:
+        return float(np.percentile(self.latencies, q)) if self.latencies else 0.0
+
+
+class LatencyProbe:
+    """Collects one-way (or round-trip) delay samples keyed by flow id.
+
+    Attach via a sink's ``on_packet`` callback:
+
+    >>> probe = LatencyProbe(sim)
+    >>> sink = PacketSink(sim, "sink", on_packet=probe)   # doctest: +SKIP
+    """
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.flows: dict[str, FlowStats] = {}
+
+    def __call__(self, packet: Packet) -> None:
+        stats = self.flows.setdefault(packet.flow_id, FlowStats())
+        stats.record(packet, self.sim.now)
+
+    def all_latencies(self) -> list[float]:
+        samples: list[float] = []
+        for stats in self.flows.values():
+            samples.extend(stats.latencies)
+        return samples
+
+    def flow(self, flow_id: str) -> FlowStats:
+        return self.flows.setdefault(flow_id, FlowStats())
+
+
+class ThroughputMeter:
+    """Windowed throughput series measured at a sink.
+
+    Call :meth:`observe` for every delivered packet; :meth:`series`
+    returns `(window_start_times, bits_per_second)` arrays, the exact
+    shape plotted in Figure 8.
+    """
+
+    def __init__(self, sim, window: float = 1.0) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.sim = sim
+        self.window = window
+        self._buckets: dict[int, int] = {}
+
+    def observe(self, packet: Packet) -> None:
+        bucket = int(self.sim.now / self.window)
+        self._buckets[bucket] = self._buckets.get(bucket, 0) + packet.size
+
+    def __call__(self, packet: Packet) -> None:
+        self.observe(packet)
+
+    def series(self) -> tuple[np.ndarray, np.ndarray]:
+        if not self._buckets:
+            return np.array([]), np.array([])
+        last = max(self._buckets)
+        times = np.arange(0, last + 1) * self.window
+        bps = np.array([self._buckets.get(i, 0) * 8 / self.window
+                        for i in range(last + 1)], dtype=float)
+        return times, bps
+
+    def mean_throughput(self, skip_first: int = 1) -> float:
+        """Mean bits/sec over the series, skipping warm-up windows."""
+        _, bps = self.series()
+        if len(bps) <= skip_first:
+            return float(np.mean(bps)) if len(bps) else 0.0
+        return float(np.mean(bps[skip_first:]))

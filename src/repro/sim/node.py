@@ -1,0 +1,93 @@
+"""Base network-node abstractions.
+
+A :class:`Node` owns a set of named ports, each attached to a
+:class:`~repro.sim.link.Link`.  Subclasses implement :meth:`on_receive`
+to process arriving packets; forwarding is done by writing to a port.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.sim.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+    from repro.sim.link import Link
+
+
+class Node:
+    """A device attached to the simulated network."""
+
+    def __init__(self, sim: "Simulator", name: str,
+                 ip: Optional[str] = None) -> None:
+        self.sim = sim
+        self.name = name
+        self.ip = ip or name
+        self.ports: dict[str, "Link"] = {}
+        self.rx_count = 0
+        self.tx_count = 0
+
+    def attach(self, port: str, link: "Link") -> None:
+        """Bind a named port to a link endpoint."""
+        self.ports[port] = link
+        link.register_endpoint(self)
+
+    def send(self, port: str, packet: Packet) -> None:
+        """Transmit a packet out of a named port."""
+        link = self.ports.get(port)
+        if link is None:
+            raise KeyError(f"{self.name}: no port named {port!r}")
+        self.tx_count += 1
+        link.transmit(self, packet)
+
+    def receive(self, packet: Packet, link: "Link") -> None:
+        """Entry point called by links; dispatches to :meth:`on_receive`."""
+        self.rx_count += 1
+        self.on_receive(packet, link)
+
+    def on_receive(self, packet: Packet, link: "Link") -> None:
+        """Process an arriving packet.  Default: drop silently."""
+
+    def port_for_link(self, link: "Link") -> Optional[str]:
+        """Reverse lookup: the port name a link is attached to."""
+        for port, candidate in self.ports.items():
+            if candidate is link:
+                return port
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class PacketSink(Node):
+    """Terminal node that records arrivals and can auto-reply.
+
+    Useful both as a traffic sink (throughput measurements) and as a
+    ping/echo responder (RTT measurements) when ``echo=True``.
+    """
+
+    def __init__(self, sim: "Simulator", name: str, ip: Optional[str] = None,
+                 echo: bool = False,
+                 on_packet: Optional[Callable[[Packet], None]] = None):
+        super().__init__(sim, name, ip)
+        self.echo = echo
+        self.on_packet = on_packet
+        self.received: list[Packet] = []
+        self.bytes_received = 0
+        self.arrival_times: list[float] = []
+
+    def on_receive(self, packet: Packet, link: "Link") -> None:
+        self.received.append(packet)
+        self.bytes_received += packet.wire_size
+        self.arrival_times.append(self.sim.now)
+        if self.on_packet is not None:
+            self.on_packet(packet)
+        if self.echo:
+            reply = packet.copy()
+            reply.src, reply.dst = packet.dst, packet.src
+            reply.src_port, reply.dst_port = packet.dst_port, packet.src_port
+            reply.meta["echo_of"] = packet.packet_id
+            port = self.port_for_link(link)
+            if port is not None:
+                self.send(port, reply)

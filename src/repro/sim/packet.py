@@ -1,0 +1,123 @@
+"""Packet and protocol-header model.
+
+A :class:`Packet` carries an application payload size plus a stack of
+:class:`Header` objects.  Encapsulation (GTP-U over UDP/IP, for example)
+pushes headers; the wire size used for serialization delay is the payload
+plus every header currently on the stack, which is how the simulator
+charges tunnelling overhead.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass
+class Header:
+    """A protocol header pushed onto a packet.
+
+    Parameters
+    ----------
+    protocol:
+        Short protocol name, e.g. ``"GTP-U"`` or ``"IPv4"``.
+    size:
+        Header length in bytes, charged to the wire size.
+    fields:
+        Protocol-specific key/value fields (e.g. ``{"teid": 0x1001}``).
+    """
+
+    protocol: str
+    size: int
+    fields: dict = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.fields.get(key, default)
+
+
+@dataclass
+class Packet:
+    """A simulated packet.
+
+    ``src``/``dst`` are endpoint IP addresses (strings); ``src_port`` and
+    ``dst_port`` complete the classic five-tuple together with ``protocol``.
+    """
+
+    src: str
+    dst: str
+    size: int                      # payload bytes (headers add on top)
+    protocol: str = "UDP"
+    src_port: int = 0
+    dst_port: int = 0
+    flow_id: str = ""
+    qci: Optional[int] = None      # QoS class set once mapped to a bearer
+    created_at: float = 0.0
+    meta: dict = field(default_factory=dict)
+    headers: list[Header] = field(default_factory=list)
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    @property
+    def wire_size(self) -> int:
+        """Bytes on the wire: payload plus all pushed headers."""
+        return self.size + sum(h.size for h in self.headers)
+
+    @property
+    def five_tuple(self) -> tuple[str, str, str, int, int]:
+        return (self.src, self.dst, self.protocol,
+                self.src_port, self.dst_port)
+
+    # -- encapsulation ----------------------------------------------------
+
+    def push_header(self, header: Header) -> None:
+        """Encapsulate: the new header becomes the outermost."""
+        self.headers.append(header)
+
+    def pop_header(self, protocol: Optional[str] = None) -> Header:
+        """Decapsulate the outermost header.
+
+        If ``protocol`` is given, it must match the outermost header's
+        protocol; a mismatch raises ``ValueError`` (mis-wired tunnel).
+        """
+        if not self.headers:
+            raise ValueError("no headers to pop")
+        header = self.headers[-1]
+        if protocol is not None and header.protocol != protocol:
+            raise ValueError(
+                f"expected outer header {protocol!r}, found {header.protocol!r}")
+        return self.headers.pop()
+
+    def outer_header(self) -> Optional[Header]:
+        """The outermost header, or None for a bare packet."""
+        return self.headers[-1] if self.headers else None
+
+    def find_header(self, protocol: str) -> Optional[Header]:
+        """Innermost-first search for a header by protocol name."""
+        for header in self.headers:
+            if header.protocol == protocol:
+                return header
+        return None
+
+    def copy(self) -> "Packet":
+        """Deep-ish copy with a fresh packet id (headers are duplicated)."""
+        clone = Packet(
+            src=self.src, dst=self.dst, size=self.size,
+            protocol=self.protocol, src_port=self.src_port,
+            dst_port=self.dst_port, flow_id=self.flow_id, qci=self.qci,
+            created_at=self.created_at, meta=dict(self.meta),
+            headers=[Header(h.protocol, h.size, dict(h.fields))
+                     for h in self.headers],
+        )
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        encap = "/".join(h.protocol for h in reversed(self.headers))
+        encap = f" [{encap}]" if encap else ""
+        return (f"<Packet #{self.packet_id} {self.src}:{self.src_port}->"
+                f"{self.dst}:{self.dst_port} {self.protocol} "
+                f"{self.size}B{encap}>")

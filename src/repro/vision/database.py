@@ -1,0 +1,149 @@
+"""Geo-tagged object database.
+
+The AR back-end's database (Section 6.3): 105 objects emulating a
+retail store, each stored with its name, an annotation tag, SURF
+keypoints/descriptors and a geo-tag (the store sub-section the object
+lives in).  The three search-space schemes of Section 7.3 are queries
+against this structure: the whole floor (Naive), the sections of the
+two strongest landmarks (rxPower), or the sub-sections around a
+trilaterated location (ACACIA).
+
+The paper persists the DB in OpenCV YAML; we persist to a JSON + NumPy
+archive pair, a like-for-like substitution.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.vision.features import ObjectModel
+
+
+@dataclass
+class ObjectRecord:
+    """One catalogued object plus its location metadata.
+
+    ``nominal_features`` is the paper-scale stored feature count used by
+    the *timing* cost model; ``model`` carries the (smaller) descriptor
+    set actually matched for correctness.  See the two-fidelity note in
+    :mod:`repro.vision`.
+    """
+
+    model: ObjectModel
+    tag: str                      # annotation returned to the user
+    section: str                  # coarse area (food, toys, ...)
+    subsection: int               # fine geo-tag (cell id)
+    position: tuple[float, float]
+    nominal_features: float = 500.0
+
+    @property
+    def name(self) -> str:
+        return self.model.name
+
+
+class ObjectDatabase:
+    """Geo-tagged object store with section/sub-section queries."""
+
+    def __init__(self) -> None:
+        self._records: dict[str, ObjectRecord] = {}
+
+    def add(self, record: ObjectRecord) -> None:
+        if record.name in self._records:
+            raise ValueError(f"duplicate object {record.name!r}")
+        self._records[record.name] = record
+
+    def get(self, name: str) -> ObjectRecord:
+        try:
+            return self._records[name]
+        except KeyError:
+            raise KeyError(f"unknown object {name!r}") from None
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._records
+
+    def all_records(self) -> list[ObjectRecord]:
+        return list(self._records.values())
+
+    # -- search-space queries ------------------------------------------------
+
+    def in_sections(self, sections: Iterable[str]) -> list[ObjectRecord]:
+        wanted = set(sections)
+        return [r for r in self._records.values() if r.section in wanted]
+
+    def in_subsections(self, subsections: Iterable[int]
+                       ) -> list[ObjectRecord]:
+        wanted = set(subsections)
+        return [r for r in self._records.values()
+                if r.subsection in wanted]
+
+    def sections(self) -> list[str]:
+        return sorted({r.section for r in self._records.values()})
+
+    def subsections(self) -> list[int]:
+        return sorted({r.subsection for r in self._records.values()})
+
+    def mean_features(self, records: Optional[list[ObjectRecord]] = None
+                      ) -> float:
+        """Average *computational* descriptor count per object."""
+        records = records if records is not None else self.all_records()
+        if not records:
+            return 0.0
+        return float(np.mean([r.model.n_features for r in records]))
+
+    def mean_nominal_features(self,
+                              records: Optional[list[ObjectRecord]] = None
+                              ) -> float:
+        """Average paper-scale feature count (drives matching cost)."""
+        records = records if records is not None else self.all_records()
+        if not records:
+            return 0.0
+        return float(np.mean([r.nominal_features for r in records]))
+
+    # -- persistence --------------------------------------------------------
+
+    def save(self, directory: str | Path) -> None:
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        meta = []
+        arrays: dict[str, np.ndarray] = {}
+        for record in self._records.values():
+            meta.append({
+                "name": record.name,
+                "tag": record.tag,
+                "section": record.section,
+                "subsection": record.subsection,
+                "position": list(record.position),
+                "seed": record.model.seed,
+                "nominal_features": record.nominal_features,
+            })
+            arrays[f"{record.name}__desc"] = record.model.descriptors
+            arrays[f"{record.name}__kp"] = record.model.keypoints
+        (directory / "db.json").write_text(json.dumps(meta, indent=2))
+        np.savez_compressed(directory / "db.npz", **arrays)
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "ObjectDatabase":
+        directory = Path(directory)
+        meta = json.loads((directory / "db.json").read_text())
+        arrays = np.load(directory / "db.npz")
+        db = cls()
+        for item in meta:
+            model = ObjectModel(
+                name=item["name"],
+                descriptors=arrays[f"{item['name']}__desc"],
+                keypoints=arrays[f"{item['name']}__kp"],
+                seed=item["seed"])
+            db.add(ObjectRecord(
+                model=model, tag=item["tag"], section=item["section"],
+                subsection=item["subsection"],
+                position=tuple(item["position"]),
+                nominal_features=item.get("nominal_features", 500.0)))
+        return db

@@ -1,0 +1,163 @@
+"""The object-matching pipeline: kNN + ratio + symmetry + RANSAC.
+
+Implements the four accuracy stages of the paper's AR back-end
+(Section 6.3): (1) brute-force 2-nearest-neighbour matching with a
+ratio test, (2) a symmetry (mutual best match) test between the two
+directions, (3) RANSAC geometric verification returning inlier matches,
+(4) an inlier-count acceptance threshold.  These run for real on the
+synthetic descriptor sets, so false negatives/positives are measured,
+not assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.vision.features import Frame, ObjectModel
+
+
+@dataclass
+class MatchOutcome:
+    """Result of matching one frame against one object."""
+
+    object_name: str
+    good_matches: int = 0
+    symmetric_matches: int = 0
+    inliers: int = 0
+    accepted: bool = False
+    stage_reached: str = "ratio"     # ratio -> symmetry -> ransac -> accept
+
+
+def _knn2(queries: np.ndarray, references: np.ndarray
+          ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """2-NN by cosine distance on unit vectors.
+
+    Returns (best_idx, best_dist, second_dist) per query row.
+    """
+    similarity = queries @ references.T          # (q, r)
+    distance = 1.0 - similarity
+    if references.shape[0] < 2:
+        best = np.argmin(distance, axis=1)
+        d1 = distance[np.arange(len(queries)), best]
+        return best, d1, np.full_like(d1, np.inf)
+    order = np.argpartition(distance, 1, axis=1)[:, :2]
+    rows = np.arange(len(queries))[:, None]
+    two = distance[rows, order]
+    swap = two[:, 0] > two[:, 1]
+    order[swap] = order[swap][:, ::-1]
+    two[swap] = two[swap][:, ::-1]
+    return order[:, 0], two[:, 0], two[:, 1]
+
+
+class ObjectMatcher:
+    """Brute-force matcher with the paper's four verification stages."""
+
+    def __init__(self, ratio_threshold: float = 0.75,
+                 ransac_iterations: int = 50,
+                 ransac_inlier_radius: float = 3.0,
+                 min_inliers: int = 8,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if not (0 < ratio_threshold < 1):
+            raise ValueError("ratio threshold must be in (0, 1)")
+        self.ratio_threshold = ratio_threshold
+        self.ransac_iterations = ransac_iterations
+        self.ransac_inlier_radius = ransac_inlier_radius
+        self.min_inliers = min_inliers
+        self.rng = rng if rng is not None else np.random.default_rng(1234)
+
+    # -- stages ------------------------------------------------------------
+
+    def _ratio_matches(self, a_desc: np.ndarray, b_desc: np.ndarray
+                       ) -> list[tuple[int, int]]:
+        best, d1, d2 = _knn2(a_desc, b_desc)
+        keep = d1 < self.ratio_threshold * d2
+        return [(i, int(best[i])) for i in np.flatnonzero(keep)]
+
+    def _symmetry_filter(self, forward: list[tuple[int, int]],
+                         backward: list[tuple[int, int]]
+                         ) -> list[tuple[int, int]]:
+        reverse = {(j, i) for i, j in backward}
+        return [(i, j) for i, j in forward if (i, j) in reverse]
+
+    def _ransac_translation(self, frame_kp: np.ndarray,
+                            object_kp: np.ndarray,
+                            pairs: list[tuple[int, int]]) -> int:
+        """Estimate a translation model; return the inlier count."""
+        if len(pairs) < 2:
+            return 0
+        offsets = np.array([frame_kp[i] - object_kp[j] for i, j in pairs])
+        best_inliers = 0
+        n = len(pairs)
+        for _ in range(self.ransac_iterations):
+            candidate = offsets[self.rng.integers(n)]
+            errors = np.linalg.norm(offsets - candidate, axis=1)
+            inliers = int(np.sum(errors < self.ransac_inlier_radius))
+            best_inliers = max(best_inliers, inliers)
+        return best_inliers
+
+    # -- public API -----------------------------------------------------------
+
+    def match_one(self, frame: Frame, obj: ObjectModel) -> MatchOutcome:
+        """Run the full pipeline for one frame/object pair."""
+        outcome = MatchOutcome(object_name=obj.name)
+        forward = self._ratio_matches(frame.descriptors, obj.descriptors)
+        outcome.good_matches = len(forward)
+        if len(forward) < self.min_inliers:
+            return outcome
+        outcome.stage_reached = "symmetry"
+        backward = self._ratio_matches(obj.descriptors, frame.descriptors)
+        symmetric = self._symmetry_filter(forward, backward)
+        outcome.symmetric_matches = len(symmetric)
+        if len(symmetric) < self.min_inliers:
+            return outcome
+        outcome.stage_reached = "ransac"
+        inliers = self._ransac_translation(frame.keypoints, obj.keypoints,
+                                           symmetric)
+        outcome.inliers = inliers
+        if inliers >= self.min_inliers:
+            outcome.accepted = True
+            outcome.stage_reached = "accept"
+        return outcome
+
+    def match_frame(self, frame: Frame, candidates: Iterable[ObjectModel]
+                    ) -> Optional[MatchOutcome]:
+        """Match against a candidate set; best accepted outcome or None."""
+        best: Optional[MatchOutcome] = None
+        for obj in candidates:
+            outcome = self.match_one(frame, obj)
+            if outcome.accepted and (best is None
+                                     or outcome.inliers > best.inliers):
+                best = outcome
+        return best
+
+
+@dataclass
+class MatchStats:
+    """Aggregate accuracy bookkeeping across an experiment."""
+
+    true_positives: int = 0
+    false_positives: int = 0
+    false_negatives: int = 0
+    true_negatives: int = 0
+    details: list[tuple[Optional[str], Optional[str]]] = field(
+        default_factory=list)
+
+    def record(self, truth: Optional[str], matched: Optional[str]) -> None:
+        self.details.append((truth, matched))
+        if truth is None and matched is None:
+            self.true_negatives += 1
+        elif truth is None:
+            self.false_positives += 1
+        elif matched is None:
+            self.false_negatives += 1
+        elif matched == truth:
+            self.true_positives += 1
+        else:
+            self.false_positives += 1
+
+    @property
+    def total(self) -> int:
+        return len(self.details)

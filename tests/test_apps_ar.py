@@ -1,0 +1,209 @@
+"""Tests for the AR back-end, retail store wiring and workload."""
+
+import numpy as np
+import pytest
+
+from repro.apps.ar_backend import ARBackend
+from repro.apps.retail import (RetailStore, build_retail_database,
+                               landmark_map_for)
+from repro.apps.scenario import store_scenario
+from repro.apps.workload import CheckpointWorkload
+from repro.core.localization_manager import LocalizationManager
+from repro.d2d.channel import D2DChannel, Subscriber
+from repro.d2d.expressions import ExpressionNamespace
+from repro.d2d.modem import LteDirectModem
+from repro.localization.pathloss import PathLossRegression
+from repro.sim.engine import Simulator
+from repro.vision.camera import R720x480, R960x720
+from repro.vision.costmodel import DEVICES
+from repro.vision.features import FeatureExtractor
+
+
+@pytest.fixture(scope="module")
+def world():
+    scenario = store_scenario()
+    db = build_retail_database(scenario, n_features=60)
+    regression = PathLossRegression(alpha=-50.0, beta=-30.0)
+    localization = LocalizationManager(landmark_map_for(scenario,
+                                                        regression))
+    backend = ARBackend(db, scenario, localization,
+                        device=DEVICES["i7-8core"])
+    workload = CheckpointWorkload(scenario, db, seed=3)
+    return scenario, db, localization, backend, workload
+
+
+class TestRetailDatabase:
+    def test_105_objects_over_21_subsections(self, world):
+        scenario, db, *_ = world
+        assert len(db) == 105
+        assert set(db.subsections()) == set(range(21))
+        for subsection in db.subsections():
+            assert len(db.in_subsections([subsection])) == 5
+
+    def test_sections_match_scenario(self, world):
+        scenario, db, *_ = world
+        assert set(db.sections()) == set(scenario.sections)
+
+    def test_object_positions_in_their_subsection_neighbourhood(self, world):
+        scenario, db, *_ = world
+        for record in db.all_records():
+            center = scenario.subsection_center(record.subsection)
+            assert abs(record.position[0] - center[0]) <= 3.0
+            assert abs(record.position[1] - center[1]) <= 3.0
+
+    def test_deterministic_build(self, world):
+        scenario, db, *_ = world
+        again = build_retail_database(scenario, n_features=60)
+        record_a = db.get("toys-item-1")
+        record_b = again.get("toys-item-1")
+        assert np.array_equal(record_a.model.descriptors,
+                              record_b.model.descriptors)
+        assert record_a.position == record_b.position
+
+
+class TestARBackend:
+    def prime_location(self, world, checkpoint, user="u1"):
+        scenario, db, localization, backend, workload = world
+        sample = workload.sample(checkpoint)
+        workload.feed_localization(localization, user, sample, now=0.0)
+        return sample
+
+    def test_naive_matches_correctly(self, world):
+        scenario, db, localization, backend, workload = world
+        sample = workload.sample(scenario.checkpoints[2])
+        response = backend.process_frame("u-naive", sample.frames[0],
+                                         now=1.0, scheme="naive")
+        assert response.matched_object == sample.record.name
+        assert response.correct
+        assert response.search_space.size == 105
+
+    def test_acacia_prunes_and_matches(self, world):
+        scenario, db, localization, backend, workload = world
+        cp = scenario.checkpoints[4]
+        sample = self.prime_location(world, cp, user="u-acacia")
+        response = backend.process_frame("u-acacia", sample.frames[0],
+                                         now=1.0, scheme="acacia")
+        assert response.search_space.scheme == "acacia"
+        assert response.search_space.size < 105
+        assert response.matched_object == sample.record.name
+
+    def test_acacia_match_time_much_smaller_than_naive(self, world):
+        scenario, db, localization, backend, workload = world
+        cp = scenario.checkpoints[7]
+        sample = self.prime_location(world, cp, user="u-time")
+        naive = backend.process_frame("u-time", sample.frames[0], 1.0,
+                                      scheme="naive")
+        acacia = backend.process_frame("u-time", sample.frames[1], 1.0,
+                                       scheme="acacia")
+        assert naive.match_time / acacia.match_time > 2.0
+
+    def test_rxpower_between_naive_and_acacia_on_average(self, world):
+        """Mean search-space sizes order acacia < rxpower < naive.
+
+        Individual checkpoints can invert (a one-column rxPower section
+        may be smaller than a 7-cell acacia neighbourhood), so the
+        comparison is over all 24 checkpoints, as in Figure 11."""
+        scenario, db, localization, backend, workload = world
+        rx_sizes, acacia_sizes = [], []
+        for i, cp in enumerate(scenario.checkpoints):
+            user = f"u-avg-{i}"
+            sample = self.prime_location(world, cp, user=user)
+            rx_sizes.append(backend.process_frame(
+                user, sample.frames[0], 1.0,
+                scheme="rxpower").search_space.size)
+            acacia_sizes.append(backend.process_frame(
+                user, sample.frames[1], 1.0,
+                scheme="acacia").search_space.size)
+        assert np.mean(acacia_sizes) < np.mean(rx_sizes) < 105
+
+    def test_unknown_scheme_rejected(self, world):
+        scenario, db, localization, backend, workload = world
+        sample = workload.sample(scenario.checkpoints[0])
+        with pytest.raises(ValueError):
+            backend.process_frame("u", sample.frames[0], 1.0,
+                                  scheme="magic")
+
+    def test_clients_inflate_match_time(self, world):
+        scenario, db, localization, backend, workload = world
+        sample = workload.sample(scenario.checkpoints[0])
+        t1 = backend.process_frame("u", sample.frames[0], 1.0,
+                                   scheme="naive", clients=1).match_time
+        t4 = backend.process_frame("u", sample.frames[1], 1.0,
+                                   scheme="naive", clients=4).match_time
+        assert t4 == pytest.approx(4 * t1, rel=0.01)
+
+    def test_clutter_frame_no_match(self, world):
+        scenario, db, localization, backend, workload = world
+        extractor = FeatureExtractor(np.random.default_rng(0))
+        frame = extractor.clutter_frame(R960x720, n_features=90)
+        response = backend.process_frame("u", frame, 1.0, scheme="naive")
+        assert response.matched_object is None
+        assert response.correct    # correctly found nothing
+
+
+class TestCheckpointWorkload:
+    def test_24_samples_5_frames_each(self, world):
+        scenario, db, localization, backend, workload = world
+        samples = list(workload.samples())
+        assert len(samples) == 24
+        assert all(len(s.frames) == 5 for s in samples)
+
+    def test_frames_carry_ground_truth(self, world):
+        scenario, db, localization, backend, workload = world
+        sample = workload.sample(scenario.checkpoints[0])
+        assert all(f.true_object == sample.record.name
+                   for f in sample.frames)
+
+    def test_nearest_object_is_in_checkpoint_subsection_vicinity(self, world):
+        scenario, db, localization, backend, workload = world
+        for cp in scenario.checkpoints:
+            record = workload.nearest_object(cp)
+            d = np.hypot(record.position[0] - cp.position[0],
+                         record.position[1] - cp.position[1])
+            assert d < 10.0
+
+    def test_observations_cover_multiple_landmarks(self, world):
+        scenario, db, localization, backend, workload = world
+        sample = workload.sample(scenario.checkpoints[12])
+        assert len(sample.observations) >= 3
+
+    def test_resolution_override(self, world):
+        scenario, db, localization, backend, workload = world
+        sample = workload.sample(scenario.checkpoints[0],
+                                 resolution=R720x480)
+        assert sample.frames[0].resolution == R720x480
+
+
+class TestRetailStoreDiscovery:
+    def test_publishers_broadcast_their_sections(self):
+        scenario = store_scenario()
+        sim = Simulator()
+        channel = D2DChannel(sim, rng=np.random.default_rng(0))
+        store = RetailStore(scenario, channel, discovery_period=5.0)
+        store.open(start_staggered=False)
+        assert len(store.publishers) == 7
+
+        ns = ExpressionNamespace()
+        modem = LteDirectModem("cust")
+        heard = []
+        modem.subscribe("all", ns.service_filter("acme-retail"),
+                        heard.append)
+        subscriber = Subscriber("cust", (20.0, 9.0), modem=modem)
+        channel.add_subscriber(subscriber)
+        sim.run(until=6.0)
+        landmarks_heard = {o.landmark for o in heard}
+        assert len(landmarks_heard) >= 3
+        payloads = {o.message.payload for o in heard}
+        assert all(p.startswith("section=") for p in payloads)
+
+    def test_close_stops_publishers(self):
+        scenario = store_scenario()
+        sim = Simulator()
+        channel = D2DChannel(sim, rng=np.random.default_rng(0))
+        store = RetailStore(scenario, channel, discovery_period=1.0)
+        store.open(start_staggered=False)
+        store.close()
+        assert store.publishers == {}
+        sim.run(until=5.0)
+        assert all(not p.enabled for p in channel.publishers.values()) \
+            or channel.publishers == {}

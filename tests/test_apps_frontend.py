@@ -1,0 +1,142 @@
+"""Unit tests for the AR front-end and session mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.apps.ar_frontend import ARFrontend, ARSession, FrameRecord
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+from repro.sim.node import Node, PacketSink
+from repro.sim.packet import Packet
+from repro.vision.camera import R720x480, R1920x1080
+from repro.vision.codec import JPEG90, RAW_GRAY
+from repro.vision.features import FeatureExtractor, ObjectModel
+
+
+class TestARFrontend:
+    def test_frame_bytes_from_codec(self):
+        frontend = ARFrontend(R720x480, codec=JPEG90)
+        assert frontend.frame_bytes == JPEG90.frame_bytes(R720x480)
+
+    def test_scene_complexity_scales_size(self):
+        simple = ARFrontend(R720x480, codec=JPEG90, scene_complexity=0.5)
+        normal = ARFrontend(R720x480, codec=JPEG90)
+        assert simple.frame_bytes == pytest.approx(normal.frame_bytes / 2,
+                                                   rel=0.01)
+
+    def test_raw_codec_zero_encode_time(self):
+        assert ARFrontend(R720x480, codec=RAW_GRAY).encode_time == 0.0
+
+    def test_camera_limits_frame_interval(self):
+        fast = ARFrontend(R720x480)
+        slow = ARFrontend(R1920x1080)
+        assert fast.min_frame_interval < slow.min_frame_interval
+
+
+class _EchoServer(Node):
+    """Minimal server replying to frame uploads with stamped metadata."""
+
+    def __init__(self, sim, name, ip, compute=0.05):
+        super().__init__(sim, name, ip)
+        self.compute = compute
+
+    def on_receive(self, packet, link):
+        reply = Packet(src=self.ip, dst=packet.src, size=1000,
+                       created_at=self.sim.now,
+                       meta={"frame_seq": packet.meta.get("frame_seq"),
+                             "matched": "obj", "decode_time": 0.002,
+                             "surf_time": 0.018,
+                             "match_time": self.compute})
+        port = self.port_for_link(link)
+        self.sim.schedule(self.compute + 0.02, self.send, port, reply)
+
+
+class _FakeUE(Node):
+    """Stands in for a UE: forwards app packets over a link."""
+
+    def __init__(self, sim, name, ip):
+        super().__init__(sim, name, ip)
+        self.on_downlink = None
+
+    def send_app(self, packet):
+        self.send("radio", packet)
+
+    def on_receive(self, packet, link):
+        if self.on_downlink is not None:
+            self.on_downlink(packet)
+
+
+def build_session(n_frames=3, max_frames=None):
+    sim = Simulator()
+    ue = _FakeUE(sim, "ue", ip="10.0.0.1")
+    server = _EchoServer(sim, "server", ip="10.0.0.2")
+    link = Link(sim, "l", bandwidth=50e6, delay=0.005)
+    ue.attach("radio", link)
+    server.attach("net", link)
+    extractor = FeatureExtractor(np.random.default_rng(0))
+    obj = ObjectModel.generate("x", n_features=40)
+    frames = [extractor.frame_of(obj, R720x480) for _ in range(n_frames)]
+    frontend = ARFrontend(R720x480)
+    session = ARSession(sim, ue, server.ip, frontend, iter(frames),
+                        max_frames=max_frames)
+    return sim, session
+
+
+def test_session_processes_all_frames():
+    sim, session = build_session(n_frames=3)
+    session.start()
+    sim.run(until=30.0)
+    assert len(session.records) == 3
+    assert [r.frame_seq for r in session.records] == [1, 2, 3]
+
+
+def test_max_frames_caps_session():
+    sim, session = build_session(n_frames=10, max_frames=4)
+    session.start()
+    sim.run(until=60.0)
+    assert len(session.records) == 4
+
+
+def test_on_complete_callback_fires():
+    done = []
+    sim, session = build_session(n_frames=2)
+    session.on_complete = done.append
+    session.start()
+    sim.run(until=30.0)
+    assert done == [session]
+
+
+def test_total_time_includes_all_stages():
+    sim, session = build_session(n_frames=1)
+    session.start()
+    sim.run(until=30.0)
+    record = session.records[0]
+    # encode + 2 propagation delays + server compute at minimum
+    assert record.total_time > record.encode_time + 0.01 + 0.05
+    assert record.network_time > 0
+    assert record.matched == "obj"
+
+
+def test_closed_loop_respects_camera_rate():
+    sim, session = build_session(n_frames=2)
+    session.start()
+    sim.run(until=30.0)
+    gap = session.records[1].total_time     # second frame started after
+    # consecutive captures cannot be closer than the preview interval
+    assert session.frontend.min_frame_interval <= 1 / 30 + 1e-9
+
+
+def test_mean_breakdown_empty_session():
+    sim, session = build_session(n_frames=0)
+    session.start()
+    sim.run(until=5.0)
+    breakdown = session.mean_breakdown()
+    assert breakdown == {"match": 0.0, "compute": 0.0, "network": 0.0,
+                         "total": 0.0}
+
+
+def test_frame_record_network_time_never_negative():
+    record = FrameRecord(frame_seq=1, matched=None, encode_time=0.5,
+                         decode_time=0.5, surf_time=0.5, match_time=0.5,
+                         total_time=0.1)
+    assert record.network_time == 0.0

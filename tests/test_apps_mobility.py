@@ -1,0 +1,113 @@
+"""Tests for walk-driven mobility and automatic handover."""
+
+import pytest
+
+from repro.apps.mobility import MobilityManager
+from repro.apps.scenario import WalkPath
+from repro.core.network import MobileNetwork, Pinger
+from repro.sim.packet import Packet
+
+#: Two cells at opposite ends of a 100 m corridor.
+ENB_POSITIONS = {"enb0": (0.0, 0.0), "enb1": (100.0, 0.0)}
+
+
+@pytest.fixture()
+def setup():
+    network = MobileNetwork()
+    network.add_enb("enb1")
+    manager = MobilityManager(network, ENB_POSITIONS,
+                              update_interval=1.0, hysteresis=3.0)
+    ue = network.add_ue()       # attaches at enb0
+    return network, manager, ue
+
+
+def walk_across(speed=5.0):
+    return WalkPath([(0.0, 0.0), (100.0, 0.0)], speed=speed)
+
+
+def test_walk_triggers_one_handover(setup):
+    network, manager, ue = setup
+    user = manager.add_mobile(ue, walk_across())
+    network.sim.run(until=25.0)
+    assert len(user.handovers) == 1
+    _, source, target = user.handovers[0]
+    assert (source, target) == ("enb0", "enb1")
+    assert network.mme.context(ue.imsi).enb.name == "enb1"
+
+
+def test_handover_happens_near_midpoint(setup):
+    network, manager, ue = setup
+    user = manager.add_mobile(ue, walk_across(speed=5.0))
+    network.sim.run(until=25.0)
+    ho_time = user.handovers[0][0]
+    position = user.position_at(ho_time)
+    # midpoint 50 m + 1.5 m hysteresis margin, quantised by the 1 s tick
+    assert 50.0 <= position[0] <= 60.0
+
+
+def test_no_pingpong_at_cell_edge(setup):
+    """A user loitering at the midpoint must not bounce between cells."""
+    network, manager, ue = setup
+    loiter = WalkPath([(49.0, 0.0), (52.0, 0.0), (49.0, 0.0),
+                       (52.0, 0.0), (49.0, 0.0)], speed=0.5)
+    user = manager.add_mobile(ue, loiter)
+    network.sim.run(until=loiter.duration + 2.0)
+    assert len(user.handovers) <= 1
+
+
+def test_idle_ue_not_handed_over(setup):
+    network, manager, ue = setup
+    network.control_plane.release_to_idle(ue)
+    user = manager.add_mobile(ue, walk_across())
+    network.sim.run(until=25.0)
+    assert user.handovers == []
+
+
+def test_traffic_survives_the_walk(setup):
+    network, manager, ue = setup
+    manager.add_mobile(ue, walk_across(speed=5.0))
+    pinger = Pinger(network, ue, "internet", interval=0.5)
+    pinger.run(count=40)
+    network.sim.run(until=25.0)
+    # the handover may cost at most a ping or two in flight
+    assert len(pinger.rtts) >= 38
+
+
+def test_customer_position_follows_walk(setup):
+    network, manager, ue = setup
+
+    class FakeCustomer:
+        def __init__(self):
+            self.positions = []
+
+        def move_to(self, position):
+            self.positions.append(position)
+
+    customer = FakeCustomer()
+    manager.add_mobile(ue, walk_across(speed=10.0), customer=customer)
+    network.sim.run(until=12.0)
+    assert len(customer.positions) >= 10
+    xs = [p[0] for p in customer.positions]
+    assert xs == sorted(xs)
+    assert xs[-1] == pytest.approx(100.0, abs=1.0)
+
+
+def test_remove_mobile_stops_updates(setup):
+    network, manager, ue = setup
+    user = manager.add_mobile(ue, walk_across(speed=1.0))
+    network.sim.run(until=3.0)
+    manager.remove_mobile(ue.name)
+    network.sim.run(until=30.0)
+    assert user.handovers == []     # never reached the midpoint
+
+
+def test_unknown_enb_position_rejected(setup):
+    network, manager, ue = setup
+    with pytest.raises(ValueError):
+        MobilityManager(network, {"enb9": (0.0, 0.0)})
+
+
+def test_invalid_interval_rejected(setup):
+    network, manager, ue = setup
+    with pytest.raises(ValueError):
+        MobilityManager(network, ENB_POSITIONS, update_interval=0.0)

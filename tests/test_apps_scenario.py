@@ -1,0 +1,125 @@
+"""Tests for the store floor geometry and walk paths."""
+
+import math
+
+import pytest
+
+from repro.apps.scenario import (FLOOR_HEIGHT, FLOOR_WIDTH, StoreScenario,
+                                 WalkPath, figure6_scenario, store_scenario)
+
+
+@pytest.fixture()
+def scenario():
+    return store_scenario()
+
+
+class TestStoreScenario:
+    def test_paper_dimensions(self, scenario):
+        """Figure 9(a): 5 sections, 21 sub-sections, 7 landmarks,
+        24 checkpoints."""
+        assert scenario.n_subsections == 21
+        assert len(scenario.sections) == 5
+        assert len(scenario.landmarks) == 7
+        assert len(scenario.checkpoints) == 24
+
+    def test_every_subsection_has_a_section(self, scenario):
+        for subsection in range(scenario.n_subsections):
+            assert scenario.section_of_subsection(subsection) in \
+                scenario.sections
+
+    def test_subsection_at_and_center_consistent(self, scenario):
+        for subsection in range(scenario.n_subsections):
+            center = scenario.subsection_center(subsection)
+            assert scenario.subsection_at(center) == subsection
+
+    def test_positions_clamped_to_floor(self, scenario):
+        assert scenario.subsection_at((-5.0, -5.0)) == 0
+        assert scenario.subsection_at((1000.0, 1000.0)) == 20
+
+    def test_invalid_subsection_center(self, scenario):
+        with pytest.raises(ValueError):
+            scenario.subsection_center(21)
+
+    def test_checkpoints_inside_floor(self, scenario):
+        for cp in scenario.checkpoints:
+            assert 0 <= cp.position[0] <= FLOOR_WIDTH
+            assert 0 <= cp.position[1] <= FLOOR_HEIGHT
+            assert cp.subsection == scenario.subsection_at(cp.position)
+
+    def test_checkpoints_cover_all_sections(self, scenario):
+        covered = {scenario.section_of_subsection(cp.subsection)
+                   for cp in scenario.checkpoints}
+        assert covered == set(scenario.sections)
+
+    def test_landmarks_spread_across_sections(self, scenario):
+        sections = {scenario.section_of_landmark(name)
+                    for name in scenario.landmarks}
+        assert len(sections) >= 4
+
+    def test_subsections_near_prunes_to_a_handful_of_cells(self, scenario):
+        """Section 7.3 reports 2-6 of 21 sub-sections; our robust
+        rectangle-distance rule lands in 3-8 at the checkpoints."""
+        counts = [len(scenario.subsections_near(cp.position))
+                  for cp in scenario.checkpoints]
+        assert all(1 <= c <= 8 for c in counts)     # 1 in floor corners
+        assert 2.0 <= sum(counts) / len(counts) <= 6.0
+
+    def test_subsections_near_includes_own_cell(self, scenario):
+        for cp in scenario.checkpoints:
+            cells = scenario.subsections_near(cp.position)
+            assert cp.subsection in cells
+
+    def test_subsections_near_guarantees_radius_coverage(self, scenario):
+        """Every object within the radius of an estimate stays in the
+        search space: the cell containing any point at distance < r is
+        selected."""
+        import math
+        position = (15.0, 9.0)
+        radius = 4.5
+        cells = scenario.subsections_near(position, radius=radius)
+        for angle in range(0, 360, 30):
+            point = (position[0] + (radius - 0.1) * math.cos(
+                         math.radians(angle)),
+                     position[1] + (radius - 0.1) * math.sin(
+                         math.radians(angle)))
+            assert scenario.subsection_at(point) in cells
+
+    def test_subsections_near_never_empty(self, scenario):
+        cells = scenario.subsections_near((0.1, 0.1), radius=0.0)
+        assert cells == [0]
+
+
+class TestWalkPath:
+    def test_endpoints(self):
+        walk = WalkPath([(0.0, 0.0), (10.0, 0.0)], speed=2.0)
+        assert walk.position_at(0.0) == (0.0, 0.0)
+        assert walk.position_at(5.0) == (10.0, 0.0)
+        assert walk.position_at(100.0) == (10.0, 0.0)
+
+    def test_interpolation(self):
+        walk = WalkPath([(0.0, 0.0), (10.0, 0.0), (10.0, 10.0)], speed=1.0)
+        assert walk.position_at(5.0) == (5.0, 0.0)
+        x, y = walk.position_at(15.0)
+        assert x == pytest.approx(10.0)
+        assert y == pytest.approx(5.0)
+
+    def test_duration(self):
+        walk = WalkPath([(0.0, 0.0), (30.0, 40.0)], speed=5.0)
+        assert walk.duration == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WalkPath([(0.0, 0.0)])
+        with pytest.raises(ValueError):
+            WalkPath([(0.0, 0.0), (1.0, 0.0)], speed=0.0)
+
+
+def test_figure6_scenario_shape():
+    scenario, walk = figure6_scenario()
+    assert len(scenario.landmarks) == 3
+    # the paper's Figure 6 trace spans ~550 seconds
+    assert 400 <= walk.duration <= 700
+    # the walk starts near lm1 and ends near lm3
+    start, end = walk.position_at(0), walk.position_at(walk.duration)
+    assert math.dist(start, scenario.landmarks["lm1"]) < 5
+    assert math.dist(end, scenario.landmarks["lm3"]) < 5

@@ -1,0 +1,111 @@
+"""Tests for the VR split-rendering CI application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.vr import VRClient, VRRenderServer
+from repro.core.mrs import MecRegistrationServer
+from repro.core.network import MobileNetwork
+from repro.core.service import CIService
+
+
+def build(edge=True, tick_hz=60.0, max_poses=60, tile_bytes=20_000):
+    network = MobileNetwork()
+    server = VRRenderServer(network.sim, "vr-render",
+                            tile_bytes=tile_bytes)
+    if edge:
+        network.add_mec_site("mec")
+        network.add_server("vr-render", site_name="mec", node=server)
+        mrs = MecRegistrationServer(network)
+        mrs.register_service(CIService("vr", "vr-arena"))
+        mrs.deploy_instance("vr", "vr-render", "mec")
+        ue = network.add_ue()
+        mrs.request_connectivity(ue, "vr")
+    else:
+        network.add_server("vr-render", site_name="central", node=server)
+        ue = network.add_ue()
+        network.route_via_default_bearer(ue, "vr-render")
+    client = VRClient(network.sim, ue, server.ip, tick_hz=tick_hz,
+                      max_poses=max_poses)
+    return network, client, server
+
+
+def test_edge_vr_meets_20ms_budget_mostly():
+    """Pose -> render -> tile at the edge lands in the low tens of ms,
+    the CI latency class the paper targets."""
+    network, client, server = build(edge=True)
+    client.start()
+    network.sim.run(until=5.0)
+    assert len(client.records) == 60
+    median = float(np.median(client.motion_to_photon()))
+    assert median < 0.040
+    assert client.fraction_within(0.050) > 0.95
+
+
+def test_cloud_vr_misses_the_budget():
+    network, client, server = build(edge=False)
+    client.start()
+    network.sim.run(until=5.0)
+    assert client.records
+    median = float(np.median(client.motion_to_photon()))
+    # ~70 ms of core RTT alone blows the VR budget
+    assert median > 0.08
+    assert client.fraction_within(0.050) == 0.0
+
+
+def test_open_loop_keeps_tick_rate():
+    network, client, server = build(edge=True, tick_hz=60.0,
+                                    max_poses=120)
+    client.start()
+    network.sim.run(until=2.5)
+    # 120 poses at 60 Hz = exactly 2 seconds of motion
+    assert client.poses_sent == 120
+    assert server.poses_rendered == 120
+
+
+def test_gpu_serialisation_under_overload():
+    """Ticks arriving faster than the render time queue up at the GPU
+    and motion-to-photon grows steadily (the overload signature)."""
+    network, client, server = build(edge=True, tick_hz=240.0,
+                                    max_poses=200)
+    server.render_time = 0.012          # 83 fps GPU vs 240 Hz ticks
+    client.start()
+    network.sim.run(until=4.0)
+    samples = client.motion_to_photon()
+    assert len(samples) > 100
+    # latency at the end of the run is far above the start
+    assert np.mean(samples[-20:]) > 3 * np.mean(samples[:20])
+
+
+def test_stop_halts_poses():
+    network, client, server = build(edge=True, max_poses=None)
+    client.start()
+    network.sim.run(until=0.5)
+    client.stop()
+    sent = client.poses_sent
+    network.sim.run(until=2.0)
+    assert client.poses_sent == sent
+
+
+def test_big_tiles_are_downlink_limited():
+    """Tile size pushes motion-to-photon up through the radio downlink
+    serialization (12 Mbps): VR needs both latency and bandwidth."""
+    network_small, client_small, _ = build(edge=True, tile_bytes=8_000,
+                                           max_poses=40, tick_hz=30.0)
+    client_small.start()
+    network_small.sim.run(until=3.0)
+    network_big, client_big, _ = build(edge=True, tile_bytes=60_000,
+                                       max_poses=40, tick_hz=30.0)
+    client_big.start()
+    network_big.sim.run(until=5.0)
+    small = float(np.median(client_small.motion_to_photon()))
+    big = float(np.median(client_big.motion_to_photon()))
+    # 52 KB more tile over the 30 Mbps downlink ~ 14 ms of serialization
+    assert big > small + 0.010
+
+
+def test_invalid_tick_rate():
+    network = MobileNetwork()
+    ue = network.add_ue()
+    with pytest.raises(ValueError):
+        VRClient(network.sim, ue, "1.2.3.4", tick_hz=0.0)

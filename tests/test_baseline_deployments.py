@@ -1,0 +1,113 @@
+"""End-to-end tests of the CLOUD / MEC / ACACIA deployments."""
+
+import numpy as np
+import pytest
+
+from repro.apps.retail import build_retail_database
+from repro.apps.scenario import store_scenario
+from repro.apps.workload import CheckpointWorkload
+from repro.baselines import DEPLOYMENT_KINDS, build_deployment
+from repro.vision.camera import R720x480
+
+
+@pytest.fixture(scope="module")
+def scenario_db():
+    scenario = store_scenario()
+    db = build_retail_database(scenario, n_features=60)
+    return scenario, db
+
+
+def run_session(deployment, scenario, db, n_frames=4,
+                checkpoint_index=4):
+    """Drive one AR session at a checkpoint; returns the session."""
+    scenario_cp = scenario.checkpoints[checkpoint_index]
+    workload = CheckpointWorkload(scenario, db, seed=9,
+                                  frames_per_object=n_frames,
+                                  resolution=R720x480)
+    sample = workload.sample(scenario_cp)
+
+    if deployment.kind == "acacia":
+        # customer walks to the checkpoint, opens the app with a
+        # matching interest, and discovery creates the bearer
+        section = scenario.section_of_subsection(scenario_cp.subsection)
+        deployment.customer.move_to(scenario_cp.position)
+        deployment.customer.open([section])
+        deployment.network.sim.run(until=12.0)   # one discovery period
+        assert deployment.customer.session is not None, \
+            "discovery did not trigger MEC connectivity"
+    else:
+        # the baselines have no localisation; naive search needs none
+        pass
+
+    session = deployment.new_session(iter(sample.frames),
+                                     resolution=R720x480,
+                                     max_frames=n_frames)
+    session.start(at=deployment.network.sim.now)
+    deployment.network.sim.run(until=deployment.network.sim.now + 60.0)
+    return session, sample
+
+
+def test_unknown_kind_rejected(scenario_db):
+    scenario, db = scenario_db
+    with pytest.raises(ValueError):
+        build_deployment("edge", db, scenario)
+
+
+@pytest.mark.parametrize("kind", DEPLOYMENT_KINDS)
+def test_deployment_completes_frames(scenario_db, kind):
+    scenario, db = scenario_db
+    deployment = build_deployment(kind, db, scenario, seed=1)
+    session, sample = run_session(deployment, scenario, db)
+    assert len(session.records) == 4
+    # every frame matched the right object
+    assert all(r.matched == sample.record.name for r in session.records)
+
+
+def test_cloud_network_latency_dominates(scenario_db):
+    scenario, db = scenario_db
+    cloud = build_deployment("cloud", db, scenario, seed=2)
+    session, _ = run_session(cloud, scenario, db)
+    breakdown = session.mean_breakdown()
+    # ~70 ms RTT + ~50 ms upload of a ~86 KB frame at 12 Mbps
+    assert breakdown["network"] > 0.08
+    assert breakdown["total"] > breakdown["match"]
+
+
+def test_mec_cuts_network_latency(scenario_db):
+    scenario, db = scenario_db
+    cloud = build_deployment("cloud", db, scenario, seed=3)
+    mec = build_deployment("mec", db, scenario, seed=3)
+    s_cloud, _ = run_session(cloud, scenario, db)
+    s_mec, _ = run_session(mec, scenario, db)
+    assert s_mec.mean_breakdown()["network"] < \
+        0.7 * s_cloud.mean_breakdown()["network"]
+    # but matching is unchanged: both search the whole floor
+    assert s_mec.mean_breakdown()["match"] == pytest.approx(
+        s_cloud.mean_breakdown()["match"], rel=0.05)
+
+
+def test_acacia_cuts_both_network_and_match(scenario_db):
+    scenario, db = scenario_db
+    cloud = build_deployment("cloud", db, scenario, seed=4)
+    acacia = build_deployment("acacia", db, scenario, seed=4)
+    s_cloud, _ = run_session(cloud, scenario, db)
+    s_acacia, _ = run_session(acacia, scenario, db)
+    b_cloud = s_cloud.mean_breakdown()
+    b_acacia = s_acacia.mean_breakdown()
+    assert b_acacia["network"] < 0.6 * b_cloud["network"]
+    assert b_acacia["match"] < 0.4 * b_cloud["match"]
+    # the headline: a large end-to-end reduction
+    assert b_acacia["total"] < 0.5 * b_cloud["total"]
+
+
+def test_acacia_uses_dedicated_bearer_for_frames(scenario_db):
+    scenario, db = scenario_db
+    acacia = build_deployment("acacia", db, scenario, seed=5)
+    session, _ = run_session(acacia, scenario, db)
+    central = acacia.network.sgwc.site("central")
+    mec = acacia.network.sgwc.site("mec")
+    assert mec.sgw_u.rx_count > 0
+    # frame traffic (big packets) never crossed the central SGW-U
+    big_central = [r for r in central.sgw_u.table
+                   if r.bytes > 50_000]
+    assert big_central == []

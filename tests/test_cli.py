@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import DEMOS, EXPERIMENTS, build_parser, main
+
+
+def test_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "ACACIA" in out
+    assert "experiments" in out
+
+
+def test_experiments_lists_all(capsys):
+    assert main(["experiments"]) == 0
+    out = capsys.readouterr().out
+    for key in EXPERIMENTS:
+        assert key in out
+
+
+def test_overhead_prints_calibrated_totals(capsys):
+    assert main(["overhead"]) == 0
+    out = capsys.readouterr().out
+    assert "15 messages" in out
+    assert "2914 bytes" in out
+    assert "2.58 MB" in out
+
+
+def test_unknown_experiment_fails_cleanly(capsys):
+    assert main(["run-experiment", "fig99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_unknown_demo_fails_cleanly(capsys):
+    assert main(["demo", "nope"]) == 2
+    assert "unknown demo" in capsys.readouterr().err
+
+
+def test_every_experiment_maps_to_an_existing_bench():
+    from pathlib import Path
+    bench_dir = Path(__file__).parent.parent / "benchmarks"
+    for key, (filename, _) in EXPERIMENTS.items():
+        assert (bench_dir / filename).exists(), f"{key} -> {filename}"
+
+
+def test_every_demo_maps_to_an_existing_example():
+    from pathlib import Path
+    example_dir = Path(__file__).parent.parent / "examples"
+    for name, script in DEMOS.items():
+        assert (example_dir / script).exists(), f"{name} -> {script}"
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

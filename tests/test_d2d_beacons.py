@@ -1,0 +1,161 @@
+"""Tests for alternative proximity technologies (paper Section 8)."""
+
+import numpy as np
+import pytest
+
+from repro.core.device_manager import AcaciaDeviceManager, ServiceInfo
+from repro.core.mrs import MecRegistrationServer
+from repro.core.network import MobileNetwork
+from repro.core.service import CIService
+from repro.d2d.beacons import (IBEACON, LTE_DIRECT, TECHNOLOGIES,
+                               WIFI_AWARE, BeaconScanner)
+from repro.d2d.channel import D2DChannel, Publisher, Subscriber
+from repro.d2d.expressions import ExpressionNamespace
+from repro.d2d.messages import DiscoveryMessage
+from repro.d2d.modem import LteDirectModem
+from repro.sim.engine import Simulator
+
+NS = ExpressionNamespace()
+
+
+def make_message(offering="laptops"):
+    return DiscoveryMessage(publisher_id="lm1", service_name="acme-retail",
+                            code=NS.code("acme-retail", offering),
+                            payload=f"section={offering}")
+
+
+class TestTechnologyProfiles:
+    def test_three_technologies_registered(self):
+        assert set(TECHNOLOGIES) == {"lte-direct", "ibeacon", "wifi-aware"}
+
+    def test_range_ordering(self):
+        """LTE-direct's licensed-band power gives it the longest range."""
+        assert LTE_DIRECT.radio.max_range() > WIFI_AWARE.radio.max_range() \
+            > IBEACON.radio.max_range()
+
+    def test_ibeacon_is_short_range(self):
+        assert IBEACON.radio.max_range() < 25.0
+
+    def test_only_lte_direct_filters_in_modem(self):
+        assert LTE_DIRECT.modem_filtering
+        assert not IBEACON.modem_filtering
+        assert not WIFI_AWARE.modem_filtering
+
+    def test_beacons_advertise_faster(self):
+        assert IBEACON.advertise_period < WIFI_AWARE.advertise_period \
+            < LTE_DIRECT.advertise_period
+
+
+class TestBeaconScanner:
+    def test_same_api_as_modem_delivers_matches(self):
+        scanner = BeaconScanner("phone")
+        seen = []
+        scanner.subscribe("x", NS.offering_filter("acme-retail", "laptops"),
+                          seen.append)
+        scanner.receive_broadcast(make_message(), -60.0, 20.0, 1.0)
+        assert len(seen) == 1
+
+    def test_host_wakeups_count_every_broadcast(self):
+        """The scalability difference: host-side filtering wakes the app
+        processor on every decodable broadcast, matching or not."""
+        scanner = BeaconScanner("phone")
+        scanner.subscribe("x", NS.offering_filter("acme-retail", "laptops"),
+                          lambda o: None)
+        scanner.receive_broadcast(make_message("laptops"), -60, 20, 1.0)
+        scanner.receive_broadcast(make_message("toys"), -60, 20, 2.0)
+        scanner.receive_broadcast(make_message("shoes"), -60, 20, 3.0)
+        assert scanner.host_wakeups == 3
+        assert scanner.delivered == 1
+
+        modem = LteDirectModem("phone")
+        modem.subscribe("x", NS.offering_filter("acme-retail", "laptops"),
+                        lambda o: None)
+        modem.receive_broadcast(make_message("laptops"), -60, 20, 1.0)
+        modem.receive_broadcast(make_message("toys"), -60, 20, 2.0)
+        modem.receive_broadcast(make_message("shoes"), -60, 20, 3.0)
+        assert modem.host_wakeups == 1       # only the match
+
+    def test_unsubscribe_and_clear(self):
+        scanner = BeaconScanner("phone")
+        scanner.subscribe("x", NS.service_filter("acme-retail"),
+                          lambda o: None)
+        assert scanner.subscription_count == 1
+        scanner.unsubscribe("x")
+        assert scanner.subscription_count == 0
+
+    def test_scanner_works_in_channel(self):
+        """A Subscriber can carry a BeaconScanner instead of a modem."""
+        sim = Simulator()
+        channel = D2DChannel(sim, IBEACON.radio,
+                             rng=np.random.default_rng(0))
+        publisher = Publisher("beacon-1", (0.0, 0.0), make_message(),
+                              period=IBEACON.advertise_period)
+        scanner = BeaconScanner("phone")
+        seen = []
+        scanner.subscribe("x", NS.offering_filter("acme-retail", "laptops"),
+                          seen.append)
+        subscriber = Subscriber("phone", (5.0, 0.0), modem=scanner)
+        channel.add_publisher(publisher, start=0.0)
+        channel.add_subscriber(subscriber)
+        sim.run(until=5.0)
+        assert len(seen) >= 8        # 0.5 s advertising period
+
+
+class TestLaunchTrigger:
+    """Section 8: ACACIA without proximity discovery -- app launch as
+    the connectivity trigger."""
+
+    def build(self):
+        network = MobileNetwork()
+        network.add_mec_site("mec")
+        network.add_server("ar-server", site_name="mec", echo=True)
+        mrs = MecRegistrationServer(network)
+        mrs.register_service(CIService("ar-retail", "acme-retail"))
+        mrs.deploy_instance("ar-retail", "ar-server", "mec")
+        ue = network.add_ue()
+        return network, mrs, ue, AcaciaDeviceManager(ue, mrs)
+
+    def test_connect_on_register_creates_bearer_immediately(self):
+        network, mrs, ue, manager = self.build()
+        sessions = []
+        manager.register_app(
+            ServiceInfo("app", "ar-retail", "acme-retail", []),
+            on_discovery=lambda o: None, on_connected=sessions.append,
+            connect_on_register=True)
+        assert len(sessions) == 1
+        assert mrs.session_for(ue, "ar-retail") is not None
+        assert len(ue.bearers) == 2
+
+    def test_discovery_after_launch_trigger_does_not_reconnect(self):
+        network, mrs, ue, manager = self.build()
+        sessions = []
+        manager.register_app(
+            ServiceInfo("app", "ar-retail", "acme-retail", ["laptops"]),
+            on_discovery=lambda o: None, on_connected=sessions.append,
+            connect_on_register=True)
+        manager.modem.receive_broadcast(make_message("laptops"),
+                                        -60, 20, 1.0)
+        assert len(sessions) == 1
+
+    def test_unregister_still_releases(self):
+        network, mrs, ue, manager = self.build()
+        manager.register_app(
+            ServiceInfo("app", "ar-retail", "acme-retail", []),
+            on_discovery=lambda o: None, connect_on_register=True)
+        manager.unregister_app("app")
+        assert mrs.session_for(ue, "ar-retail") is None
+
+    def test_device_manager_over_beacon_scanner(self):
+        """The device manager is technology-agnostic: swap the modem
+        for a host-side beacon scanner and discovery still triggers
+        connectivity."""
+        network, mrs, ue, _ = self.build()
+        scanner = BeaconScanner(ue.name)
+        manager = AcaciaDeviceManager(ue, mrs, modem=scanner)
+        sessions = []
+        manager.register_app(
+            ServiceInfo("app", "ar-retail", "acme-retail", ["laptops"]),
+            on_discovery=lambda o: None, on_connected=sessions.append)
+        scanner.receive_broadcast(make_message("laptops"), -60, 20, 1.0)
+        assert len(sessions) == 1
+        assert mrs.session_for(ue, "ar-retail") is not None

@@ -1,0 +1,163 @@
+"""Tests for modem filtering, resources and the broadcast channel."""
+
+import numpy as np
+import pytest
+
+from repro.d2d.channel import D2DChannel, Publisher, Subscriber
+from repro.d2d.expressions import ExpressionNamespace
+from repro.d2d.messages import DiscoveryMessage, Observation
+from repro.d2d.modem import LteDirectModem
+from repro.d2d.radio import RadioModel
+from repro.d2d.resources import DiscoveryResourceConfig
+from repro.sim.engine import Simulator
+
+NS = ExpressionNamespace()
+
+
+def make_message(offering="laptops", publisher="lm1"):
+    return DiscoveryMessage(
+        publisher_id=publisher, service_name="acme-retail",
+        code=NS.code("acme-retail", offering),
+        payload=f"section={offering}")
+
+
+class TestModem:
+    def test_matching_message_delivered(self):
+        modem = LteDirectModem("ue1")
+        seen = []
+        modem.subscribe("laptops", NS.offering_filter("acme-retail",
+                                                      "laptops"),
+                        seen.append)
+        result = modem.receive_broadcast(make_message(), -70.0, 20.0, 1.0)
+        assert isinstance(result, Observation)
+        assert len(seen) == 1
+        assert seen[0].rx_power == -70.0
+        assert seen[0].landmark == "lm1"
+
+    def test_non_matching_filtered_in_modem(self):
+        modem = LteDirectModem("ue1")
+        seen = []
+        modem.subscribe("toys", NS.offering_filter("acme-retail", "toys"),
+                        seen.append)
+        result = modem.receive_broadcast(make_message("laptops"),
+                                         -70.0, 20.0, 1.0)
+        assert result is None
+        assert seen == []
+        assert modem.filtered_out == 1
+        assert modem.delivered == 0
+
+    def test_multiple_filters_single_delivery(self):
+        modem = LteDirectModem("ue1")
+        a, b = [], []
+        modem.subscribe("exact", NS.offering_filter("acme-retail",
+                                                    "laptops"), a.append)
+        modem.subscribe("service", NS.service_filter("acme-retail"),
+                        b.append)
+        modem.receive_broadcast(make_message(), -70.0, 20.0, 1.0)
+        assert len(a) == 1 and len(b) == 1
+        assert modem.delivered == 1   # one observation, two callbacks
+
+    def test_unsubscribe(self):
+        modem = LteDirectModem("ue1")
+        seen = []
+        modem.subscribe("x", NS.service_filter("acme-retail"), seen.append)
+        modem.unsubscribe("x")
+        modem.receive_broadcast(make_message(), -70.0, 20.0, 1.0)
+        assert seen == []
+
+    def test_payload_size_limit(self):
+        with pytest.raises(ValueError):
+            DiscoveryMessage("p", "s", NS.code("s"), payload="x" * 40)
+
+
+class TestResources:
+    def test_overhead_below_one_percent(self):
+        """Section 3: discovery uses <1% of uplink resources."""
+        cfg = DiscoveryResourceConfig()
+        assert cfg.uplink_overhead_fraction() < 0.01
+
+    def test_shorter_period_costs_more(self):
+        slow = DiscoveryResourceConfig(period=10.0)
+        fast = DiscoveryResourceConfig(period=5.0)
+        assert fast.uplink_overhead_fraction() == \
+            pytest.approx(2 * slow.uplink_overhead_fraction())
+
+    def test_scales_to_hundreds_of_publishers(self):
+        """Section 3: modem handling scales to hundreds of devices."""
+        cfg = DiscoveryResourceConfig()
+        assert cfg.supports_publishers(800)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            DiscoveryResourceConfig(period=0)
+        with pytest.raises(ValueError):
+            DiscoveryResourceConfig(pool_subframes=0)
+
+
+class TestChannel:
+    def build(self, distance=5.0, period=10.0):
+        sim = Simulator()
+        channel = D2DChannel(sim, RadioModel(),
+                             rng=np.random.default_rng(1))
+        publisher = Publisher("lm1", (0.0, 0.0), make_message(),
+                              period=period)
+        subscriber = Subscriber("ue1", (distance, 0.0))
+        seen = []
+        subscriber.modem.subscribe(
+            "laptops", NS.offering_filter("acme-retail", "laptops"),
+            seen.append)
+        channel.add_publisher(publisher, start=0.0)
+        channel.add_subscriber(subscriber)
+        return sim, channel, publisher, subscriber, seen
+
+    def test_periodic_broadcasts_received(self):
+        sim, channel, publisher, _, seen = self.build(period=10.0)
+        sim.run(until=35.0)
+        assert publisher.broadcasts_sent == 4   # t = 0, 10, 20, 30
+        assert len(seen) == 4
+
+    def test_out_of_range_subscriber_hears_nothing(self):
+        sim, channel, _, subscriber, seen = self.build(distance=5000.0)
+        sim.run(until=25.0)
+        assert seen == []
+        assert channel.undecodable > 0
+
+    def test_rx_power_decreases_with_distance(self):
+        sim, channel, _, subscriber, seen = self.build(distance=2.0)
+        sim.run(until=55.0)
+        near = np.mean([o.rx_power for o in seen])
+        seen.clear()
+        subscriber.move_to((40.0, 0.0))
+        sim.run(until=115.0)
+        far = np.mean([o.rx_power for o in seen])
+        assert near > far + 20
+
+    def test_moving_subscriber_callable_position(self):
+        sim = Simulator()
+        channel = D2DChannel(sim, rng=np.random.default_rng(2))
+        publisher = Publisher("lm1", (0.0, 0.0), make_message(), period=1.0)
+        positions = iter([(float(i), 0.0) for i in range(1, 100)])
+        subscriber = Subscriber("ue1", lambda: next(positions))
+        seen = []
+        subscriber.modem.subscribe(
+            "laptops", NS.offering_filter("acme-retail", "laptops"),
+            seen.append)
+        channel.add_publisher(publisher, start=0.0)
+        channel.add_subscriber(subscriber)
+        sim.run(until=10.5)
+        assert len(seen) >= 5
+
+    def test_duplicate_registration_rejected(self):
+        sim, channel, publisher, subscriber, _ = self.build()
+        with pytest.raises(ValueError):
+            channel.add_publisher(Publisher("lm1", (0, 0), make_message()))
+        with pytest.raises(ValueError):
+            channel.add_subscriber(Subscriber("ue1", (0, 0)))
+
+    def test_remove_publisher_stops_broadcasts(self):
+        sim, channel, publisher, _, seen = self.build(period=1.0)
+        sim.run(until=2.5)
+        count = len(seen)
+        channel.remove_publisher("lm1")
+        sim.run(until=10.0)
+        assert len(seen) == count

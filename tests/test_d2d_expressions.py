@@ -1,0 +1,66 @@
+"""Unit tests for LTE-direct expression codes and filters."""
+
+import pytest
+
+from repro.d2d.expressions import (CODE_BITS, ExpressionCode,
+                                   ExpressionFilter, ExpressionNamespace)
+
+
+@pytest.fixture()
+def ns():
+    return ExpressionNamespace()
+
+
+def test_codes_are_deterministic(ns):
+    a = ns.code("acme-retail", "laptops")
+    b = ns.code("acme-retail", "laptops")
+    assert a == b
+
+
+def test_different_offerings_differ(ns):
+    assert ns.code("acme-retail", "laptops") != ns.code("acme-retail", "toys")
+
+
+def test_different_services_differ_in_prefix(ns):
+    a = ns.code("acme-retail", "laptops")
+    b = ns.code("mega-mart", "laptops")
+    assert a.service_prefix != b.service_prefix
+
+
+def test_same_service_shares_prefix(ns):
+    a = ns.code("acme-retail", "laptops")
+    b = ns.code("acme-retail", "toys")
+    assert a.service_prefix == b.service_prefix
+    assert a.suffix != b.suffix
+
+
+def test_offering_filter_is_exact(ns):
+    flt = ns.offering_filter("acme-retail", "laptops")
+    assert flt.matches(ns.code("acme-retail", "laptops"))
+    assert not flt.matches(ns.code("acme-retail", "toys"))
+    assert not flt.matches(ns.code("mega-mart", "laptops"))
+
+
+def test_service_filter_matches_any_offering(ns):
+    flt = ns.service_filter("acme-retail")
+    assert flt.matches(ns.code("acme-retail", "laptops"))
+    assert flt.matches(ns.code("acme-retail", "toys"))
+    assert not flt.matches(ns.code("mega-mart", "laptops"))
+
+
+def test_code_width_bounds():
+    with pytest.raises(ValueError):
+        ExpressionCode(-1)
+    with pytest.raises(ValueError):
+        ExpressionCode(1 << CODE_BITS)
+    ExpressionCode((1 << CODE_BITS) - 1)    # max value is fine
+
+
+def test_manual_mask_semantics():
+    flt = ExpressionFilter(code=0b1010, mask=0b1100)
+    assert flt.matches(ExpressionCode(0b1011))   # low bits ignored
+    assert not flt.matches(ExpressionCode(0b0110))
+
+
+def test_str_is_hex(ns):
+    assert str(ns.code("s", "o")).startswith("0x")

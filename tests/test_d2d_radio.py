@@ -1,0 +1,63 @@
+"""Unit tests for the D2D radio model."""
+
+import numpy as np
+import pytest
+
+from repro.d2d.radio import SNR_SPAN_DB, RadioModel
+
+
+@pytest.fixture()
+def radio():
+    return RadioModel()
+
+
+def test_power_decreases_with_distance(radio):
+    powers = [radio.mean_rx_power(d) for d in (1, 5, 10, 30, 60)]
+    assert powers == sorted(powers, reverse=True)
+
+
+def test_rx_power_span_covers_50db(radio):
+    """Figure 6(c): rxPower spans roughly 50 dB over a store walk."""
+    near = radio.mean_rx_power(1.0)
+    far = radio.mean_rx_power(60.0)
+    assert 45 <= near - far <= 60
+
+
+def test_snr_clamped_to_25db_span(radio):
+    assert radio.snr(-20.0) == SNR_SPAN_DB
+    assert radio.snr(-200.0) == 0.0
+    assert 0 < radio.snr(-85.0) < SNR_SPAN_DB
+
+
+def test_snr_saturates_at_close_range(radio):
+    """The paper's argument: SNR has poor dynamic range for ranging."""
+    snr_1m = radio.snr(radio.mean_rx_power(1.0))
+    snr_4m = radio.snr(radio.mean_rx_power(4.0))
+    assert snr_1m == snr_4m == SNR_SPAN_DB
+
+
+def test_near_field_clamp(radio):
+    assert radio.mean_rx_power(0.0) == radio.mean_rx_power(radio.min_distance)
+
+
+def test_shadowing_statistics(radio):
+    rng = np.random.default_rng(3)
+    samples = np.array([radio.rx_power(10.0, rng) for _ in range(4000)])
+    assert samples.mean() == pytest.approx(radio.mean_rx_power(10.0), abs=0.3)
+    assert samples.std() == pytest.approx(radio.shadowing_sigma, rel=0.1)
+
+
+def test_decodable_threshold(radio):
+    assert radio.decodable(radio.sensitivity)
+    assert not radio.decodable(radio.sensitivity - 0.1)
+
+
+def test_max_range_consistent(radio):
+    r = radio.max_range()
+    assert radio.mean_rx_power(r) == pytest.approx(radio.sensitivity, abs=0.1)
+
+
+def test_distance_inversion_roundtrip(radio):
+    for d in (1.0, 5.0, 20.0, 50.0):
+        assert radio.distance_from_power(
+            radio.mean_rx_power(d)) == pytest.approx(d, rel=1e-6)

@@ -1,0 +1,81 @@
+"""Reproducibility tests: identical seeds give identical runs."""
+
+import numpy as np
+
+from repro.apps.retail import build_retail_database
+from repro.apps.scenario import store_scenario
+from repro.baselines import build_deployment
+from repro.apps.workload import CheckpointWorkload
+from repro.core.config import NetworkConfig
+from repro.core.network import MobileNetwork, Pinger
+from repro.vision.camera import R720x480
+
+
+def run_pings(seed):
+    network = MobileNetwork(NetworkConfig(seed=seed))
+    ue = network.add_ue()
+    pinger = Pinger(network, ue, "internet", interval=0.2)
+    pinger.run(count=15)
+    network.sim.run(until=10.0)
+    return pinger.rtts
+
+
+def test_same_seed_same_rtts():
+    assert run_pings(5) == run_pings(5)
+
+
+def test_different_seed_different_jitter():
+    assert run_pings(5) != run_pings(6)
+
+
+def test_workload_is_deterministic():
+    scenario = store_scenario()
+    db = build_retail_database(scenario, n_features=40)
+    a = CheckpointWorkload(scenario, db, seed=3).sample(
+        scenario.checkpoints[2])
+    b = CheckpointWorkload(scenario, db, seed=3).sample(
+        scenario.checkpoints[2])
+    assert a.record.name == b.record.name
+    assert a.observations == b.observations
+    assert np.array_equal(a.frames[0].descriptors,
+                          b.frames[0].descriptors)
+
+
+def test_end_to_end_deployment_is_deterministic():
+    """The flagship experiment reproduces bit-for-bit from its seed."""
+    scenario = store_scenario()
+    db = build_retail_database(scenario, n_features=40)
+
+    def one_run():
+        deployment = build_deployment("acacia", db, scenario, seed=11)
+        checkpoint = scenario.checkpoints[4]
+        section = scenario.section_of_subsection(checkpoint.subsection)
+        deployment.customer.move_to(checkpoint.position)
+        deployment.customer.open([section])
+        deployment.network.sim.run(until=32.0)
+        workload = CheckpointWorkload(scenario, db, seed=11,
+                                      frames_per_object=4,
+                                      resolution=R720x480)
+        sample = workload.sample(checkpoint)
+        session = deployment.new_session(iter(sample.frames),
+                                         resolution=R720x480,
+                                         max_frames=4)
+        session.start(at=deployment.network.sim.now)
+        deployment.network.sim.run(
+            until=deployment.network.sim.now + 60.0)
+        return [(r.matched, r.total_time, r.match_time)
+                for r in session.records]
+
+    assert one_run() == one_run()
+
+
+def test_ledger_replay_is_identical():
+    def ledger_fingerprint(seed):
+        network = MobileNetwork(NetworkConfig(seed=seed))
+        ue = network.add_ue()
+        network.control_plane.release_to_idle(ue)
+        network.control_plane.service_request(ue)
+        return [(m.protocol, m.name, m.size, m.sender, m.receiver)
+                for m in network.ledger.messages]
+
+    assert ledger_fingerprint(1) == ledger_fingerprint(1)

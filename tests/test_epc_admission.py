@@ -1,0 +1,215 @@
+"""Tests for GBR admission control, ARP preemption and charging."""
+
+import pytest
+
+from repro.core.network import MobileNetwork
+from repro.epc.admission import (AdmissionController, AdmissionError, Arp,
+                                 Reservation)
+from repro.epc.charging import ChargingFunction, Tariff, UsageCollector
+from repro.epc.entities import ServicePolicy
+from repro.sim.packet import Packet
+
+
+class TestArp:
+    def test_priority_bounds(self):
+        with pytest.raises(ValueError):
+            Arp(priority=0)
+        with pytest.raises(ValueError):
+            Arp(priority=16)
+
+    def test_preemption_rules(self):
+        strong = Arp(priority=2, preemption_capable=True)
+        weak = Arp(priority=10, preemption_vulnerable=True)
+        shielded = Arp(priority=10, preemption_vulnerable=False)
+        assert strong.beats(weak)
+        assert not strong.beats(shielded)
+        assert not weak.beats(strong)
+        # equal priority never preempts
+        assert not Arp(priority=5, preemption_capable=True).beats(
+            Arp(priority=5))
+
+
+class TestAdmissionController:
+    def make(self, capacity=10e6):
+        controller = AdmissionController()
+        controller.register_site("mec", gbr_capacity=capacity)
+        return controller
+
+    def test_non_gbr_always_admitted(self):
+        controller = self.make()
+        for i in range(100):
+            controller.request(f"imsi{i}", 6, "mec", qci=7, gbr=0.0)
+        assert controller.admitted == 100
+        assert controller.pool("mec").reserved == 0
+
+    def test_gbr_reserves_capacity(self):
+        controller = self.make(capacity=10e6)
+        controller.request("imsi1", 6, "mec", qci=1, gbr=4e6)
+        pool = controller.pool("mec")
+        assert pool.reserved == 4e6
+        assert pool.available == 6e6
+
+    def test_pool_exhaustion_rejects(self):
+        controller = self.make(capacity=10e6)
+        controller.request("imsi1", 6, "mec", qci=1, gbr=6e6)
+        controller.request("imsi2", 6, "mec", qci=1, gbr=4e6)
+        with pytest.raises(AdmissionError, match="exhausted"):
+            controller.request("imsi3", 6, "mec", qci=1, gbr=1e6)
+        assert controller.rejected == 1
+
+    def test_oversized_request_rejected_outright(self):
+        controller = self.make(capacity=10e6)
+        with pytest.raises(AdmissionError, match="exceeds"):
+            controller.request("imsi1", 6, "mec", qci=1, gbr=20e6)
+
+    def test_preemption_frees_room(self):
+        controller = self.make(capacity=10e6)
+        controller.request("victim", 6, "mec", qci=1, gbr=8e6,
+                           arp=Arp(priority=10))
+        controller.request("vip", 6, "mec", qci=1, gbr=8e6,
+                           arp=Arp(priority=1, preemption_capable=True))
+        preempted = controller.drain_preempted()
+        assert [r.imsi for r in preempted] == ["victim"]
+        assert controller.pool("mec").reserved == 8e6
+
+    def test_preemption_evicts_lowest_priority_first(self):
+        controller = self.make(capacity=10e6)
+        controller.request("mid", 6, "mec", qci=1, gbr=5e6,
+                           arp=Arp(priority=5))
+        controller.request("low", 6, "mec", qci=1, gbr=5e6,
+                           arp=Arp(priority=12))
+        controller.request("vip", 6, "mec", qci=1, gbr=5e6,
+                           arp=Arp(priority=1, preemption_capable=True))
+        assert [r.imsi for r in controller.drain_preempted()] == ["low"]
+
+    def test_release_frees_reservation(self):
+        controller = self.make(capacity=10e6)
+        controller.request("imsi1", 6, "mec", qci=1, gbr=10e6)
+        controller.release("imsi1", 6, "mec")
+        controller.request("imsi2", 6, "mec", qci=1, gbr=10e6)
+
+    def test_unregistered_site_raises(self):
+        controller = AdmissionController()
+        with pytest.raises(KeyError):
+            controller.request("i", 6, "nowhere", qci=1, gbr=1e6)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            AdmissionController().register_site("x", 0)
+
+
+class TestAdmissionInControlPlane:
+    def build(self, capacity=6e6):
+        network = MobileNetwork()
+        network.add_mec_site("mec")
+        network.add_server("ar-server", site_name="mec", echo=True)
+        controller = AdmissionController()
+        controller.register_site("mec", gbr_capacity=capacity)
+        controller.register_site("central", gbr_capacity=50e6)
+        network.control_plane.admission = controller
+        network.pcrf.configure(ServicePolicy(
+            "gbr-ar", qci=3, gbr=4e6,
+            arp=Arp(priority=8, preemption_vulnerable=True)))
+        network.pcrf.configure(ServicePolicy(
+            "gbr-vip", qci=1, gbr=4e6,
+            arp=Arp(priority=1, preemption_capable=True)))
+        return network, controller
+
+    def test_gbr_bearer_admitted_and_reserved(self):
+        network, controller = self.build()
+        ue = network.add_ue()
+        result = network.create_mec_bearer(ue, "ar-server",
+                                           service_id="gbr-ar")
+        assert result.bearer.qci == 3
+        assert controller.pool("mec").reserved == 4e6
+
+    def test_rejection_aborts_cleanly(self):
+        network, controller = self.build(capacity=6e6)
+        ue1 = network.add_ue()
+        ue2 = network.add_ue()
+        network.create_mec_bearer(ue1, "ar-server", service_id="gbr-ar")
+        with pytest.raises(AdmissionError):
+            network.create_mec_bearer(ue2, "ar-server",
+                                      service_id="gbr-ar")
+        # no half-built bearer state leaks
+        assert len(ue2.bearers) == 1     # default only
+        assert (ue2.imsi, "gbr-ar") not in network.pgwc.pcef_rules
+
+    def test_vip_preempts_and_victim_is_torn_down(self):
+        network, controller = self.build(capacity=6e6)
+        victim = network.add_ue()
+        vip = network.add_ue()
+        network.create_mec_bearer(victim, "ar-server",
+                                  service_id="gbr-ar")
+        result = network.create_mec_bearer(vip, "ar-server",
+                                           service_id="gbr-vip")
+        assert result.bearer.qci == 1
+        # the victim's dedicated bearer is gone, default remains
+        assert len(victim.bearers) == 1
+        assert controller.pool("mec").reserved == 4e6
+
+    def test_deactivation_releases_reservation(self):
+        network, controller = self.build()
+        ue = network.add_ue()
+        result = network.create_mec_bearer(ue, "ar-server",
+                                           service_id="gbr-ar")
+        network.control_plane.deactivate_dedicated_bearer(
+            ue, result.bearer.ebi)
+        assert controller.pool("mec").reserved == 0
+
+
+class TestCharging:
+    def build(self):
+        network = MobileNetwork()
+        ue = network.add_ue()
+        return network, ue
+
+    def run_traffic(self, network, ue, count=10, size=1000):
+        internet = network.servers["internet"]
+        for _ in range(count):
+            ue.send_app(Packet(src=ue.ip, dst=internet.ip, size=size,
+                               created_at=network.sim.now))
+        network.sim.run(until=network.sim.now + 2.0)
+
+    def test_usage_collected_per_bearer(self):
+        network, ue = self.build()
+        self.run_traffic(network, ue, count=10, size=1000)
+        collector = UsageCollector()
+        usage = collector.collect(network.sgwc.site("central"))
+        default_ebi = ue.bearers.default_bearer().ebi
+        record = usage[(ue.imsi, default_ebi)]
+        assert record.uplink_packets == 10
+        assert record.uplink_bytes >= 10 * 1000
+        # echo replies flowed back down
+        assert record.downlink_packets == 10
+
+    def test_repeat_collection_yields_deltas(self):
+        network, ue = self.build()
+        collector = UsageCollector()
+        self.run_traffic(network, ue, count=5)
+        site = network.sgwc.site("central")
+        first = collector.collect(site)[(ue.imsi, 5)]
+        assert first.uplink_packets == 5
+        self.run_traffic(network, ue, count=3)
+        second = collector.collect(site)[(ue.imsi, 5)]
+        assert second.uplink_packets == 3
+
+    def test_charging_records_and_tariff(self):
+        network, ue = self.build()
+        self.run_traffic(network, ue, count=10, size=10_000)
+        charging = ChargingFunction(Tariff(default_per_mb=0.05,
+                                           per_qci_per_mb={7: 0.20}))
+        records = charging.bill_site(
+            network.sgwc.site("central"),
+            qci_by_bearer={(ue.imsi, 5): 9})
+        assert len(records) == 1
+        record = records[0]
+        assert record.charge == pytest.approx(
+            record.usage.total_bytes / 1e6 * 0.05)
+        assert charging.total_charged == record.charge
+
+    def test_idle_bearer_produces_no_cdr(self):
+        network, ue = self.build()
+        charging = ChargingFunction()
+        records = charging.bill_site(network.sgwc.site("central"))
+        assert records == []

@@ -1,0 +1,158 @@
+"""Unit tests for bearers, packet filters and TFT classification."""
+
+import pytest
+
+from repro.epc.bearer import (Bearer, BearerRegistry, PacketFilter,
+                              TrafficFlowTemplate)
+from repro.sim.packet import Packet
+
+UE_IP = "10.45.0.2"
+SERVER_IP = "203.0.114.10"
+OTHER_IP = "8.8.8.8"
+
+
+def ul_packet(dst=SERVER_IP, protocol="UDP", dst_port=9000, src_port=40000):
+    return Packet(src=UE_IP, dst=dst, size=100, protocol=protocol,
+                  src_port=src_port, dst_port=dst_port)
+
+
+def dl_packet(src=SERVER_IP, protocol="UDP", src_port=9000, dst_port=40000):
+    return Packet(src=src, dst=UE_IP, size=100, protocol=protocol,
+                  src_port=src_port, dst_port=dst_port)
+
+
+class TestPacketFilter:
+    def test_wildcard_matches_everything(self):
+        f = PacketFilter()
+        assert f.matches(ul_packet(), "uplink")
+        assert f.matches(dl_packet(), "downlink")
+
+    def test_remote_address_uplink(self):
+        f = PacketFilter(remote_address=SERVER_IP)
+        assert f.matches(ul_packet(dst=SERVER_IP), "uplink")
+        assert not f.matches(ul_packet(dst=OTHER_IP), "uplink")
+
+    def test_remote_address_downlink_is_source(self):
+        f = PacketFilter(remote_address=SERVER_IP)
+        assert f.matches(dl_packet(src=SERVER_IP), "downlink")
+        assert not f.matches(dl_packet(src=OTHER_IP), "downlink")
+
+    def test_direction_restriction(self):
+        f = PacketFilter(direction="uplink")
+        assert f.matches(ul_packet(), "uplink")
+        assert not f.matches(dl_packet(), "downlink")
+
+    def test_protocol_and_ports(self):
+        f = PacketFilter(protocol="TCP", remote_port=9000)
+        assert f.matches(ul_packet(protocol="TCP", dst_port=9000), "uplink")
+        assert not f.matches(ul_packet(protocol="UDP", dst_port=9000), "uplink")
+        assert not f.matches(ul_packet(protocol="TCP", dst_port=80), "uplink")
+
+    def test_local_port_uplink_is_source_port(self):
+        f = PacketFilter(local_port=40000)
+        assert f.matches(ul_packet(src_port=40000), "uplink")
+        assert not f.matches(ul_packet(src_port=40001), "uplink")
+
+
+class TestTrafficFlowTemplate:
+    def test_filters_sorted_by_precedence(self):
+        tft = TrafficFlowTemplate([
+            PacketFilter(precedence=20, remote_address=OTHER_IP),
+            PacketFilter(precedence=5, remote_address=SERVER_IP),
+        ])
+        assert tft.filters[0].remote_address == SERVER_IP
+
+    def test_add_maintains_order(self):
+        tft = TrafficFlowTemplate()
+        tft.add(PacketFilter(precedence=20))
+        tft.add(PacketFilter(precedence=5, remote_address=SERVER_IP))
+        assert tft.filters[0].precedence == 5
+
+    def test_any_filter_matching_suffices(self):
+        tft = TrafficFlowTemplate([
+            PacketFilter(remote_address=OTHER_IP),
+            PacketFilter(remote_address=SERVER_IP),
+        ])
+        assert tft.matches(ul_packet(dst=SERVER_IP), "uplink")
+
+
+class TestBearer:
+    def test_valid_ebi_range(self):
+        with pytest.raises(ValueError):
+            Bearer(ebi=4, qci=9, imsi="i", ue_ip=UE_IP)
+        with pytest.raises(ValueError):
+            Bearer(ebi=16, qci=9, imsi="i", ue_ip=UE_IP)
+
+    def test_invalid_qci_rejected(self):
+        with pytest.raises(KeyError):
+            Bearer(ebi=5, qci=99, imsi="i", ue_ip=UE_IP)
+
+    def test_default_bearer_matches_everything(self):
+        bearer = Bearer(ebi=5, qci=9, imsi="i", ue_ip=UE_IP, default=True)
+        assert bearer.matches_uplink(ul_packet(dst=OTHER_IP))
+        assert bearer.matches_downlink(dl_packet(src=OTHER_IP))
+
+    def test_dedicated_bearer_matches_only_tft(self):
+        bearer = Bearer(ebi=6, qci=7, imsi="i", ue_ip=UE_IP)
+        bearer.tft.add(PacketFilter(remote_address=SERVER_IP))
+        assert bearer.matches_uplink(ul_packet(dst=SERVER_IP))
+        assert not bearer.matches_uplink(ul_packet(dst=OTHER_IP))
+
+    def test_qos_property(self):
+        bearer = Bearer(ebi=5, qci=7, imsi="i", ue_ip=UE_IP)
+        assert bearer.qos.qci == 7
+
+
+class TestBearerRegistry:
+    def make_registry(self):
+        reg = BearerRegistry()
+        default = Bearer(ebi=5, qci=9, imsi="i", ue_ip=UE_IP, default=True)
+        dedicated = Bearer(ebi=6, qci=7, imsi="i", ue_ip=UE_IP)
+        dedicated.tft.add(PacketFilter(remote_address=SERVER_IP))
+        reg.add(default)
+        reg.add(dedicated)
+        return reg, default, dedicated
+
+    def test_allocate_ebi_skips_used(self):
+        reg, _, _ = self.make_registry()
+        assert reg.allocate_ebi() == 7
+
+    def test_ebi_exhaustion(self):
+        reg = BearerRegistry()
+        for ebi in range(5, 16):
+            reg.add(Bearer(ebi=ebi, qci=9, imsi="i", ue_ip=UE_IP))
+        with pytest.raises(RuntimeError):
+            reg.allocate_ebi()
+
+    def test_duplicate_ebi_rejected(self):
+        reg, _, _ = self.make_registry()
+        with pytest.raises(ValueError):
+            reg.add(Bearer(ebi=5, qci=9, imsi="i", ue_ip=UE_IP))
+
+    def test_classify_uplink_prefers_dedicated(self):
+        reg, default, dedicated = self.make_registry()
+        assert reg.classify_uplink(ul_packet(dst=SERVER_IP)) is dedicated
+        assert reg.classify_uplink(ul_packet(dst=OTHER_IP)) is default
+
+    def test_classify_downlink_prefers_dedicated(self):
+        reg, default, dedicated = self.make_registry()
+        assert reg.classify_downlink(dl_packet(src=SERVER_IP)) is dedicated
+        assert reg.classify_downlink(dl_packet(src=OTHER_IP)) is default
+
+    def test_inactive_dedicated_falls_back_to_default(self):
+        reg, default, dedicated = self.make_registry()
+        dedicated.active = False
+        assert reg.classify_uplink(ul_packet(dst=SERVER_IP)) is default
+
+    def test_no_default_no_match(self):
+        reg = BearerRegistry()
+        dedicated = Bearer(ebi=6, qci=7, imsi="i", ue_ip=UE_IP)
+        dedicated.tft.add(PacketFilter(remote_address=SERVER_IP))
+        reg.add(dedicated)
+        assert reg.classify_uplink(ul_packet(dst=OTHER_IP)) is None
+
+    def test_remove(self):
+        reg, _, dedicated = self.make_registry()
+        removed = reg.remove(6)
+        assert removed is dedicated
+        assert len(reg) == 1

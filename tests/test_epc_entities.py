@@ -1,0 +1,82 @@
+"""Unit tests for the EPC control-plane state holders."""
+
+import pytest
+
+from repro.epc.entities import (HSS, MME, PCRF, PGWC, SGWC, PolicyRule,
+                                ServicePolicy, SubscriberProfile, UeContext)
+
+
+class TestHSS:
+    def test_provision_and_lookup(self):
+        hss = HSS()
+        hss.provision(SubscriberProfile(imsi="310410000000001"))
+        profile = hss.lookup("310410000000001")
+        assert profile.apn == "internet"
+        assert profile.default_qci == 9
+        assert "310410000000001" in hss
+        assert len(hss) == 1
+
+    def test_unknown_imsi_raises(self):
+        with pytest.raises(KeyError, match="provisioned"):
+            HSS().lookup("999")
+
+
+class TestMME:
+    def test_register_and_state(self):
+        mme = MME()
+        context = UeContext(imsi="i1", ue=object(), enb=object())
+        mme.register(context)
+        assert mme.context("i1") is context
+        assert mme.connected_count() == 1
+        context.state = "idle"
+        assert mme.connected_count() == 0
+
+    def test_deregister(self):
+        mme = MME()
+        mme.register(UeContext(imsi="i1", ue=None, enb=None))
+        mme.deregister("i1")
+        with pytest.raises(KeyError):
+            mme.context("i1")
+
+
+class TestPCRF:
+    def test_rule_generation_uses_configured_policy(self):
+        pcrf = PCRF()
+        pcrf.configure(ServicePolicy("ar", qci=7, precedence=5))
+        rule = pcrf.generate_rule("ar", "10.45.0.1", "203.0.114.2",
+                                  server_port=9000)
+        assert rule.qci == 7
+        assert rule.precedence == 5
+        assert rule.server_ip == "203.0.114.2"
+        assert pcrf.rules_generated == [rule]
+
+    def test_unconfigured_service_raises(self):
+        with pytest.raises(KeyError, match="policy"):
+            PCRF().generate_rule("nope", "a", "b")
+
+    def test_policy_validates_qci(self):
+        with pytest.raises(KeyError):
+            ServicePolicy("bad", qci=0)
+
+
+class TestGatewayControllers:
+    def test_sgwc_unknown_site(self):
+        with pytest.raises(KeyError, match="site"):
+            SGWC().site("mars")
+
+    def test_pgwc_unknown_site(self):
+        with pytest.raises(KeyError, match="site"):
+            PGWC().site("mars")
+
+    def test_pgwc_ip_allocation_unique(self):
+        pgwc = PGWC()
+        ips = {pgwc.allocate_ue_ip() for _ in range(50)}
+        assert len(ips) == 50
+
+    def test_pcef_install_remove(self):
+        pgwc = PGWC()
+        rule = PolicyRule("ar", 7, 5, "10.45.0.1", "203.0.114.2")
+        pgwc.pcef_install("imsi1", rule)
+        assert pgwc.pcef_rules[("imsi1", "ar")] is rule
+        assert pgwc.pcef_remove("imsi1", "ar") is rule
+        assert pgwc.pcef_rules == {}

@@ -1,0 +1,59 @@
+"""Unit tests for GTP-U encapsulation."""
+
+import pytest
+
+from repro.epc.gtp import (GTP_TUNNEL_OVERHEAD, gtp_decapsulate,
+                           gtp_encapsulate, gtp_teid, is_gtp)
+from repro.sim.packet import Packet
+
+
+def make_packet():
+    return Packet(src="10.45.0.2", dst="203.0.113.10", size=1000,
+                  protocol="UDP", src_port=40000, dst_port=9000)
+
+
+def test_encapsulate_adds_36_bytes():
+    pkt = gtp_encapsulate(make_packet(), teid=0x1001,
+                          src="192.168.1.1", dst="172.16.0.1")
+    assert pkt.wire_size == 1000 + GTP_TUNNEL_OVERHEAD
+    assert GTP_TUNNEL_OVERHEAD == 36
+
+
+def test_inner_addresses_preserved():
+    pkt = gtp_encapsulate(make_packet(), teid=1, src="a", dst="b")
+    assert pkt.src == "10.45.0.2"
+    assert pkt.dst == "203.0.113.10"
+
+
+def test_decapsulate_roundtrip():
+    pkt = gtp_encapsulate(make_packet(), teid=0x42, src="a", dst="b")
+    pkt, teid = gtp_decapsulate(pkt)
+    assert teid == 0x42
+    assert pkt.wire_size == 1000
+    assert not is_gtp(pkt)
+
+
+def test_decapsulate_bare_packet_raises():
+    with pytest.raises(ValueError):
+        gtp_decapsulate(make_packet())
+
+
+def test_gtp_teid_read_without_mutation():
+    pkt = gtp_encapsulate(make_packet(), teid=7, src="a", dst="b")
+    assert gtp_teid(pkt) == 7
+    assert pkt.wire_size == 1036   # unchanged
+
+
+def test_gtp_teid_none_for_bare_packet():
+    assert gtp_teid(make_packet()) is None
+
+
+def test_nested_tunnels():
+    """Double encapsulation (e.g. transient during SGW relay) nests."""
+    pkt = gtp_encapsulate(make_packet(), teid=1, src="a", dst="b")
+    pkt = gtp_encapsulate(pkt, teid=2, src="b", dst="c")
+    assert pkt.wire_size == 1000 + 2 * GTP_TUNNEL_OVERHEAD
+    pkt, outer = gtp_decapsulate(pkt)
+    assert outer == 2
+    pkt, inner = gtp_decapsulate(pkt)
+    assert inner == 1

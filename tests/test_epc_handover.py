@@ -1,0 +1,181 @@
+"""Tests for multi-eNodeB deployments and X2 handover."""
+
+import numpy as np
+import pytest
+
+from repro.core.network import MobileNetwork, Pinger
+from repro.epc.entities import ServicePolicy
+from repro.sim.packet import Packet
+
+
+@pytest.fixture()
+def network():
+    net = MobileNetwork()
+    net.add_enb("enb1")
+    net.pcrf.configure(ServicePolicy("ar-retail", qci=7))
+    net.add_mec_site("mec")
+    net.add_server("ar-server", site_name="mec", echo=True)
+    return net
+
+
+class TestMultiEnb:
+    def test_two_enbs_wired_to_all_sites(self, network):
+        assert set(network.enbs) == {"enb0", "enb1"}
+        for site in network.sites.values():
+            assert set(site.enb_ports) == {"enb0", "enb1"}
+            assert set(site.sgw_dl_ports) == {"enb0", "enb1"}
+
+    def test_duplicate_enb_rejected(self, network):
+        with pytest.raises(ValueError):
+            network.add_enb("enb0")
+
+    def test_ue_attaches_via_named_enb(self, network):
+        ue = network.add_ue(enb_name="enb1")
+        assert network.mme.context(ue.imsi).enb.name == "enb1"
+        replies = []
+        ue.on_downlink = replies.append
+        internet = network.servers["internet"]
+        ue.send_app(Packet(src=ue.ip, dst=internet.ip, size=100,
+                           created_at=network.sim.now))
+        network.sim.run(until=1.0)
+        assert len(replies) == 1
+
+    def test_unknown_site_link_raises(self, network):
+        site = network.sgwc.site("central")
+        with pytest.raises(KeyError, match="S1 link"):
+            site.enb_port("enb9")
+
+
+class TestHandover:
+    def test_handover_moves_mme_context(self, network):
+        ue = network.add_ue()
+        network.handover(ue, "enb1")
+        assert network.mme.context(ue.imsi).enb.name == "enb1"
+
+    def test_handover_noop_for_same_cell(self, network):
+        ue = network.add_ue()
+        result = network.handover(ue, "enb0")
+        assert result.message_count == 0
+
+    def test_handover_requires_connected_ue(self, network):
+        ue = network.add_ue()
+        network.control_plane.release_to_idle(ue)
+        with pytest.raises(RuntimeError, match="idle"):
+            network.handover(ue, "enb1")
+
+    def test_handover_message_mix(self, network):
+        ue = network.add_ue()
+        result = network.handover(ue, "enb1")
+        protocols = {}
+        for msg in result.messages:
+            protocols[msg.protocol] = protocols.get(msg.protocol, 0) + 1
+        assert protocols["X2AP"] == 4
+        assert protocols["RRC"] == 2
+        assert protocols["SCTP"] == 2       # path switch req/ack
+        assert protocols["GTPv2"] == 2      # modify bearer req/resp
+        # one delete + one add per bearer at the SGW-U
+        assert protocols["OpenFlow"] == 2
+        assert 0 < result.elapsed < 0.1
+
+    def test_traffic_flows_after_handover(self, network):
+        ue = network.add_ue()
+        network.handover(ue, "enb1")
+        replies = []
+        ue.on_downlink = replies.append
+        internet = network.servers["internet"]
+        ue.send_app(Packet(src=ue.ip, dst=internet.ip, size=100,
+                           created_at=network.sim.now))
+        network.sim.run(until=1.0)
+        assert len(replies) == 1
+        # the target eNB carried the traffic, not the source
+        assert network.enbs["enb1"].tx_count > 0
+
+    def test_source_enb_state_cleaned_up(self, network):
+        ue = network.add_ue()
+        source = network.enbs["enb0"]
+        network.handover(ue, "enb1")
+        assert ue.ip not in source.radio_ports
+        assert all(key[0] != ue.ip for key in source.ul_map)
+        assert all(ip != ue.ip for ip in source.dl_map.values())
+
+    def test_mec_bearer_survives_handover(self, network):
+        """The SGW anchor keeps the dedicated bearer on its MEC site."""
+        ue = network.add_ue()
+        network.create_mec_bearer(ue, "ar-server")
+        network.handover(ue, "enb1")
+        dedicated = [b for b in ue.bearers if not b.default][0]
+        assert dedicated.gateway_site == "mec"
+        pinger = Pinger(network, ue, "ar-server", interval=0.1)
+        pinger.run(count=10, start=network.sim.now)
+        network.sim.run(until=network.sim.now + 3.0)
+        assert len(pinger.rtts) == 10
+        assert float(np.percentile(pinger.rtts, 95)) < 0.016
+
+    def test_handover_back_and_forth(self, network):
+        ue = network.add_ue()
+        network.handover(ue, "enb1")
+        network.handover(ue, "enb0")
+        assert network.mme.context(ue.imsi).enb.name == "enb0"
+        replies = []
+        ue.on_downlink = replies.append
+        internet = network.servers["internet"]
+        ue.send_app(Packet(src=ue.ip, dst=internet.ip, size=100,
+                           created_at=network.sim.now))
+        network.sim.run(until=network.sim.now + 1.0)
+        assert len(replies) == 1
+
+    def test_downlink_rerouted_to_target(self, network):
+        """Packets sent by the server after handover reach the UE via
+        the new SGW-U downlink rule."""
+        ue = network.add_ue()
+        network.create_mec_bearer(ue, "ar-server")
+        server = network.servers["ar-server"]
+        network.handover(ue, "enb1")
+        replies = []
+        ue.on_downlink = replies.append
+        packet = Packet(src=server.ip, dst=ue.ip, size=200,
+                        created_at=network.sim.now)
+        server.send("net", packet)
+        network.sim.run(until=network.sim.now + 1.0)
+        assert len(replies) == 1
+
+
+class TestS1Handover:
+    def test_s1_handover_moves_context_and_traffic(self, network):
+        ue = network.add_ue()
+        result = network.s1_handover(ue, "enb1")
+        assert result.name == "s1-handover"
+        assert network.mme.context(ue.imsi).enb.name == "enb1"
+        replies = []
+        ue.on_downlink = replies.append
+        internet = network.servers["internet"]
+        ue.send_app(Packet(src=ue.ip, dst=internet.ip, size=100,
+                           created_at=network.sim.now))
+        network.sim.run(until=1.0)
+        assert len(replies) == 1
+
+    def test_s1_costs_more_signalling_than_x2(self, network):
+        ue1 = network.add_ue()
+        ue2 = network.add_ue()
+        x2 = network.handover(ue1, "enb1")
+        s1 = network.s1_handover(ue2, "enb1")
+        assert s1.message_count > x2.message_count
+        assert s1.byte_count > x2.byte_count
+        # both ways, MME coordination replaces the X2 messages
+        assert all(msg.protocol != "X2AP" for msg in s1.messages)
+
+    def test_s1_noop_and_idle_guard(self, network):
+        ue = network.add_ue()
+        assert network.s1_handover(ue, "enb0").message_count == 0
+        network.control_plane.release_to_idle(ue)
+        with pytest.raises(RuntimeError):
+            network.s1_handover(ue, "enb1")
+
+    def test_mec_bearer_survives_s1_handover(self, network):
+        ue = network.add_ue()
+        network.create_mec_bearer(ue, "ar-server")
+        network.s1_handover(ue, "enb1")
+        pinger = Pinger(network, ue, "ar-server", interval=0.1)
+        pinger.run(count=8, start=network.sim.now)
+        network.sim.run(until=network.sim.now + 2.0)
+        assert len(pinger.rtts) == 8

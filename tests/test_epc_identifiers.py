@@ -1,0 +1,77 @@
+"""Unit tests for identifier allocators."""
+
+import pytest
+
+from repro.epc.identifiers import FTeid, ImsiAllocator, IpPool, TeidAllocator
+
+
+class TestTeidAllocator:
+    def test_allocations_are_unique(self):
+        alloc = TeidAllocator()
+        teids = {alloc.allocate() for _ in range(1000)}
+        assert len(teids) == 1000
+
+    def test_release_and_reuse(self):
+        alloc = TeidAllocator()
+        teid = alloc.allocate()
+        alloc.release(teid)
+        assert alloc.allocate() == teid
+
+    def test_release_unallocated_raises(self):
+        alloc = TeidAllocator()
+        with pytest.raises(KeyError):
+            alloc.release(0xdead)
+
+    def test_start_offset(self):
+        alloc = TeidAllocator(start=0x8000)
+        assert alloc.allocate() == 0x8000
+
+
+class TestImsiAllocator:
+    def test_imsi_is_15_digits_with_plmn_prefix(self):
+        alloc = ImsiAllocator(mcc="310", mnc="410")
+        imsi = alloc.allocate()
+        assert len(imsi) == 15
+        assert imsi.startswith("310410")
+
+    def test_imsis_unique(self):
+        alloc = ImsiAllocator()
+        assert len({alloc.allocate() for _ in range(100)}) == 100
+
+    def test_invalid_mcc_rejected(self):
+        with pytest.raises(ValueError):
+            ImsiAllocator(mcc="31", mnc="410")
+
+    def test_invalid_mnc_rejected(self):
+        with pytest.raises(ValueError):
+            ImsiAllocator(mcc="310", mnc="4")
+
+
+class TestIpPool:
+    def test_allocates_from_subnet(self):
+        pool = IpPool("10.45.0.0/24")
+        address = pool.allocate()
+        assert address in pool
+        assert address.startswith("10.45.0.")
+
+    def test_allocations_unique(self):
+        pool = IpPool("10.45.0.0/24")
+        addrs = {pool.allocate() for _ in range(100)}
+        assert len(addrs) == 100
+
+    def test_exhaustion_raises(self):
+        pool = IpPool("10.45.0.0/30")   # 2 usable hosts
+        pool.allocate()
+        pool.allocate()
+        with pytest.raises(RuntimeError):
+            pool.allocate()
+
+    def test_membership(self):
+        pool = IpPool("10.45.0.0/16")
+        assert "10.45.3.7" in pool
+        assert "192.168.1.1" not in pool
+
+
+def test_fteid_str():
+    fteid = FTeid(teid=0x1001, address="172.16.0.1")
+    assert str(fteid) == "172.16.0.1/teid=0x1001"

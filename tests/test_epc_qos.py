@@ -1,0 +1,56 @@
+"""Unit tests for the QCI table."""
+
+import pytest
+
+from repro.epc.qos import (DEFAULT_BEARER_QCI, MEC_BEARER_QCI, QCI_TABLE,
+                           apply_qci_priorities, qos_for)
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+
+
+def test_standard_qcis_present():
+    assert set(QCI_TABLE) == set(range(1, 10))
+
+
+def test_gbr_split_matches_standard():
+    gbr = {qci for qci, row in QCI_TABLE.items() if row.is_gbr}
+    assert gbr == {1, 2, 3, 4}
+
+
+def test_qci5_has_highest_priority():
+    assert QCI_TABLE[5].priority == 1
+    assert min(row.priority for row in QCI_TABLE.values()) == 1
+
+
+def test_priorities_unique():
+    priorities = [row.priority for row in QCI_TABLE.values()]
+    assert len(set(priorities)) == len(priorities)
+
+
+def test_delay_budgets_positive_and_bounded():
+    for row in QCI_TABLE.values():
+        assert 0.05 <= row.packet_delay_budget <= 0.3
+
+
+def test_qci_ordering_5_to_9_monotone():
+    """The Figure 10(a) sweep relies on QCI 5..9 priorities being ordered."""
+    priorities = [QCI_TABLE[q].priority for q in range(5, 10)]
+    assert priorities == sorted(priorities)
+
+
+def test_default_and_mec_qci_choices():
+    assert DEFAULT_BEARER_QCI == 9
+    assert qos_for(MEC_BEARER_QCI).priority < qos_for(DEFAULT_BEARER_QCI).priority
+
+
+def test_unknown_qci_raises():
+    with pytest.raises(KeyError, match="QCI"):
+        qos_for(42)
+
+
+def test_apply_qci_priorities_registers_all():
+    sim = Simulator()
+    link = Link(sim, "l", bandwidth=1e6, delay=0.0, qos_priority=True)
+    apply_qci_priorities(link)
+    assert link._qci_priorities == {
+        qci: row.priority for qci, row in QCI_TABLE.items()}

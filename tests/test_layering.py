@@ -1,0 +1,73 @@
+"""Architecture tests: the layering rules of CONTRIBUTING.md."""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).parent.parent / "src" / "repro"
+
+#: package -> packages it must never import at module scope
+FORBIDDEN = {
+    "sim": {"repro.epc", "repro.sdn", "repro.d2d", "repro.localization",
+            "repro.vision", "repro.core", "repro.apps",
+            "repro.baselines"},
+    "epc": {"repro.core", "repro.apps", "repro.baselines"},
+    "sdn": {"repro.core", "repro.apps", "repro.baselines"},
+    "d2d": {"repro.core", "repro.apps", "repro.baselines"},
+    "localization": {"repro.core", "repro.apps", "repro.baselines"},
+    "vision": {"repro.core", "repro.apps", "repro.baselines"},
+    "core": {"repro.baselines"},
+    "apps": {"repro.baselines"},
+}
+
+
+def module_scope_imports(path: Path) -> set[str]:
+    """Imports executed at import time (TYPE_CHECKING blocks excluded)."""
+    tree = ast.parse(path.read_text())
+    imports: set[str] = set()
+
+    def visit(node, type_checking=False):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.If):
+                # skip `if TYPE_CHECKING:` bodies
+                test = child.test
+                is_tc = (isinstance(test, ast.Name)
+                         and test.id == "TYPE_CHECKING") or (
+                    isinstance(test, ast.Attribute)
+                    and test.attr == "TYPE_CHECKING")
+                visit(child, type_checking=type_checking or is_tc)
+                continue
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue    # lazy imports inside functions are fine
+            if isinstance(child, ast.Import) and not type_checking:
+                imports.update(alias.name for alias in child.names)
+            elif isinstance(child, ast.ImportFrom) and not type_checking:
+                if child.module:
+                    imports.add(child.module)
+            elif isinstance(child, (ast.ClassDef, ast.Try, ast.With)):
+                visit(child, type_checking=type_checking)
+    visit(tree)
+    return imports
+
+
+@pytest.mark.parametrize("package", sorted(FORBIDDEN))
+def test_layer_does_not_reach_up(package):
+    forbidden = FORBIDDEN[package]
+    violations = []
+    for path in (SRC / package).rglob("*.py"):
+        for imported in module_scope_imports(path):
+            for banned in forbidden:
+                if imported == banned or imported.startswith(banned + "."):
+                    violations.append(f"{path.name}: imports {imported}")
+    assert violations == [], violations
+
+
+def test_sim_is_fully_self_contained():
+    """The simulator layer depends on nothing but stdlib and numpy."""
+    allowed_prefixes = ("repro.sim",)
+    for path in (SRC / "sim").rglob("*.py"):
+        for imported in module_scope_imports(path):
+            if imported.startswith("repro."):
+                assert imported.startswith(allowed_prefixes), \
+                    f"{path.name} imports {imported}"

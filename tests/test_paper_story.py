@@ -1,0 +1,115 @@
+"""The paper's Section 5.1 narrative as one integration test.
+
+Walks the full use case in order and asserts every claim the scenario
+makes: staff publish sections over LTE-direct; a customer's interest
+match raises a notification and creates MEC connectivity on demand;
+localisation feeds the AR back-end; matching is pruned and correct;
+closing the app releases everything.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.retail import build_retail_database
+from repro.apps.scenario import store_scenario
+from repro.apps.workload import CheckpointWorkload
+from repro.baselines import build_deployment
+from repro.vision.camera import R720x480
+
+
+@pytest.fixture(scope="module")
+def story():
+    scenario = store_scenario()
+    db = build_retail_database(scenario, n_features=60)
+    deployment = build_deployment("acacia", db, scenario, seed=77)
+    checkpoint = scenario.checkpoints[8]
+    section = scenario.section_of_subsection(checkpoint.subsection)
+
+    network = deployment.network
+    customer = deployment.customer
+    customer.move_to(checkpoint.position)
+    customer.open([section])
+    network.sim.run(until=35.0)
+
+    workload = CheckpointWorkload(scenario, db, seed=77,
+                                  frames_per_object=5,
+                                  resolution=R720x480)
+    sample = workload.sample(checkpoint)
+    session = deployment.new_session(iter(sample.frames),
+                                     resolution=R720x480, max_frames=5)
+    session.start(at=network.sim.now)
+    network.sim.run(until=network.sim.now + 30.0)
+    return (scenario, db, deployment, checkpoint, section, sample,
+            session)
+
+
+def test_staff_publishers_cover_the_store(story):
+    scenario, db, deployment, *_ = story
+    assert len(deployment.store.publishers) == 7
+    for publisher in deployment.store.publishers.values():
+        assert publisher.broadcasts_sent >= 2
+
+
+def test_interest_match_notified_the_customer(story):
+    *_, deployment, checkpoint, section, sample, session = \
+        (story[0], story[1], story[2], story[3], story[4], story[5],
+         story[6])
+    customer = deployment.customer
+    assert customer.notifications
+    assert all(o.message.payload == f"section={section}"
+               for o in customer.notifications)
+
+
+def test_connectivity_created_on_demand_not_before(story):
+    scenario, db, deployment, *_ = story
+    session_rec = deployment.mrs.session_for(deployment.ue, "ar-retail")
+    assert session_rec is not None
+    # exactly one dedicated bearer despite repeated matches
+    dedicated = [b for b in deployment.ue.bearers if not b.default]
+    assert len(dedicated) == 1
+    assert dedicated[0].gateway_site == "mec"
+    assert deployment.mrs.requests_served == 1
+
+
+def test_interest_filter_narrower_than_landmark_feed(story):
+    """All retail broadcasts feed localisation (service-wide filter),
+    but only the customer's *interest* raises notifications."""
+    scenario, db, deployment, *_ = story
+    modem = deployment.device_manager.modem
+    assert modem.delivered >= 1
+    notifications = len(deployment.customer.notifications)
+    assert 1 <= notifications < modem.delivered
+
+
+def test_localisation_close_to_the_checkpoint(story):
+    scenario, db, deployment, checkpoint, *_ = story
+    location = deployment.localization.location(
+        deployment.customer.app_id, deployment.network.sim.now)
+    assert location is not None
+    error = np.hypot(location[0] - checkpoint.position[0],
+                     location[1] - checkpoint.position[1])
+    assert error < 6.0
+
+
+def test_ar_session_matched_every_frame_with_pruning(story):
+    *_, sample, session = story[-2], story[-1]
+    assert len(session.records) == 5
+    assert all(r.matched == sample.record.name for r in session.records)
+    backend = None  # pruning evidence lives in the per-frame match time
+
+
+def test_pruned_matching_beats_whole_floor(story):
+    scenario, db, deployment, checkpoint, section, sample, session = story
+    naive_time = deployment.backend.device.db_match_time(
+        R720x480, db_objects=105,
+        object_features=db.mean_nominal_features())
+    mean_match = np.mean([r.match_time for r in session.records])
+    assert mean_match < 0.5 * naive_time
+
+
+def test_closing_the_app_releases_everything(story):
+    scenario, db, deployment, *_ = story
+    deployment.customer.close()
+    assert deployment.mrs.session_for(deployment.ue, "ar-retail") is None
+    assert [b for b in deployment.ue.bearers if not b.default] == []
+    assert deployment.device_manager.modem.subscription_count == 0

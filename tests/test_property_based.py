@@ -1,0 +1,187 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.d2d.expressions import ExpressionNamespace
+from repro.epc.bearer import PacketFilter
+from repro.epc.gtp import gtp_decapsulate, gtp_encapsulate
+from repro.epc.identifiers import TeidAllocator
+from repro.localization.pathloss import PathLossRegression
+from repro.localization.trilateration import trilaterate
+from repro.sim.engine import Simulator
+from repro.sim.packet import Packet
+
+
+# -- engine -----------------------------------------------------------------
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                          allow_nan=False), min_size=1, max_size=50))
+def test_engine_executes_in_nondecreasing_time_order(delays):
+    sim = Simulator()
+    fired = []
+    for delay in delays:
+        sim.schedule(delay, lambda d=delay: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@settings(deadline=None)
+@given(st.lists(st.floats(min_value=0.001, max_value=100.0,
+                          allow_nan=False), min_size=1, max_size=20))
+def test_process_sleep_accumulates(delays):
+    sim = Simulator()
+
+    def proc():
+        for delay in delays:
+            yield delay
+
+    handle = sim.spawn(proc())
+    sim.run()
+    assert handle.finished
+    assert math.isclose(sim.now, sum(delays), rel_tol=1e-9)
+
+
+# -- packets ------------------------------------------------------------------
+
+@given(st.integers(min_value=1, max_value=10_000),
+       st.integers(min_value=0, max_value=2**32 - 1))
+def test_gtp_roundtrip_preserves_payload_and_teid(size, teid):
+    packet = Packet(src="a", dst="b", size=size)
+    gtp_encapsulate(packet, teid, "s", "d")
+    assert packet.wire_size == size + 36
+    packet, seen = gtp_decapsulate(packet)
+    assert seen == teid
+    assert packet.wire_size == size
+
+
+@given(st.integers(min_value=1, max_value=8))
+def test_nested_encapsulation_is_lifo(depth):
+    packet = Packet(src="a", dst="b", size=100)
+    for level in range(depth):
+        gtp_encapsulate(packet, level, "s", "d")
+    for level in reversed(range(depth)):
+        packet, teid = gtp_decapsulate(packet)
+        assert teid == level
+    assert packet.wire_size == 100
+
+
+# -- identifiers ---------------------------------------------------------------
+
+@given(st.lists(st.booleans(), min_size=1, max_size=200))
+def test_teid_allocator_never_hands_out_duplicates(ops):
+    alloc = TeidAllocator()
+    live: list[int] = []
+    for release in ops:
+        if release and live:
+            alloc.release(live.pop())
+        else:
+            teid = alloc.allocate()
+            assert teid not in live
+            live.append(teid)
+    assert len(set(live)) == len(live)
+
+
+# -- TFT matching ---------------------------------------------------------------
+
+_addresses = st.sampled_from(["10.0.0.1", "10.0.0.2", "8.8.8.8"])
+_ports = st.integers(min_value=1, max_value=65535)
+
+
+@given(src=_addresses, dst=_addresses, sport=_ports, dport=_ports,
+       protocol=st.sampled_from(["UDP", "TCP", "ICMP"]))
+def test_wildcard_filter_matches_any_packet(src, dst, sport, dport,
+                                            protocol):
+    packet = Packet(src=src, dst=dst, size=1, protocol=protocol,
+                    src_port=sport, dst_port=dport)
+    assert PacketFilter().matches(packet, "uplink")
+    assert PacketFilter().matches(packet, "downlink")
+
+
+@given(dst=_addresses, dport=_ports)
+def test_exact_filter_matches_only_its_flow(dst, dport):
+    packet = Packet(src="10.0.0.1", dst=dst, size=1, protocol="UDP",
+                    src_port=1, dst_port=dport)
+    exact = PacketFilter(remote_address=dst, remote_port=dport,
+                         protocol="UDP")
+    assert exact.matches(packet, "uplink")
+    other = PacketFilter(remote_address=dst,
+                         remote_port=dport % 65535 + 1, protocol="UDP")
+    assert not other.matches(packet, "uplink")
+
+
+# -- expressions ----------------------------------------------------------------
+
+_names = st.text(alphabet="abcdefgh-", min_size=1, max_size=12)
+
+
+@given(service=_names, offering_a=_names, offering_b=_names)
+def test_offering_filter_exactness(service, offering_a, offering_b):
+    ns = ExpressionNamespace()
+    flt = ns.offering_filter(service, offering_a)
+    assert flt.matches(ns.code(service, offering_a))
+    if offering_a != offering_b:
+        assert not flt.matches(ns.code(service, offering_b))
+
+
+@given(service_a=_names, service_b=_names, offering=_names)
+def test_service_filter_covers_offerings_of_its_service_only(
+        service_a, service_b, offering):
+    ns = ExpressionNamespace()
+    flt = ns.service_filter(service_a)
+    assert flt.matches(ns.code(service_a, offering))
+    if service_a != service_b:
+        assert not flt.matches(ns.code(service_b, offering))
+
+
+# -- path loss -------------------------------------------------------------------
+
+@given(alpha=st.floats(min_value=-80, max_value=-20),
+       beta=st.floats(min_value=-45, max_value=-15),
+       distance=st.floats(min_value=0.02, max_value=400.0))
+def test_pathloss_roundtrip(alpha, beta, distance):
+    model = PathLossRegression(alpha=alpha, beta=beta)
+    rx = model.predict_rx_power(distance)
+    assert math.isclose(model.predict_distance(rx), distance,
+                        rel_tol=1e-6)
+
+
+@given(alpha=st.floats(min_value=-80, max_value=-20),
+       beta=st.floats(min_value=-45, max_value=-15),
+       d1=st.floats(min_value=0.1, max_value=400.0),
+       d2=st.floats(min_value=0.1, max_value=400.0))
+def test_pathloss_monotone(alpha, beta, d1, d2):
+    assume(abs(d1 - d2) > 1e-6)
+    model = PathLossRegression(alpha=alpha, beta=beta)
+    nearer, farther = sorted((d1, d2))
+    assert model.predict_rx_power(nearer) > model.predict_rx_power(farther)
+
+
+# -- trilateration ------------------------------------------------------------------
+
+@settings(max_examples=50)
+@given(x=st.floats(min_value=2.0, max_value=38.0),
+       y=st.floats(min_value=2.0, max_value=16.0))
+def test_trilateration_recovers_exact_position(x, y):
+    anchors = [(0.0, 0.0), (40.0, 0.0), (0.0, 18.0), (40.0, 18.0)]
+    ranges = [math.dist((x, y), a) for a in anchors]
+    estimate = trilaterate(anchors, ranges)
+    assert math.dist(estimate, (x, y)) < 1e-4
+
+
+@settings(max_examples=30)
+@given(x=st.floats(min_value=2.0, max_value=38.0),
+       y=st.floats(min_value=2.0, max_value=16.0),
+       noise=st.floats(min_value=0.8, max_value=1.25))
+def test_trilateration_bounded_under_uniform_range_scaling(x, y, noise):
+    """Scaling all ranges by a constant keeps the estimate near the
+    truth (the geometry's least-squares point barely moves)."""
+    anchors = [(0.0, 0.0), (40.0, 0.0), (0.0, 18.0), (40.0, 18.0),
+               (20.0, 9.0)]
+    ranges = [noise * math.dist((x, y), a) for a in anchors]
+    estimate = trilaterate(anchors, ranges,
+                           bounds=((0, 40), (0, 18)))
+    assert math.dist(estimate, (x, y)) < 8.0

@@ -1,0 +1,101 @@
+"""Scale tests: many UEs, concurrent AR clients, resource uniqueness."""
+
+import numpy as np
+import pytest
+
+from repro.apps.retail import build_retail_database, landmark_map_for
+from repro.apps.scenario import store_scenario
+from repro.apps.workload import CheckpointWorkload
+from repro.apps.ar_backend import ARBackend, ARServerNode
+from repro.apps.ar_frontend import ARFrontend, ARSession
+from repro.core.localization_manager import LocalizationManager
+from repro.core.network import MobileNetwork, Pinger
+from repro.d2d.radio import RadioModel
+from repro.epc.entities import ServicePolicy
+from repro.localization.pathloss import calibrate_from_radio
+from repro.vision.camera import R720x480
+
+
+def test_twenty_ues_attach_with_unique_resources():
+    network = MobileNetwork()
+    ues = [network.add_ue() for _ in range(20)]
+    assert len({ue.ip for ue in ues}) == 20
+    assert len({ue.imsi for ue in ues}) == 20
+    # every default bearer got distinct tunnel endpoints
+    teids = [ue.bearers.default_bearer().sgw_s1_fteid.teid for ue in ues]
+    assert len(set(teids)) == 20
+    assert network.mme.connected_count() == 20
+
+
+def test_twenty_ues_ping_concurrently():
+    network = MobileNetwork()
+    pingers = []
+    for _ in range(20):
+        ue = network.add_ue()
+        pinger = Pinger(network, ue, "internet", interval=0.25)
+        pinger.run(count=8)
+        pingers.append(pinger)
+    network.sim.run(until=10.0)
+    for pinger in pingers:
+        assert len(pinger.rtts) == 8
+        assert float(np.median(pinger.rtts)) < 0.12
+
+
+def test_multiple_mec_bearers_share_local_gateways():
+    network = MobileNetwork()
+    network.pcrf.configure(ServicePolicy("ar-retail", qci=7))
+    network.add_mec_site("mec")
+    network.add_server("ar-server", site_name="mec", echo=True)
+    ues = [network.add_ue() for _ in range(8)]
+    for ue in ues:
+        network.create_mec_bearer(ue, "ar-server")
+    pingers = []
+    for ue in ues:
+        pinger = Pinger(network, ue, "ar-server", interval=0.2)
+        pinger.run(count=6)
+        pingers.append(pinger)
+    network.sim.run(until=6.0)
+    for pinger in pingers:
+        assert len(pinger.rtts) == 6
+        assert float(np.percentile(pinger.rtts, 95)) < 0.02
+
+
+def test_concurrent_ar_sessions_contend_at_the_server():
+    """Two simultaneous AR clients slow each other down at the match
+    stage (the Figure 12 effect, end to end)."""
+    scenario = store_scenario()
+    db = build_retail_database(scenario, n_features=40)
+    network = MobileNetwork()
+    network.pcrf.configure(ServicePolicy("ar-retail", qci=7))
+    network.add_mec_site("mec")
+    regression = calibrate_from_radio(RadioModel(),
+                                      np.random.default_rng(1))
+    localization = LocalizationManager(landmark_map_for(scenario,
+                                                        regression))
+    backend = ARBackend(db, scenario, localization)
+    server = ARServerNode(network.sim, "ar-server", backend,
+                          scheme="naive")
+    network.add_server("ar-server", site_name="mec", node=server)
+
+    workload = CheckpointWorkload(scenario, db, seed=2,
+                                  frames_per_object=6,
+                                  resolution=R720x480)
+    sessions = []
+    for i in range(2):
+        ue = network.add_ue()
+        network.create_mec_bearer(ue, "ar-server")
+        sample = workload.sample(scenario.checkpoints[i])
+        frontend = ARFrontend(R720x480)
+        session = ARSession(network.sim, ue, server.ip, frontend,
+                            iter(sample.frames), max_frames=6)
+        session.start()
+        sessions.append(session)
+    network.sim.run(until=60.0)
+    for session in sessions:
+        assert len(session.records) == 6
+    # overlapping frames saw contention: some match times exceed the
+    # single-client cost
+    single = backend.device.db_match_time(R720x480, db_objects=105,
+                                          object_features=500.0)
+    contended = [r.match_time for s in sessions for r in s.records]
+    assert max(contended) > 1.5 * single

@@ -1,0 +1,61 @@
+"""Unit tests for the SDN controller."""
+
+import pytest
+
+from repro.epc.overhead import ControlLedger
+from repro.sdn.controller import SdnController
+from repro.sdn.openflow import FlowMatch, FlowRule, Output
+from repro.sdn.switch import FlowSwitch
+from repro.sim.engine import Simulator
+
+
+def build():
+    sim = Simulator()
+    ledger = ControlLedger()
+    controller = SdnController(ledger=ledger)
+    switch = FlowSwitch(sim, "sgw-u.central", ip="172.16.0.1")
+    controller.register(switch)
+    return controller, switch, ledger
+
+
+def rule(cookie=""):
+    return FlowRule(FlowMatch(dst_ip="10.0.0.2"), [Output("out")],
+                    cookie=cookie)
+
+
+def test_install_adds_rule_and_records_message():
+    controller, switch, ledger = build()
+    controller.install_rule("sgw-u.central", rule())
+    assert len(switch.table) == 1
+    assert ledger.total_messages == 1
+    assert ledger.messages[0].protocol == "OpenFlow"
+    assert ledger.messages[0].size == 368
+
+
+def test_remove_records_delete_message():
+    controller, switch, ledger = build()
+    controller.install_rule("sgw-u.central", rule(cookie="c"))
+    count = controller.remove_rules("sgw-u.central", "c")
+    assert count == 1
+    assert switch.table == []
+    assert ledger.messages[-1].size == 344
+    assert "delete" in ledger.messages[-1].name
+
+
+def test_unknown_switch_raises():
+    controller, _, _ = build()
+    with pytest.raises(KeyError):
+        controller.install_rule("nope", rule())
+
+
+def test_flow_mod_counter():
+    controller, _, _ = build()
+    controller.install_rule("sgw-u.central", rule(cookie="a"))
+    controller.install_rule("sgw-u.central", rule(cookie="b"))
+    controller.remove_rules("sgw-u.central", "a")
+    assert controller.flow_mods_sent == 3
+
+
+def test_default_ledger_created_when_absent():
+    controller = SdnController()
+    assert controller.ledger is not None

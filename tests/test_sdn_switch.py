@@ -1,0 +1,145 @@
+"""Unit tests for the flow switch: forwarding, fast path, CPU costs."""
+
+import pytest
+
+from repro.epc.gtp import gtp_encapsulate, is_gtp
+from repro.sdn.dataplane import (ACACIA_OVS_PROFILE, IDEAL_PROFILE,
+                                 OPENEPC_USERSPACE_PROFILE, DataPlaneProfile)
+from repro.sdn.openflow import FlowMatch, FlowRule, GtpDecap, GtpEncap, Output
+from repro.sdn.switch import FlowSwitch
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+from repro.sim.node import PacketSink
+from repro.sim.packet import Packet
+
+
+def build(profile=IDEAL_PROFILE):
+    sim = Simulator()
+    src = PacketSink(sim, "src", ip="10.0.0.1")
+    switch = FlowSwitch(sim, "sw", profile=profile, ip="172.16.0.1")
+    dst = PacketSink(sim, "dst", ip="10.0.0.2")
+    l_in = Link(sim, "in", bandwidth=1e9, delay=0.0)
+    l_out = Link(sim, "out", bandwidth=1e9, delay=0.0)
+    src.attach("p", l_in)
+    switch.attach("in", l_in)
+    switch.attach("out", l_out)
+    dst.attach("p", l_out)
+    return sim, src, switch, dst
+
+
+def pkt(dst="10.0.0.2", **kw):
+    defaults = dict(src="10.0.0.1", dst=dst, size=1000, protocol="UDP",
+                    src_port=1, dst_port=2)
+    defaults.update(kw)
+    return Packet(**defaults)
+
+
+def test_forwarding_with_matching_rule():
+    sim, src, switch, dst = build()
+    switch.install(FlowRule(FlowMatch(dst_ip="10.0.0.2"), [Output("out")]))
+    src.send("p", pkt())
+    sim.run()
+    assert len(dst.received) == 1
+
+
+def test_table_miss_drops():
+    sim, src, switch, dst = build()
+    switch.install(FlowRule(FlowMatch(dst_ip="1.1.1.1"), [Output("out")]))
+    src.send("p", pkt())
+    sim.run()
+    assert dst.received == []
+    assert switch.table_misses == 1
+
+
+def test_priority_selects_rule():
+    sim, src, switch, dst = build()
+    switch.install(FlowRule(FlowMatch(), [Output("in")], priority=10,
+                            cookie="low"))
+    switch.install(FlowRule(FlowMatch(dst_ip="10.0.0.2"), [Output("out")],
+                            priority=200, cookie="high"))
+    src.send("p", pkt())
+    sim.run()
+    assert len(dst.received) == 1
+
+
+def test_gtp_decap_encap_chain():
+    sim, src, switch, dst = build()
+    switch.install(FlowRule(
+        FlowMatch(teid=0x10),
+        [GtpDecap(), GtpEncap(0x20, "172.16.0.1", "172.16.0.2"),
+         Output("out")]))
+    packet = gtp_encapsulate(pkt(), 0x10, "192.168.1.1", "172.16.0.1")
+    src.send("p", packet)
+    sim.run()
+    assert len(dst.received) == 1
+    out = dst.received[0]
+    assert is_gtp(out)
+    assert out.find_header("GTP-U")["teid"] == 0x20
+
+
+def test_remove_by_cookie():
+    sim, src, switch, dst = build()
+    switch.install(FlowRule(FlowMatch(), [Output("out")], cookie="x"))
+    removed = switch.remove("x")
+    assert len(removed) == 1
+    src.send("p", pkt())
+    sim.run()
+    assert switch.table_misses == 1
+
+
+def test_fast_path_cache_hit_counting():
+    sim, src, switch, dst = build(profile=ACACIA_OVS_PROFILE)
+    switch.install(FlowRule(FlowMatch(dst_ip="10.0.0.2"), [Output("out")]))
+    for _ in range(5):
+        src.send("p", pkt())
+    sim.run()
+    assert switch.slow_path_hits == 1
+    assert switch.fast_path_hits == 4
+    assert len(dst.received) == 5
+
+
+def test_no_fast_path_profile_always_slow():
+    sim, src, switch, dst = build(profile=OPENEPC_USERSPACE_PROFILE)
+    switch.install(FlowRule(FlowMatch(dst_ip="10.0.0.2"), [Output("out")]))
+    for _ in range(5):
+        src.send("p", pkt())
+    sim.run()
+    assert switch.slow_path_hits == 5
+    assert switch.fast_path_hits == 0
+
+
+def test_cpu_serialisation_caps_throughput():
+    """With a 100us per-packet cost, 10 packets take ~1ms to process."""
+    profile = DataPlaneProfile("slow", slow_path_cost=100e-6,
+                               fast_path_cost=100e-6, has_fast_path=False)
+    sim, src, switch, dst = build(profile=profile)
+    switch.install(FlowRule(FlowMatch(dst_ip="10.0.0.2"), [Output("out")]))
+    for _ in range(10):
+        src.send("p", pkt())
+    sim.run()
+    assert len(dst.received) == 10
+    # 10 packets * 100us CPU each, serialized
+    assert sim.now == pytest.approx(10 * 100e-6, rel=0.1)
+
+
+def test_install_invalidates_cache():
+    sim, src, switch, dst = build(profile=ACACIA_OVS_PROFILE)
+    switch.install(FlowRule(FlowMatch(dst_ip="10.0.0.2"), [Output("out")],
+                            priority=10))
+    src.send("p", pkt())
+    sim.run()
+    # higher-priority rule shadows the old one; cache must not bypass it
+    switch.install(FlowRule(FlowMatch(dst_ip="10.0.0.2"), [Output("in")],
+                            priority=500))
+    src.send("p", pkt())
+    sim.run()
+    assert len(dst.received) == 1   # second packet went elsewhere
+
+
+def test_ideal_profile_forwards_inline():
+    sim, src, switch, dst = build(profile=IDEAL_PROFILE)
+    switch.install(FlowRule(FlowMatch(dst_ip="10.0.0.2"), [Output("out")]))
+    src.send("p", pkt())
+    sim.run()
+    # only link serialization (2 hops at 1 Gbps, 1000B) contributes
+    assert sim.now == pytest.approx(2 * 8000 / 1e9, rel=0.01)

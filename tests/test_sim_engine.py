@@ -1,0 +1,210 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Process, SimulationError, Simulator
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    seen = []
+    sim.schedule(2.0, seen.append, "b")
+    sim.schedule(1.0, seen.append, "a")
+    sim.schedule(3.0, seen.append, "c")
+    sim.run()
+    assert seen == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_ties_break_by_insertion_order():
+    sim = Simulator()
+    seen = []
+    for tag in "abc":
+        sim.schedule(1.0, seen.append, tag)
+    sim.run()
+    assert seen == ["a", "b", "c"]
+
+
+def test_priority_overrides_insertion_order():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, seen.append, "late", priority=5)
+    sim.schedule(1.0, seen.append, "early", priority=0)
+    sim.run()
+    assert seen == ["early", "late"]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, lambda: sim.schedule_at(5.0, seen.append, "x"))
+    sim.run()
+    assert seen == ["x"]
+    assert sim.now == 5.0
+
+
+def test_schedule_at_past_rejected():
+    sim = Simulator()
+
+    def later():
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    sim.schedule(1.0, later)
+    sim.run()
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    seen = []
+    event = sim.schedule(1.0, seen.append, "x")
+    event.cancel()
+    sim.run()
+    assert seen == []
+
+
+def test_run_until_stops_clock_at_bound():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, seen.append, "a")
+    sim.schedule(10.0, seen.append, "b")
+    sim.run(until=5.0)
+    assert seen == ["a"]
+    assert sim.now == 5.0
+    sim.run()
+    assert seen == ["a", "b"]
+
+
+def test_step_runs_single_event():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, seen.append, "a")
+    sim.schedule(2.0, seen.append, "b")
+    assert sim.step()
+    assert seen == ["a"]
+    assert sim.step()
+    assert not sim.step()
+
+
+def test_pending_counts_live_events():
+    sim = Simulator()
+    e1 = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending == 2
+    e1.cancel()
+    assert sim.pending == 1
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    seen = []
+
+    def first():
+        seen.append("first")
+        sim.schedule(1.0, seen.append, "second")
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert seen == ["first", "second"]
+    assert sim.now == 2.0
+
+
+def test_max_events_bound():
+    sim = Simulator()
+    seen = []
+    for i in range(10):
+        sim.schedule(float(i), seen.append, i)
+    sim.run(max_events=3)
+    assert seen == [0, 1, 2]
+
+
+class TestProcess:
+    def test_process_sleeps_for_yielded_delay(self):
+        sim = Simulator()
+        trace = []
+
+        def proc():
+            trace.append(sim.now)
+            yield 1.5
+            trace.append(sim.now)
+            yield 2.5
+            trace.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run()
+        assert trace == [0.0, 1.5, 4.0]
+
+    def test_process_join_waits_for_child(self):
+        sim = Simulator()
+        trace = []
+
+        def child():
+            yield 3.0
+            return "done"
+
+        def parent():
+            proc = sim.spawn(child())
+            result = yield proc
+            trace.append((sim.now, result))
+
+        sim.spawn(parent())
+        sim.run()
+        assert trace == [(3.0, "done")]
+
+    def test_join_already_finished_process(self):
+        sim = Simulator()
+        trace = []
+
+        def child():
+            yield 0.5
+            return 42
+
+        def parent(proc):
+            yield 2.0
+            value = yield proc
+            trace.append(value)
+
+        proc = sim.spawn(child())
+        sim.spawn(parent(proc))
+        sim.run()
+        assert trace == [42]
+
+    def test_yield_none_resumes_without_time_advance(self):
+        sim = Simulator()
+        trace = []
+
+        def proc():
+            yield None
+            trace.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run()
+        assert trace == [0.0]
+
+    def test_negative_yield_raises(self):
+        sim = Simulator()
+
+        def proc():
+            yield -1.0
+
+        sim.spawn(proc())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_process_return_value_recorded(self):
+        sim = Simulator()
+
+        def proc():
+            yield 1.0
+            return "value"
+
+        handle = sim.spawn(proc())
+        sim.run()
+        assert handle.finished
+        assert handle.value == "value"

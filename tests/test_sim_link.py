@@ -1,0 +1,179 @@
+"""Unit tests for links: serialization, propagation, queueing, QoS."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+from repro.sim.node import Node, PacketSink
+from repro.sim.packet import Packet
+
+
+def wire(sim, bandwidth=1e6, delay=0.01, **kw):
+    src = Node(sim, "src", ip="10.0.0.1")
+    sink = PacketSink(sim, "dst", ip="10.0.0.2")
+    link = Link(sim, "l0", bandwidth=bandwidth, delay=delay, **kw)
+    src.attach("out", link)
+    sink.attach("in", link)
+    return src, sink, link
+
+
+def pkt(size=1000, **kw):
+    defaults = dict(src="10.0.0.1", dst="10.0.0.2", size=size)
+    defaults.update(kw)
+    return Packet(**defaults)
+
+
+def test_delivery_time_is_serialization_plus_propagation():
+    sim = Simulator()
+    src, sink, _ = wire(sim, bandwidth=1e6, delay=0.01)
+    src.send("out", pkt(size=1000))  # 8000 bits / 1e6 bps = 8 ms
+    sim.run()
+    assert sink.arrival_times == [pytest.approx(0.018)]
+
+
+def test_back_to_back_packets_serialize_sequentially():
+    sim = Simulator()
+    src, sink, _ = wire(sim, bandwidth=1e6, delay=0.0)
+    src.send("out", pkt())
+    src.send("out", pkt())
+    sim.run()
+    assert sink.arrival_times == [pytest.approx(0.008), pytest.approx(0.016)]
+
+
+def test_queue_overflow_drops_tail():
+    sim = Simulator()
+    src, sink, link = wire(sim, bandwidth=1e6, delay=0.0, queue_bytes=2500)
+    for _ in range(5):
+        src.send("out", pkt(size=1000))
+    sim.run()
+    # first packet starts transmitting immediately; at most 2 more fit in
+    # the 2500-byte queue, rest are dropped
+    assert len(sink.received) == 3
+    assert link.stats(src)["drops"] == 2
+
+
+def test_duplex_directions_are_independent():
+    sim = Simulator()
+    a = PacketSink(sim, "a", ip="10.0.0.1")
+    b = PacketSink(sim, "b", ip="10.0.0.2")
+    link = Link(sim, "l", bandwidth=1e6, delay=0.001)
+    a.attach("p", link)
+    b.attach("p", link)
+    a.send("p", pkt(src="10.0.0.1", dst="10.0.0.2"))
+    b.send("p", pkt(src="10.0.0.2", dst="10.0.0.1"))
+    sim.run()
+    assert len(a.received) == 1
+    assert len(b.received) == 1
+
+
+def test_third_endpoint_rejected():
+    sim = Simulator()
+    link = Link(sim, "l", bandwidth=1e6, delay=0.0)
+    Node(sim, "a").attach("p", link)
+    Node(sim, "b").attach("p", link)
+    with pytest.raises(ValueError):
+        Node(sim, "c").attach("p", link)
+
+
+def test_transmit_from_unattached_node_rejected():
+    sim = Simulator()
+    _, _, link = wire(sim)
+    stranger = Node(sim, "stranger")
+    with pytest.raises(ValueError):
+        link.transmit(stranger, pkt())
+
+
+def test_invalid_parameters_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Link(sim, "l", bandwidth=0, delay=0.0)
+    with pytest.raises(ValueError):
+        Link(sim, "l", bandwidth=1e6, delay=-1.0)
+
+
+def test_send_via_unknown_port_raises():
+    sim = Simulator()
+    node = Node(sim, "n")
+    with pytest.raises(KeyError):
+        node.send("nope", pkt())
+
+
+def test_qos_priority_queue_reorders_by_qci():
+    sim = Simulator()
+    src, sink, link = wire(sim, bandwidth=1e5, delay=0.0, qos_priority=True)
+    link.set_qci_priority(5, 1)   # high priority
+    link.set_qci_priority(9, 9)   # low priority
+    # first packet occupies the transmitter; the rest queue up
+    src.send("out", pkt(size=1000, qci=9))
+    for _ in range(3):
+        src.send("out", pkt(size=1000, qci=9))
+    src.send("out", pkt(size=1000, qci=5))
+    sim.run()
+    qcis = [p.qci for p in sink.received]
+    assert qcis[0] == 9           # already in flight
+    assert qcis[1] == 5           # priority packet jumps the queue
+    assert qcis[2:] == [9, 9, 9]
+
+
+def test_packets_without_qci_are_best_effort():
+    sim = Simulator()
+    src, sink, link = wire(sim, bandwidth=1e5, delay=0.0, qos_priority=True)
+    link.set_qci_priority(5, 1)
+    src.send("out", pkt(size=1000))          # occupies transmitter
+    src.send("out", pkt(size=1000))          # queued, best effort
+    src.send("out", pkt(size=1000, qci=5))   # queued, high priority
+    sim.run()
+    assert [p.qci for p in sink.received] == [None, 5, None]
+
+
+def test_echo_sink_returns_packet():
+    sim = Simulator()
+    src = PacketSink(sim, "src", ip="10.0.0.1")
+    echo = PacketSink(sim, "echo", ip="10.0.0.2", echo=True)
+    link = Link(sim, "l", bandwidth=1e6, delay=0.005)
+    src.attach("p", link)
+    echo.attach("p", link)
+    src.send("p", pkt())
+    sim.run()
+    assert len(src.received) == 1
+    reply = src.received[0]
+    assert reply.src == "10.0.0.2" and reply.dst == "10.0.0.1"
+    # RTT = 2 * (serialization + propagation)
+    assert sim.now == pytest.approx(2 * (0.008 + 0.005))
+
+
+def test_link_stats_counts_tx():
+    sim = Simulator()
+    src, _, link = wire(sim)
+    src.send("out", pkt(size=1000))
+    sim.run()
+    stats = link.stats(src)
+    assert stats["tx_packets"] == 1
+    assert stats["tx_bytes"] == 1000
+    assert stats["queued_bytes"] == 0
+
+
+def test_asymmetric_bandwidth_per_direction():
+    """First-attached endpoint's outbound direction gets `bandwidth`,
+    the reverse gets `bandwidth_reverse` (the LTE UL/DL split)."""
+    sim = Simulator()
+    ue = PacketSink(sim, "ue", ip="10.0.0.1")
+    enb = PacketSink(sim, "enb", ip="10.0.0.2")
+    link = Link(sim, "radio", bandwidth=1e6, bandwidth_reverse=4e6,
+                delay=0.0)
+    ue.attach("p", link)
+    enb.attach("p", link)
+    ue.send("p", pkt(src="10.0.0.1", dst="10.0.0.2", size=1000))
+    sim.run()
+    uplink_time = enb.arrival_times[0]
+    enb.send("p", pkt(src="10.0.0.2", dst="10.0.0.1", size=1000))
+    sim.run()
+    downlink_time = ue.arrival_times[0] - uplink_time
+    assert uplink_time == pytest.approx(0.008)      # 8000 b / 1 Mbps
+    assert downlink_time == pytest.approx(0.002)    # 8000 b / 4 Mbps
+
+
+def test_invalid_reverse_bandwidth_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Link(sim, "l", bandwidth=1e6, bandwidth_reverse=0.0, delay=0.0)

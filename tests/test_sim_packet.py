@@ -1,0 +1,88 @@
+"""Unit tests for the packet/header model."""
+
+import pytest
+
+from repro.sim.packet import Header, Packet
+
+
+def make_packet(**kw):
+    defaults = dict(src="10.0.0.1", dst="10.0.0.2", size=1000,
+                    protocol="UDP", src_port=1234, dst_port=80)
+    defaults.update(kw)
+    return Packet(**defaults)
+
+
+def test_wire_size_is_payload_without_headers():
+    assert make_packet(size=500).wire_size == 500
+
+
+def test_push_header_adds_to_wire_size():
+    pkt = make_packet(size=1000)
+    pkt.push_header(Header("GTP-U", 8, {"teid": 0x10}))
+    pkt.push_header(Header("UDP", 8))
+    pkt.push_header(Header("IPv4", 20))
+    assert pkt.wire_size == 1036
+
+
+def test_pop_header_lifo_order():
+    pkt = make_packet()
+    pkt.push_header(Header("GTP-U", 8))
+    pkt.push_header(Header("IPv4", 20))
+    assert pkt.pop_header().protocol == "IPv4"
+    assert pkt.pop_header().protocol == "GTP-U"
+
+
+def test_pop_header_protocol_mismatch_raises():
+    pkt = make_packet()
+    pkt.push_header(Header("GTP-U", 8))
+    with pytest.raises(ValueError):
+        pkt.pop_header("IPv4")
+
+
+def test_pop_empty_raises():
+    with pytest.raises(ValueError):
+        make_packet().pop_header()
+
+
+def test_outer_header():
+    pkt = make_packet()
+    assert pkt.outer_header() is None
+    pkt.push_header(Header("GTP-U", 8))
+    assert pkt.outer_header().protocol == "GTP-U"
+
+
+def test_find_header_by_protocol():
+    pkt = make_packet()
+    pkt.push_header(Header("GTP-U", 8, {"teid": 7}))
+    pkt.push_header(Header("UDP", 8))
+    found = pkt.find_header("GTP-U")
+    assert found is not None and found["teid"] == 7
+    assert pkt.find_header("SCTP") is None
+
+
+def test_five_tuple():
+    pkt = make_packet()
+    assert pkt.five_tuple == ("10.0.0.1", "10.0.0.2", "UDP", 1234, 80)
+
+
+def test_copy_is_independent():
+    pkt = make_packet()
+    pkt.push_header(Header("GTP-U", 8, {"teid": 1}))
+    clone = pkt.copy()
+    assert clone.packet_id != pkt.packet_id
+    clone.headers[0].fields["teid"] = 2
+    assert pkt.headers[0]["teid"] == 1
+    clone.meta["x"] = 1
+    assert "x" not in pkt.meta
+
+
+def test_packet_ids_unique():
+    ids = {make_packet().packet_id for _ in range(100)}
+    assert len(ids) == 100
+
+
+def test_header_get_and_getitem():
+    header = Header("GTP-U", 8, {"teid": 42})
+    assert header["teid"] == 42
+    assert header.get("teid") == 42
+    assert header.get("missing", "d") == "d"

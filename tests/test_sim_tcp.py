@@ -1,0 +1,121 @@
+"""Tests for the Reno-lite TCP model."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+from repro.sim.tcp import TcpSink, TcpSource
+
+
+def build(bandwidth=10e6, delay=0.005, queue_bytes=30_000, **source_kw):
+    sim = Simulator()
+    src = TcpSource(sim, "tcp", dst="10.0.0.2", ip="10.0.0.1",
+                    **source_kw)
+    sink = TcpSink(sim, "sink", ip="10.0.0.2")
+    link = Link(sim, "l", bandwidth=bandwidth, delay=delay,
+                queue_bytes=queue_bytes)
+    src.attach("out", link)
+    sink.attach("net", link)
+    return sim, src, sink
+
+
+def test_saturates_bottleneck():
+    sim, src, sink = build(bandwidth=10e6)
+    src.start()
+    sim.run(until=5.0)
+    src.stop()
+    assert src.goodput(5.0) == pytest.approx(10e6, rel=0.15)
+
+
+def test_slow_start_doubles_window_early():
+    sim, src, sink = build(bandwidth=100e6, queue_bytes=10**6)
+    src.start()
+    sim.run(until=0.3)
+    # several RTTs of exponential growth from cwnd=2
+    assert src.cwnd > 16
+
+
+def test_losses_trigger_backoff():
+    """A shallow buffer forces drops; fast retransmit repairs them and
+    the window shows the classic sawtooth."""
+    sim, src, sink = build(bandwidth=5e6, queue_bytes=8_000)
+    src.start()
+    sim.run(until=10.0)
+    src.stop()
+    assert src.retransmits > 0
+    cwnds = [c for _, c in src.cwnd_trace]
+    decreases = sum(1 for a, b in zip(cwnds, cwnds[1:]) if b < a)
+    assert decreases >= 3               # several multiplicative backoffs
+    assert max(cwnds) > 4.0             # and growth in between
+
+
+def test_all_segments_delivered_despite_losses():
+    sim, src, sink = build(bandwidth=5e6, queue_bytes=8_000,
+                           total_packets=200)
+    src.start()
+    sim.run(until=30.0)
+    assert src.complete
+    assert sink.received_seqs == set(range(200))
+
+
+def test_rtt_estimator_tracks_path():
+    # cap the window below the BDP so the flow never queues on itself
+    sim, src, sink = build(bandwidth=50e6, delay=0.020,
+                           queue_bytes=10**6, max_cwnd=32)
+    src.start()
+    sim.run(until=2.0)
+    # srtt ~ 2 * 20 ms propagation (+ serialization)
+    assert src.srtt == pytest.approx(0.0415, abs=0.01)
+    assert src.rto < 1.0
+
+
+def test_bufferbloat_inflates_srtt():
+    """With a deep buffer and no window cap, the flow queues on itself
+    and the measured RTT grows well beyond the propagation delay."""
+    sim, src, sink = build(bandwidth=50e6, delay=0.020,
+                           queue_bytes=10**6)
+    src.start()
+    sim.run(until=2.0)
+    assert src.srtt > 0.08              # >> the 41.5 ms base RTT
+
+
+def test_two_flows_share_bottleneck():
+    sim = Simulator()
+    sink = TcpSink(sim, "sink", ip="10.0.0.9")
+    # both flows enter a common bottleneck through separate access links
+    from repro.sdn.switch import FlowSwitch
+    from repro.sdn.openflow import FlowMatch, FlowRule, Output
+    mux = FlowSwitch(sim, "mux")
+    bottleneck = Link(sim, "b", bandwidth=10e6, delay=0.005,
+                      queue_bytes=40_000)
+    mux.attach("down", bottleneck)
+    sink.attach("net", bottleneck)
+    mux.install(FlowRule(FlowMatch(dst_ip="10.0.0.9"), [Output("down")]))
+    sources = []
+    for i in range(2):
+        src = TcpSource(sim, f"tcp{i}", dst="10.0.0.9",
+                        ip=f"10.0.0.{i + 1}")
+        access = Link(sim, f"a{i}", bandwidth=100e6, delay=0.001)
+        src.attach("out", access)
+        mux.attach(f"up{i}", access)
+        mux.install(FlowRule(FlowMatch(dst_ip=f"10.0.0.{i + 1}"),
+                             [Output(f"up{i}")]))
+        sources.append(src)
+    sources[0].start(at=0.0)
+    sources[1].start(at=0.5)
+    sim.run(until=20.0)
+    g0 = sources[0].goodput(20.0)
+    g1 = sources[1].goodput(20.0)
+    total = g0 + g1
+    assert total == pytest.approx(10e6, rel=0.2)
+    # rough fairness: neither flow starves
+    assert min(g0, g1) / max(g0, g1) > 0.25
+
+
+def test_finite_transfer_stops():
+    sim, src, sink = build(bandwidth=10e6, total_packets=50)
+    src.start()
+    sim.run(until=10.0)
+    assert src.complete
+    assert src.packets_sent >= 50
+    assert sim.pending == 0             # no timers leak after completion

@@ -1,0 +1,59 @@
+"""Unit tests for empirical WAN (LTE-to-EC2) models."""
+
+import numpy as np
+import pytest
+
+from repro.sim.wan import LTE_WAN_PROFILES, WANProfile, rtt_cdf
+
+
+def test_profiles_cover_three_regions():
+    assert set(LTE_WAN_PROFILES) == {
+        "ec2-california", "ec2-oregon", "ec2-virginia"}
+
+
+def test_california_median_near_70ms():
+    profile = LTE_WAN_PROFILES["ec2-california"]
+    assert profile.median_rtt() == pytest.approx(0.070, abs=0.005)
+
+
+def test_region_ordering_matches_paper():
+    """CA < OR < VA in median RTT; CA has the highest uplink."""
+    ca = LTE_WAN_PROFILES["ec2-california"]
+    om = LTE_WAN_PROFILES["ec2-oregon"]
+    va = LTE_WAN_PROFILES["ec2-virginia"]
+    assert ca.median_rtt() < om.median_rtt() < va.median_rtt()
+    assert (ca.ul_bandwidth("excellent") > om.ul_bandwidth("excellent")
+            > va.ul_bandwidth("excellent"))
+
+
+def test_samples_respect_floor():
+    profile = LTE_WAN_PROFILES["ec2-california"]
+    rng = np.random.default_rng(0)
+    samples = profile.sample_rtt(rng, 10_000)
+    assert samples.min() > profile.base_rtt
+    assert np.median(samples) == pytest.approx(profile.median_rtt(), rel=0.05)
+
+
+def test_fair_signal_halves_bandwidth_roughly():
+    for profile in LTE_WAN_PROFILES.values():
+        ratio = profile.ul_bandwidth("fair") / profile.ul_bandwidth("excellent")
+        assert 0.4 <= ratio <= 0.6
+
+
+def test_unknown_signal_quality_rejected():
+    profile = LTE_WAN_PROFILES["ec2-california"]
+    with pytest.raises(ValueError):
+        profile.ul_bandwidth("poor")
+
+
+def test_rtt_cdf_shape():
+    xs, ps = rtt_cdf(np.array([3.0, 1.0, 2.0]))
+    assert list(xs) == [1.0, 2.0, 3.0]
+    assert ps[-1] == 1.0
+    assert np.all(np.diff(ps) > 0)
+
+
+def test_wan_profile_is_frozen():
+    profile = LTE_WAN_PROFILES["ec2-california"]
+    with pytest.raises(AttributeError):
+        profile.base_rtt = 0.0

@@ -1,0 +1,105 @@
+"""Tests for synthetic feature extraction and feature-count calibration."""
+
+import numpy as np
+import pytest
+
+from repro.vision.camera import (R320x240, R480x360, R720x480, R960x720,
+                                 R1280x720, R1440x1080, CameraModel,
+                                 Resolution, PREVIEW_FPS)
+from repro.vision.features import (DESCRIPTOR_DIM, FeatureExtractor,
+                                   Frame, ObjectModel,
+                                   expected_feature_count)
+
+
+class TestFeatureCounts:
+    def test_measured_points_exact(self):
+        assert expected_feature_count(R320x240) == 392.5
+        assert expected_feature_count(R960x720) == 1704.9
+        assert expected_feature_count(R1440x1080) == 2641.2
+
+    def test_power_law_interpolation_monotone(self):
+        resolutions = [R320x240, R480x360, R720x480, R960x720,
+                       R1280x720, R1440x1080]
+        counts = [expected_feature_count(r) for r in resolutions]
+        assert counts == sorted(counts)
+
+    def test_interpolated_720x480_between_neighbours(self):
+        count = expected_feature_count(R720x480)
+        assert expected_feature_count(R480x360) < count
+        assert count < expected_feature_count(R960x720)
+
+
+class TestObjectModel:
+    def test_generation_deterministic_by_name(self):
+        a = ObjectModel.generate("laptop-1")
+        b = ObjectModel.generate("laptop-1")
+        assert np.array_equal(a.descriptors, b.descriptors)
+
+    def test_different_names_differ(self):
+        a = ObjectModel.generate("laptop-1")
+        b = ObjectModel.generate("laptop-2")
+        assert not np.array_equal(a.descriptors, b.descriptors)
+
+    def test_descriptors_are_unit_vectors(self):
+        obj = ObjectModel.generate("x", n_features=50)
+        norms = np.linalg.norm(obj.descriptors, axis=1)
+        assert np.allclose(norms, 1.0)
+        assert obj.descriptors.shape == (50, DESCRIPTOR_DIM)
+        assert obj.n_features == 50
+
+
+class TestFeatureExtractor:
+    def test_frame_of_object_contains_truth(self):
+        extractor = FeatureExtractor(np.random.default_rng(0))
+        obj = ObjectModel.generate("x", n_features=100)
+        frame = extractor.frame_of(obj, R320x240)
+        assert frame.true_object == "x"
+        # visible fraction + clutter
+        assert 80 + 40 == frame.n_features
+
+    def test_frame_descriptors_near_object_descriptors(self):
+        extractor = FeatureExtractor(np.random.default_rng(0))
+        obj = ObjectModel.generate("x", n_features=100)
+        frame = extractor.frame_of(obj, R320x240)
+        # the visible features should be highly similar to some object row
+        sims = frame.descriptors[:80] @ obj.descriptors.T
+        assert float(np.mean(sims.max(axis=1))) > 0.9
+
+    def test_clutter_frame_has_no_truth(self):
+        extractor = FeatureExtractor(np.random.default_rng(0))
+        frame = extractor.clutter_frame(R320x240, n_features=60)
+        assert frame.true_object is None
+        assert frame.n_features == 60
+
+    def test_nominal_features_default_from_resolution(self):
+        frame = Frame(resolution=R960x720,
+                      descriptors=np.zeros((1, DESCRIPTOR_DIM)),
+                      keypoints=np.zeros((1, 2)))
+        assert frame.nominal_features == 1704.9
+
+
+class TestCameraModel:
+    def test_table_lookup(self):
+        camera = CameraModel()
+        assert camera.preview_fps(R320x240) == 30.0
+        assert camera.preview_fps(Resolution(1920, 1080)) == 10.0
+
+    def test_fps_decreases_with_resolution(self):
+        camera = CameraModel()
+        ordered = sorted(PREVIEW_FPS, key=lambda r: r.pixels)
+        fps = [camera.preview_fps(r) for r in ordered]
+        assert fps == sorted(fps, reverse=True)
+
+    def test_interpolation_between_known_points(self):
+        camera = CameraModel()
+        fps = camera.preview_fps(R960x720)   # not in the table
+        assert 15.0 <= fps <= 30.0
+
+    def test_extremes_clamped(self):
+        camera = CameraModel()
+        assert camera.preview_fps(Resolution(64, 64)) == 30.0
+        assert camera.preview_fps(Resolution(4000, 3000)) == 10.0
+
+    def test_frame_interval(self):
+        camera = CameraModel()
+        assert camera.frame_interval(R320x240) == pytest.approx(1 / 30)

@@ -1,0 +1,97 @@
+"""Tests for the matching pipeline: accuracy on synthetic descriptors."""
+
+import numpy as np
+import pytest
+
+from repro.vision.camera import R320x240
+from repro.vision.features import FeatureExtractor, ObjectModel
+from repro.vision.matcher import MatchStats, ObjectMatcher
+
+
+@pytest.fixture()
+def setup():
+    rng = np.random.default_rng(42)
+    extractor = FeatureExtractor(np.random.default_rng(7))
+    matcher = ObjectMatcher(rng=rng)
+    objects = [ObjectModel.generate(f"obj-{i}", n_features=80, seed=i)
+               for i in range(10)]
+    return extractor, matcher, objects
+
+
+def test_true_object_accepted(setup):
+    extractor, matcher, objects = setup
+    frame = extractor.frame_of(objects[3], R320x240)
+    outcome = matcher.match_one(frame, objects[3])
+    assert outcome.accepted
+    assert outcome.stage_reached == "accept"
+    assert outcome.inliers >= matcher.min_inliers
+
+
+def test_wrong_object_rejected(setup):
+    extractor, matcher, objects = setup
+    frame = extractor.frame_of(objects[3], R320x240)
+    outcome = matcher.match_one(frame, objects[5])
+    assert not outcome.accepted
+
+
+def test_clutter_frame_rejected_by_all(setup):
+    extractor, matcher, objects = setup
+    frame = extractor.clutter_frame(R320x240, n_features=120)
+    assert matcher.match_frame(frame, objects) is None
+
+
+def test_match_frame_finds_correct_object(setup):
+    extractor, matcher, objects = setup
+    for target in (0, 4, 9):
+        frame = extractor.frame_of(objects[target], R320x240)
+        best = matcher.match_frame(frame, objects)
+        assert best is not None
+        assert best.object_name == f"obj-{target}"
+
+
+def test_match_frame_misses_when_object_pruned_away(setup):
+    """The rxPower scheme's false-negative mode: the true object is not
+    in the searched subset, so no match is returned."""
+    extractor, matcher, objects = setup
+    frame = extractor.frame_of(objects[3], R320x240)
+    pruned = [o for o in objects if o.name != "obj-3"]
+    assert matcher.match_frame(frame, pruned) is None
+
+
+def test_accuracy_over_many_frames(setup):
+    extractor, matcher, objects = setup
+    stats = MatchStats()
+    for i in range(10):
+        frame = extractor.frame_of(objects[i % len(objects)], R320x240)
+        best = matcher.match_frame(frame, objects)
+        stats.record(frame.true_object,
+                     best.object_name if best else None)
+    assert stats.true_positives == 10
+    assert stats.false_positives == 0
+
+
+def test_stage_progression_recorded(setup):
+    extractor, matcher, objects = setup
+    frame = extractor.clutter_frame(R320x240)
+    outcome = matcher.match_one(frame, objects[0])
+    assert outcome.stage_reached in ("ratio", "symmetry", "ransac")
+    assert not outcome.accepted
+
+
+def test_ratio_threshold_validation():
+    with pytest.raises(ValueError):
+        ObjectMatcher(ratio_threshold=1.5)
+
+
+def test_match_stats_categories():
+    stats = MatchStats()
+    stats.record("a", "a")      # TP
+    stats.record("a", None)     # FN
+    stats.record(None, "a")     # FP
+    stats.record(None, None)    # TN
+    stats.record("a", "b")      # FP (wrong object)
+    assert stats.true_positives == 1
+    assert stats.false_negatives == 1
+    assert stats.false_positives == 2
+    assert stats.true_negatives == 1
+    assert stats.total == 5
