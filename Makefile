@@ -2,13 +2,16 @@
 
 PYTHON ?= python
 
-.PHONY: test bench examples quick all clean-results
+.PHONY: test bench bench-matcher examples quick all clean-results
 
 test:
 	$(PYTHON) -m pytest tests/ -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+bench-matcher:   ## engine comparison on the Fig 11a workload -> BENCH_matcher.json
+	PYTHONPATH=src $(PYTHON) tools/bench_matcher.py
 
 quick:   ## tests + the sub-second benchmarks only
 	$(PYTHON) -m pytest tests/ -q

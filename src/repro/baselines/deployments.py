@@ -27,7 +27,7 @@ from repro.apps.ar_frontend import ARFrontend, ARSession
 from repro.apps.retail import (RETAIL_SERVICE, RetailCustomerApp,
                                RetailStore, landmark_map_for)
 from repro.apps.scenario import StoreScenario
-from repro.core.config import NetworkConfig
+from repro.core.config import MatcherConfig, NetworkConfig
 from repro.core.device_manager import AcaciaDeviceManager
 from repro.core.localization_manager import LocalizationManager
 from repro.core.mrs import MecRegistrationServer
@@ -86,8 +86,12 @@ def build_deployment(kind: str, db: ObjectDatabase,
                      scenario: StoreScenario, seed: int = 0,
                      server_device: DeviceProfile = DEVICES["i7-8core"],
                      user_position: Optional[tuple[float, float]] = None,
+                     matcher_config: Optional[MatcherConfig] = None,
                      ) -> Deployment:
-    """Build one of the three comparison deployments."""
+    """Build one of the three comparison deployments.
+
+    ``matcher_config`` selects the server's matching engine (default:
+    the batched engine; decision-equivalent to the reference)."""
     if kind not in DEPLOYMENT_KINDS:
         raise ValueError(f"unknown deployment kind {kind!r}; "
                          f"expected one of {DEPLOYMENT_KINDS}")
@@ -96,7 +100,8 @@ def build_deployment(kind: str, db: ObjectDatabase,
     regression = calibrate_from_radio(radio, np.random.default_rng(seed))
     landmark_map = landmark_map_for(scenario, regression)
     localization = LocalizationManager(landmark_map)
-    backend = ARBackend(db, scenario, localization, device=server_device)
+    backend = ARBackend(db, scenario, localization, device=server_device,
+                        matcher_config=matcher_config)
 
     if kind == "cloud":
         network = MobileNetwork(NetworkConfig(seed=seed))

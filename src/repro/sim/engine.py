@@ -29,20 +29,31 @@ class Event:
     popped, which keeps cancellation O(1).
     """
 
-    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled",
+                 "_sim", "_popped")
 
     def __init__(self, time: float, priority: int, seq: int,
-                 fn: Callable[..., Any], args: tuple):
+                 fn: Callable[..., Any], args: tuple,
+                 sim: Optional["Simulator"] = None):
         self.time = time
         self.priority = priority
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._sim = sim
+        self._popped = False
 
     def cancel(self) -> None:
         """Prevent this event's callback from running."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        # keep the owning simulator's live-event counter exact: an
+        # event still in the heap leaves the pending count when
+        # cancelled; one that already ran was counted off at pop time
+        if self._sim is not None and not self._popped:
+            self._sim._live -= 1
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.priority, self.seq) < (
@@ -117,6 +128,7 @@ class Simulator:
         self._heap: list[Event] = []
         self._seq = itertools.count()
         self._events_run = 0
+        self._live = 0          # not-yet-cancelled, not-yet-run events
 
     # -- scheduling -----------------------------------------------------
 
@@ -125,8 +137,10 @@ class Simulator:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        event = Event(self.now + delay, priority, next(self._seq), fn, args)
+        event = Event(self.now + delay, priority, next(self._seq), fn, args,
+                      sim=self)
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def schedule_at(self, time: float, fn: Callable[..., Any],
@@ -155,8 +169,10 @@ class Simulator:
             if until is not None and event.time > until:
                 break
             heapq.heappop(self._heap)
+            event._popped = True
             if event.cancelled:
                 continue
+            self._live -= 1
             self.now = event.time
             event.fn(*event.args)
             self._events_run += 1
@@ -170,8 +186,10 @@ class Simulator:
         """Run exactly one pending event.  Returns False if none remain."""
         while self._heap:
             event = heapq.heappop(self._heap)
+            event._popped = True
             if event.cancelled:
                 continue
+            self._live -= 1
             self.now = event.time
             event.fn(*event.args)
             self._events_run += 1
@@ -180,8 +198,12 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of not-yet-cancelled events still queued.
+
+        O(1): maintained as a live-event counter on push/pop/cancel
+        (monitoring loops call this per tick; scanning the heap made it
+        O(heap) per call)."""
+        return self._live
 
     @property
     def events_run(self) -> int:

@@ -15,6 +15,8 @@ two-fidelity substitution (documented in DESIGN.md):
   preserved without needing the authors' hardware.
 """
 
+from repro.vision.batch import (BatchObjectMatcher, CandidateMatrixCache,
+                                CandidateStack)
 from repro.vision.camera import CameraModel, Resolution
 from repro.vision.codec import CompressionModel, JPEG90
 from repro.vision.costmodel import DEVICES, DeviceProfile
@@ -22,9 +24,13 @@ from repro.vision.database import ObjectDatabase, ObjectRecord
 from repro.vision.features import (FeatureExtractor, Frame, ObjectModel,
                                    expected_feature_count)
 from repro.vision.matcher import MatchOutcome, ObjectMatcher
+from repro.vision.pool import MatcherPool
 
 __all__ = [
+    "BatchObjectMatcher",
     "CameraModel",
+    "CandidateMatrixCache",
+    "CandidateStack",
     "CompressionModel",
     "DEVICES",
     "DeviceProfile",
@@ -32,6 +38,7 @@ __all__ = [
     "Frame",
     "JPEG90",
     "MatchOutcome",
+    "MatcherPool",
     "ObjectDatabase",
     "ObjectMatcher",
     "ObjectModel",

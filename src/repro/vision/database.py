@@ -46,8 +46,32 @@ class ObjectRecord:
         return self.model.name
 
 
+def _condition_model(model: ObjectModel) -> None:
+    """Store descriptors unit-normalized, float64 and C-contiguous.
+
+    The matchers assume unit rows (cosine distance via a plain GEMM)
+    and contiguous memory (BLAS fast path; cheap stacking in the
+    batched engine).  Rows already unit within 1e-9 are left untouched
+    so a save/load round-trip is bit-stable.
+    """
+    descriptors = np.ascontiguousarray(model.descriptors, dtype=np.float64)
+    if descriptors.size:
+        norms = np.linalg.norm(descriptors, axis=1, keepdims=True)
+        off_unit = np.abs(norms - 1.0) > 1e-9
+        if np.any(off_unit):
+            np.divide(descriptors, norms, out=descriptors,
+                      where=off_unit & (norms > 0))
+    model.descriptors = descriptors
+    model.keypoints = np.ascontiguousarray(model.keypoints,
+                                           dtype=np.float64)
+
+
 class ObjectDatabase:
-    """Geo-tagged object store with section/sub-section queries."""
+    """Geo-tagged object store with section/sub-section queries.
+
+    Descriptor matrices are conditioned (unit-normalized, float64,
+    C-contiguous) on :meth:`add`, which covers both programmatic builds
+    and :meth:`load`."""
 
     def __init__(self) -> None:
         self._records: dict[str, ObjectRecord] = {}
@@ -55,6 +79,7 @@ class ObjectDatabase:
     def add(self, record: ObjectRecord) -> None:
         if record.name in self._records:
             raise ValueError(f"duplicate object {record.name!r}")
+        _condition_model(record.model)
         self._records[record.name] = record
 
     def get(self, name: str) -> ObjectRecord:

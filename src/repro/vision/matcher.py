@@ -31,18 +31,29 @@ class MatchOutcome:
     stage_reached: str = "ratio"     # ratio -> symmetry -> ransac -> accept
 
 
+#: Policy for candidate sets with fewer than two reference descriptors:
+#: the ratio test needs a second nearest neighbour to establish
+#: distinctiveness, and with none available it would vacuously pass
+#: every query (``d1 < ratio * inf``).  Both engines therefore REJECT
+#: all matches against lone-descriptor (or empty) candidates.  Shared
+#: by :class:`ObjectMatcher` and
+#: :class:`~repro.vision.batch.BatchObjectMatcher`.
+LONE_CANDIDATE_POLICY = "reject"
+
+
 def _knn2(queries: np.ndarray, references: np.ndarray
           ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """2-NN by cosine distance on unit vectors.
 
-    Returns (best_idx, best_dist, second_dist) per query row.
+    Requires at least two reference rows (callers apply the
+    lone-candidate policy first).  Returns
+    (best_idx, best_dist, second_dist) per query row.
     """
+    if references.shape[0] < 2:
+        raise ValueError("2-NN needs at least two reference descriptors; "
+                         "apply the lone-candidate policy upstream")
     similarity = queries @ references.T          # (q, r)
     distance = 1.0 - similarity
-    if references.shape[0] < 2:
-        best = np.argmin(distance, axis=1)
-        d1 = distance[np.arange(len(queries)), best]
-        return best, d1, np.full_like(d1, np.inf)
     order = np.argpartition(distance, 1, axis=1)[:, :2]
     rows = np.arange(len(queries))[:, None]
     two = distance[rows, order]
@@ -72,6 +83,8 @@ class ObjectMatcher:
 
     def _ratio_matches(self, a_desc: np.ndarray, b_desc: np.ndarray
                        ) -> list[tuple[int, int]]:
+        if len(a_desc) == 0 or b_desc.shape[0] < 2:
+            return []       # lone-candidate policy: no 2nd NN -> reject
         best, d1, d2 = _knn2(a_desc, b_desc)
         keep = d1 < self.ratio_threshold * d2
         return [(i, int(best[i])) for i in np.flatnonzero(keep)]
@@ -88,7 +101,8 @@ class ObjectMatcher:
         """Estimate a translation model; return the inlier count."""
         if len(pairs) < 2:
             return 0
-        offsets = np.array([frame_kp[i] - object_kp[j] for i, j in pairs])
+        pair_idx = np.asarray(pairs, dtype=np.intp)
+        offsets = frame_kp[pair_idx[:, 0]] - object_kp[pair_idx[:, 1]]
         best_inliers = 0
         n = len(pairs)
         for _ in range(self.ransac_iterations):
@@ -100,27 +114,38 @@ class ObjectMatcher:
 
     # -- public API -----------------------------------------------------------
 
-    def match_one(self, frame: Frame, obj: ObjectModel) -> MatchOutcome:
-        """Run the full pipeline for one frame/object pair."""
-        outcome = MatchOutcome(object_name=obj.name)
-        forward = self._ratio_matches(frame.descriptors, obj.descriptors)
+    def _match_arrays(self, frame: Frame, name: str,
+                      descriptors: np.ndarray,
+                      keypoints: np.ndarray) -> MatchOutcome:
+        """Full pipeline for one candidate given its raw arrays.
+
+        Factored out of :meth:`match_one` so the batched engine can run
+        the identical per-candidate arithmetic on stacked slices.
+        """
+        outcome = MatchOutcome(object_name=name)
+        forward = self._ratio_matches(frame.descriptors, descriptors)
         outcome.good_matches = len(forward)
         if len(forward) < self.min_inliers:
             return outcome
         outcome.stage_reached = "symmetry"
-        backward = self._ratio_matches(obj.descriptors, frame.descriptors)
+        backward = self._ratio_matches(descriptors, frame.descriptors)
         symmetric = self._symmetry_filter(forward, backward)
         outcome.symmetric_matches = len(symmetric)
         if len(symmetric) < self.min_inliers:
             return outcome
         outcome.stage_reached = "ransac"
-        inliers = self._ransac_translation(frame.keypoints, obj.keypoints,
+        inliers = self._ransac_translation(frame.keypoints, keypoints,
                                            symmetric)
         outcome.inliers = inliers
         if inliers >= self.min_inliers:
             outcome.accepted = True
             outcome.stage_reached = "accept"
         return outcome
+
+    def match_one(self, frame: Frame, obj: ObjectModel) -> MatchOutcome:
+        """Run the full pipeline for one frame/object pair."""
+        return self._match_arrays(frame, obj.name, obj.descriptors,
+                                  obj.keypoints)
 
     def match_frame(self, frame: Frame, candidates: Iterable[ObjectModel]
                     ) -> Optional[MatchOutcome]:

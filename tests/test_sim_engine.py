@@ -208,3 +208,38 @@ class TestProcess:
         sim.run()
         assert handle.finished
         assert handle.value == "value"
+
+
+def test_pending_tracks_cancel_after_run():
+    sim = Simulator()
+    early = sim.schedule(1.0, lambda: None)
+    late = sim.schedule(5.0, lambda: None)
+    sim.run(until=2.0)
+    assert sim.pending == 1
+    early.cancel()                       # already ran: counter unchanged
+    assert sim.pending == 1
+    late.cancel()
+    assert sim.pending == 0
+    late.cancel()                        # double-cancel is a no-op
+    assert sim.pending == 0
+
+
+def test_pending_matches_heap_scan_randomized():
+    import random
+
+    rnd = random.Random(1234)
+    sim = Simulator()
+    events = []
+    for step in range(300):
+        action = rnd.random()
+        if action < 0.5 or not events:
+            events.append(sim.schedule(rnd.uniform(0, 10), lambda: None))
+        elif action < 0.8:
+            events.pop(rnd.randrange(len(events))).cancel()
+        else:
+            sim.run(max_events=rnd.randrange(1, 4))
+        expected = sum(1 for e in sim._heap
+                       if not e.cancelled and not e._popped)
+        assert sim.pending == expected
+    sim.run()
+    assert sim.pending == 0

@@ -95,3 +95,34 @@ def test_match_stats_categories():
     assert stats.false_positives == 2
     assert stats.true_negatives == 1
     assert stats.total == 5
+
+
+def test_lone_reference_candidate_rejected(setup):
+    extractor, matcher, objects = setup
+    lone = ObjectModel(name="lone", descriptors=objects[0].descriptors[:1],
+                       keypoints=objects[0].keypoints[:1], seed=0)
+    frame = extractor.frame_of(objects[0], R320x240)
+    outcome = matcher.match_one(frame, lone)
+    # lone-candidate policy: no second neighbour means no ratio test,
+    # so every match is rejected rather than vacuously accepted
+    assert outcome.good_matches == 0
+    assert not outcome.accepted
+    assert outcome.stage_reached == "ratio"
+
+
+def test_empty_reference_candidate_rejected(setup):
+    extractor, matcher, objects = setup
+    empty = ObjectModel(name="empty",
+                        descriptors=objects[0].descriptors[:0],
+                        keypoints=objects[0].keypoints[:0], seed=0)
+    frame = extractor.frame_of(objects[0], R320x240)
+    outcome = matcher.match_one(frame, empty)
+    assert outcome.good_matches == 0
+    assert not outcome.accepted
+
+
+def test_knn2_requires_two_references(setup):
+    from repro.vision.matcher import _knn2
+    _, _, objects = setup
+    with pytest.raises(ValueError, match="lone-candidate"):
+        _knn2(objects[0].descriptors, objects[1].descriptors[:1])

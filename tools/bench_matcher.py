@@ -1,0 +1,197 @@
+#!/usr/bin/env python
+"""Wall-clock comparison of the matching engines on the Fig 11a workload.
+
+Runs the paper's naive-scheme search workload -- 24 checkpoints x 5
+frames at 960x720 against the whole 105-object store database -- through
+both engines and reports per-frame wall-clock times plus the speedup of
+the batched engine, asserting byte-identical match decisions along the
+way.  Results land in ``BENCH_matcher.json`` at the repository root.
+
+Protocol: engines alternate over ``--repeats`` timed passes (so CPU
+frequency drift hits both alike) and the reported time is the median
+pass.  The batched engine is timed in its two serving shapes:
+
+* ``batch_single``  -- ``match_frame`` per frame (cold cache on the
+  first frame, warm after);
+* ``batch_block``   -- ``match_frames`` per checkpoint (the workload's
+  natural shape: 5 frames per checkpoint share one screening GEMM).
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_matcher.py [--repeats N] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np                                          # noqa: E402
+
+from repro.apps.retail import build_retail_database         # noqa: E402
+from repro.apps.scenario import store_scenario              # noqa: E402
+from repro.apps.workload import CheckpointWorkload          # noqa: E402
+from repro.vision.batch import (BatchObjectMatcher,         # noqa: E402
+                                CandidateMatrixCache)
+from repro.vision.camera import R960x720                    # noqa: E402
+from repro.vision.matcher import ObjectMatcher              # noqa: E402
+
+SEED = 99
+N_FEATURES = 60
+WORKLOAD_SEED = 7
+
+
+def decision_tuple(outcome):
+    if outcome is None:
+        return None
+    return (outcome.object_name, outcome.good_matches,
+            outcome.symmetric_matches, outcome.inliers,
+            outcome.accepted, outcome.stage_reached)
+
+
+def build_workload():
+    scenario = store_scenario()
+    db = build_retail_database(scenario, n_features=N_FEATURES)
+    models = [record.model for record in db.all_records()]
+    workload = CheckpointWorkload(scenario, db, seed=WORKLOAD_SEED,
+                                  resolution=R960x720)
+    blocks = [sample.frames for sample in workload.samples()]
+    return models, blocks
+
+
+def run_reference(models, blocks):
+    matcher = ObjectMatcher(rng=np.random.default_rng(SEED))
+    start = time.perf_counter()
+    decisions = [decision_tuple(matcher.match_frame(frame, models))
+                 for block in blocks for frame in block]
+    return time.perf_counter() - start, decisions
+
+
+def run_batch_single(models, blocks, cache=None):
+    matcher = BatchObjectMatcher(rng=np.random.default_rng(SEED),
+                                 cache=cache)
+    start = time.perf_counter()
+    decisions = [decision_tuple(matcher.match_frame(frame, models))
+                 for block in blocks for frame in block]
+    return time.perf_counter() - start, decisions, matcher.cache
+
+
+def run_batch_block(models, blocks, cache=None):
+    matcher = BatchObjectMatcher(rng=np.random.default_rng(SEED),
+                                 cache=cache)
+    start = time.perf_counter()
+    decisions = []
+    for block in blocks:
+        decisions.extend(decision_tuple(outcome) for outcome in
+                         matcher.match_frames(block, models))
+    return time.perf_counter() - start, decisions, matcher.cache
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="timed alternating passes per engine")
+    parser.add_argument("--out", type=Path,
+                        default=REPO_ROOT / "BENCH_matcher.json")
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+
+    models, blocks = build_workload()
+    n_frames = sum(len(block) for block in blocks)
+    total_descriptors = sum(m.descriptors.shape[0] for m in models)
+    print(f"workload: {len(blocks)} checkpoints x {len(blocks[0])} frames "
+          f"= {n_frames} frames at 960x720, {len(models)} objects "
+          f"({total_descriptors} descriptors)")
+
+    # warm-up pass per engine (also the decision-equivalence check)
+    _, ref_decisions = run_reference(models, blocks)
+    _, single_decisions, warm_cache = run_batch_single(models, blocks)
+    _, block_decisions, _ = run_batch_block(models, blocks,
+                                            cache=warm_cache)
+    if single_decisions != ref_decisions:
+        print("FATAL: batch match_frame decisions differ from reference")
+        return 1
+    if block_decisions != ref_decisions:
+        print("FATAL: batch match_frames decisions differ from reference")
+        return 1
+    print(f"decision equivalence: all {n_frames} frame decisions "
+          "byte-identical across engines")
+
+    times = {"reference": [], "batch_single": [], "batch_block": []}
+    cold_time, _, _ = run_batch_single(models, blocks,
+                                       cache=CandidateMatrixCache())
+    for _ in range(args.repeats):
+        elapsed, decisions = run_reference(models, blocks)
+        assert decisions == ref_decisions
+        times["reference"].append(elapsed)
+        elapsed, decisions, _ = run_batch_single(models, blocks,
+                                                 cache=warm_cache)
+        assert decisions == ref_decisions
+        times["batch_single"].append(elapsed)
+        elapsed, decisions, _ = run_batch_block(models, blocks,
+                                                cache=warm_cache)
+        assert decisions == ref_decisions
+        times["batch_block"].append(elapsed)
+
+    median = {name: statistics.median(runs) for name, runs in times.items()}
+    per_frame = {name: value / n_frames * 1e3
+                 for name, value in median.items()}
+    speedup_single = median["reference"] / median["batch_single"]
+    speedup_block = median["reference"] / median["batch_block"]
+
+    print(f"reference:     {per_frame['reference']:8.3f} ms/frame")
+    print(f"batch single:  {per_frame['batch_single']:8.3f} ms/frame "
+          f"({speedup_single:.2f}x)")
+    print(f"batch block:   {per_frame['batch_block']:8.3f} ms/frame "
+          f"({speedup_block:.2f}x)")
+    print(f"batch cold-cache first pass: {cold_time / n_frames * 1e3:.3f} "
+          f"ms/frame")
+    print(f"cache stats: {warm_cache.stats()}")
+
+    report = {
+        "workload": {
+            "figure": "11a (naive scheme search space)",
+            "checkpoints": len(blocks),
+            "frames_per_checkpoint": len(blocks[0]),
+            "frames": n_frames,
+            "resolution": "960x720",
+            "objects": len(models),
+            "descriptors": total_descriptors,
+            "workload_seed": WORKLOAD_SEED,
+            "matcher_seed": SEED,
+        },
+        "protocol": {
+            "repeats": args.repeats,
+            "statistic": "median of alternating passes",
+        },
+        "times_s": times,
+        "median_s": median,
+        "per_frame_ms": per_frame,
+        "cold_cache_pass_s": cold_time,
+        "speedup": {
+            "batch_single_vs_reference": speedup_single,
+            "batch_block_vs_reference": speedup_block,
+        },
+        "decisions_identical": True,
+        "cache": warm_cache.stats(),
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if speedup_block < 5.0:
+        print(f"WARNING: block speedup {speedup_block:.2f}x below the "
+              "5x acceptance target")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
