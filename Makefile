@@ -2,10 +2,13 @@
 
 PYTHON ?= python
 
-.PHONY: test bench bench-matcher examples quick all clean-results
+.PHONY: test bench bench-matcher examples quick exp-smoke all clean-results
 
 test:
 	$(PYTHON) -m pytest tests/ -q
+
+exp-smoke:   ## tiny 2-seed experiment spec end-to-end through the parallel runner
+	PYTHONPATH=src $(PYTHON) -m repro exp run smoke --workers 2
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q

@@ -9,71 +9,34 @@
 Paper shape: below saturation the MEC server's proximity dominates;
 at/over ~90-100 Mbps the two shared designs explode while ACACIA stays
 flat at its low baseline.
+
+The measurement itself is the declarative ``fig10b`` preset (see
+:mod:`repro.exp.presets`) driven through the experiment runner, so
+``python -m repro exp run fig10b`` regenerates exactly these numbers.
 """
 
-import numpy as np
 import pytest
 
-from repro.core.config import NetworkConfig
-from repro.core.network import MobileNetwork, Pinger
-from repro.epc.entities import ServicePolicy
+from repro.exp import ExperimentRunner, preset, run_trial
 
+SYSTEM_LABELS = {"conventional": "Conventional EPC",
+                 "mec-shared": "EPC with MEC",
+                 "acacia": "ACACIA"}
 BG_RATES_MBPS = [0, 40, 80, 100]
-WARMUP = 6.0
-PINGS = 8
-INTERVAL = 0.4
-
-
-def _run_pings(network, ue, server_name, bg_mbps):
-    if bg_mbps > 0:
-        bg = network.add_background_load(rate=bg_mbps * 1e6)
-        bg.start()
-    pinger = Pinger(network, ue, server_name, size=1000, interval=INTERVAL)
-    pinger.run(count=PINGS, start=WARMUP)
-    network.sim.run(until=WARMUP + PINGS * INTERVAL + 8.0)
-    if not pinger.rtts:
-        return WARMUP + 8.0     # replies trapped behind the queue
-    return float(np.median(pinger.rtts))
-
-
-def measure_conventional(bg_mbps):
-    network = MobileNetwork(NetworkConfig(seed=23))
-    ue = network.add_ue()
-    return _run_pings(network, ue, "internet", bg_mbps)
-
-
-def measure_mec_shared(bg_mbps):
-    config = NetworkConfig(backhaul_delay=0.0006, core_delay=0.0004,
-                           internet_delay=0.0002, seed=23)
-    network = MobileNetwork(config)
-    ue = network.add_ue()
-    return _run_pings(network, ue, "internet", bg_mbps)
-
-
-def measure_acacia(bg_mbps):
-    network = MobileNetwork(NetworkConfig(seed=23))
-    network.pcrf.configure(ServicePolicy("ar", qci=7))
-    network.add_mec_site("mec")
-    network.add_server("mec-server", site_name="mec", echo=True)
-    ue = network.add_ue()
-    network.create_mec_bearer(ue, "mec-server", service_id="ar")
-    return _run_pings(network, ue, "mec-server", bg_mbps)
-
-
-SYSTEMS = [
-    ("Conventional EPC", measure_conventional),
-    ("EPC with MEC", measure_mec_shared),
-    ("ACACIA", measure_acacia),
-]
 
 
 def test_fig10b_isolation(report, benchmark):
+    spec = preset("fig10b")
+    outcome = ExperimentRunner(spec).run()
+    assert outcome.ok, [f.error for f in outcome.failures()]
+    metrics = outcome.metrics_by("system", "bg_mbps")
+
     results = {}
     rows = []
-    for label, fn in SYSTEMS:
+    for system, label in SYSTEM_LABELS.items():
         row = [label]
         for bg in BG_RATES_MBPS:
-            latency = fn(bg)
+            latency = metrics[(system, bg)]["median_rtt_ms"] / 1e3
             results[(label, bg)] = latency
             row.append(f"{latency * 1e3:.1f}")
         rows.append(row)
@@ -98,4 +61,8 @@ def test_fig10b_isolation(report, benchmark):
         results[("ACACIA", 0)], rel=0.5)
     assert results[("ACACIA", 100)] < 0.020
 
-    benchmark.pedantic(measure_acacia, args=(0,), rounds=1, iterations=1)
+    quiet_acacia = next(t for t in spec.trials()
+                        if t.param_dict["system"] == "acacia"
+                        and t.param_dict["bg_mbps"] == 0)
+    benchmark.pedantic(run_trial, args=(quiet_acacia,), rounds=1,
+                       iterations=1)

@@ -5,81 +5,35 @@ resolution -- plus the accuracy side-experiment.
 shape: ACACIA (sub-section pruning) up to ~5x faster than Naive and
 ~2x faster than rxPower; the Xeon beats the i7; Naive and ACACIA match
 every frame while rxPower suffers a boundary false negative.
+
+The measurement itself is the declarative ``fig11a`` preset (see
+:mod:`repro.exp.presets`) driven through the experiment runner, so
+``python -m repro exp run fig11a`` regenerates exactly these numbers.
 """
 
-import numpy as np
-
-from repro.apps.retail import landmark_map_for
-from repro.apps.workload import CheckpointWorkload
-from repro.core.localization_manager import LocalizationManager
-from repro.core.optimizer import SearchSpaceOptimizer
-from repro.d2d.radio import RadioModel
-from repro.localization.pathloss import calibrate_from_radio
+from repro.exp import ExperimentRunner, preset, run_trial
 from repro.vision.camera import R720x480, R960x720, R1280x720
-from repro.vision.costmodel import DEVICES
 
 SCHEMES = ["acacia", "rxpower", "naive"]
 MACHINES = ["i7-8core", "xeon-32core"]
 RESOLUTIONS = [R720x480, R960x720, R1280x720]
-FRAMES_PER_CHECKPOINT = 5
 
 
-def build_context(scenario, db, seed=31):
-    """Localisation state per checkpoint, from one observation round."""
-    radio = RadioModel()
-    rng = np.random.default_rng(seed)
-    regression = calibrate_from_radio(radio, rng)
-    localization = LocalizationManager(landmark_map_for(scenario,
-                                                        regression))
-    workload = CheckpointWorkload(scenario, db, radio=radio, seed=seed)
-    samples = []
-    for cp in scenario.checkpoints:
-        sample = workload.sample(cp)
-        # the user stands at the checkpoint through three discovery
-        # periods; the tracker's EWMA smooths the shadowing noise
-        for round_index in range(3):
-            observations = workload.landmark_observations(cp.position)
-            for landmark, rx_power in observations.items():
-                localization.report(cp.name, landmark, rx_power,
-                                    float(round_index))
-        samples.append(sample)
-    optimizer = SearchSpaceOptimizer(db, scenario)
-    return localization, optimizer, samples
-
-
-def search_space_for(scheme, localization, optimizer, cp_name):
-    if scheme == "naive":
-        return optimizer.naive()
-    if scheme == "rxpower":
-        return optimizer.rxpower(
-            localization.strongest_landmarks(cp_name, now=1.0))
-    location = localization.location(cp_name, now=1.0)
-    return optimizer.acacia(
-        location, localization.strongest_landmarks(cp_name, now=1.0))
-
-
-def test_fig11a_search_space(scenario, db, report, benchmark):
-    localization, optimizer, samples = build_context(scenario, db)
+def test_fig11a_search_space(report, benchmark):
+    spec = preset("fig11a")
+    outcome = ExperimentRunner(spec).run()
+    assert outcome.ok, [f.error for f in outcome.failures()]
+    metrics = outcome.metrics_by("machine")
 
     # --- timing table (cost model over the real pruned search spaces)
     rows = []
     mean_times = {}
     for machine in MACHINES:
-        device = DEVICES[machine]
+        per_machine = metrics[(machine,)]["mean_ms"]
         for resolution in RESOLUTIONS:
             row = [f"{machine} ({resolution})"]
             for scheme in SCHEMES:
-                times = []
-                for sample in samples:
-                    space = search_space_for(
-                        scheme, localization, optimizer,
-                        sample.checkpoint.name)
-                    t = device.db_match_time(
-                        resolution, db_objects=space.size,
-                        object_features=db.mean_nominal_features(
-                            space.records))
-                    times.extend([t] * FRAMES_PER_CHECKPOINT)
-                mean = float(np.mean(times))
+                mean = per_machine[f"{resolution}|{scheme}"] / 1e3
                 mean_times[(machine, resolution, scheme)] = mean
                 row.append(f"{mean * 1e3:.0f}")
             rows.append(row)
@@ -89,18 +43,14 @@ def test_fig11a_search_space(scenario, db, report, benchmark):
     r.table(["machine (resolution)"] + SCHEMES, rows)
 
     # --- accuracy: is the true object inside each scheme's space?
-    misses = {scheme: [] for scheme in SCHEMES}
-    for sample in samples:
-        for scheme in SCHEMES:
-            space = search_space_for(scheme, localization, optimizer,
-                                     sample.checkpoint.name)
-            names = {record.name for record in space.records}
-            if sample.record.name not in names:
-                misses[scheme].append(sample.checkpoint.name)
+    # (scheme accuracy is machine-independent; report the first cell)
+    first = metrics[(MACHINES[0],)]
+    misses = first["misses"]
+    checkpoints = first["checkpoints"]
     r.line()
     for scheme in SCHEMES:
         r.line(f"{scheme}: true object pruned away at "
-               f"{len(misses[scheme])}/24 checkpoints "
+               f"{len(misses[scheme])}/{checkpoints} checkpoints "
                f"{misses[scheme] if misses[scheme] else ''}")
 
     # paper shape: ACACIA up to ~5x vs naive, ~2x vs rxPower
@@ -123,5 +73,7 @@ def test_fig11a_search_space(scenario, db, report, benchmark):
     assert misses["acacia"] == []
     assert len(misses["rxpower"]) <= 3
 
-    benchmark.pedantic(build_context, args=(scenario, db), rounds=1,
+    i7_trial = next(t for t in spec.trials()
+                    if t.param_dict["machine"] == "i7-8core")
+    benchmark.pedantic(run_trial, args=(i7_trial,), rounds=1,
                        iterations=1)

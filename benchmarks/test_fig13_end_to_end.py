@@ -8,60 +8,42 @@ Paper headline numbers: ACACIA cuts matching 7.7x (location pruning),
 network latency 3.15x vs CLOUD (edge path + dedicated bearer); MEC
 alone gives ~25% end-to-end reduction over CLOUD; ACACIA reaches ~60%
 over MEC and ~70% over CLOUD.
+
+The measurement itself is the declarative ``fig13`` preset (see
+:mod:`repro.exp.presets`) driven through the experiment runner, so
+``python -m repro exp run fig13`` regenerates exactly these numbers.
 """
 
 import pytest
 
-from repro.apps.workload import CheckpointWorkload
-from repro.baselines import build_deployment
-from repro.vision.camera import R720x480
+from repro.exp import ExperimentRunner, preset, run_trial
 
+KINDS = ("acacia", "mec", "cloud")
 FRAMES = 8
-CHECKPOINT = 4
 
 
-def run_deployment(kind, scenario, db):
-    deployment = build_deployment(kind, db, scenario, seed=13)
-    checkpoint = scenario.checkpoints[CHECKPOINT]
-    workload = CheckpointWorkload(scenario, db, seed=13,
-                                  frames_per_object=FRAMES,
-                                  resolution=R720x480)
-    sample = workload.sample(checkpoint)
+def test_fig13_end_to_end(report, benchmark):
+    spec = preset("fig13")
+    outcome = ExperimentRunner(spec).run()
+    assert outcome.ok, [f.error for f in outcome.failures()]
+    metrics = outcome.metrics_by("kind")
 
-    if kind == "acacia":
-        section = scenario.section_of_subsection(checkpoint.subsection)
-        deployment.customer.move_to(checkpoint.position)
-        deployment.customer.open([section])
-        # browse through ~3 discovery periods so the tracker's EWMA
-        # settles before the AR session starts
-        deployment.network.sim.run(until=32.0)
-        assert deployment.customer.session is not None
-    session = deployment.new_session(iter(sample.frames),
-                                     resolution=R720x480,
-                                     max_frames=FRAMES)
-    session.start(at=deployment.network.sim.now)
-    deployment.network.sim.run(
-        until=deployment.network.sim.now + 120.0)
-    assert len(session.records) == FRAMES
-    assert all(r.matched == sample.record.name for r in session.records)
-    return session.mean_breakdown()
-
-
-def test_fig13_end_to_end(scenario, db, report, benchmark):
-    breakdowns = {kind: run_deployment(kind, scenario, db)
-                  for kind in ("acacia", "mec", "cloud")}
+    breakdowns = {}
+    for kind in KINDS:
+        m = metrics[(kind,)]
+        assert m["frames_completed"] == FRAMES
+        assert m["all_matched"]
+        breakdowns[kind] = m["breakdown_ms"]
 
     r = report("fig13_end_to_end",
                "Figure 13: end-to-end per-frame breakdown (ms), 720*480")
     rows = []
     for part in ("match", "compute", "network", "total"):
         rows.append([part.capitalize()] + [
-            f"{breakdowns[kind][part] * 1e3:.0f}"
-            for kind in ("acacia", "mec", "cloud")])
+            f"{breakdowns[kind][part]:.0f}" for kind in KINDS])
     r.table(["component", "ACACIA", "MEC", "CLOUD"], rows)
 
-    acacia, mec, cloud = (breakdowns[k] for k in ("acacia", "mec",
-                                                  "cloud"))
+    acacia, mec, cloud = (breakdowns[k] for k in KINDS)
     match_speedup = cloud["match"] / acacia["match"]
     network_speedup = cloud["network"] / acacia["network"]
     e2e_vs_cloud = 1 - acacia["total"] / cloud["total"]
@@ -88,5 +70,7 @@ def test_fig13_end_to_end(scenario, db, report, benchmark):
     # compute (encode/decode/SURF) is scheme-independent
     assert acacia["compute"] == pytest.approx(cloud["compute"], rel=0.05)
 
-    benchmark.pedantic(run_deployment, args=("mec", scenario, db),
-                       rounds=1, iterations=1)
+    mec_trial = next(t for t in spec.trials()
+                     if t.param_dict["kind"] == "mec")
+    benchmark.pedantic(run_trial, args=(mec_trial,), rounds=1,
+                       iterations=1)

@@ -5,50 +5,32 @@ traffic and iperf-style background load; server proximity is emulated
 with controlled link delays giving ~70 / 18 / 8 ms baseline RTTs.
 Paper shape: latency is flat at the baseline until the shared gateways
 saturate (~90-100 Mbps), then explodes towards seconds.
+
+The measurement itself is the declarative ``fig3g`` preset (see
+:mod:`repro.exp.presets`) driven through the experiment runner, so
+``python -m repro exp run fig3g`` regenerates exactly these numbers.
 """
 
-import numpy as np
 import pytest
 
-from repro.core.config import NetworkConfig
-from repro.core.network import MobileNetwork, Pinger
+from repro.exp import ExperimentRunner, preset, run_trial
 
-#: (label, backhaul, core, internet) one-way delays emulating the RTTs.
-RTT_CONFIGS = [
-    ("70 ms", 0.010, 0.010, 0.009),
-    ("18 ms", 0.0025, 0.0015, 0.001),
-    ("8 ms", 0.0, 0.0, 0.0),
-]
-
+RTT_LABELS = {70: "70 ms", 18: "18 ms", 8: "8 ms"}
 BG_RATES_MBPS = [0, 40, 80, 90, 100]
-WARMUP = 6.0
-PINGS = 8
-
-
-def measure(backhaul, core, internet, bg_mbps):
-    config = NetworkConfig(backhaul_delay=backhaul, core_delay=core,
-                           internet_delay=internet, seed=17)
-    network = MobileNetwork(config)
-    ue = network.add_ue()
-    if bg_mbps > 0:
-        bg = network.add_background_load(rate=bg_mbps * 1e6)
-        bg.start()
-    pinger = Pinger(network, ue, "internet", size=1000, interval=0.4)
-    pinger.run(count=PINGS, start=WARMUP)
-    network.sim.run(until=WARMUP + PINGS * 0.4 + 8.0)
-    if not pinger.rtts:
-        # overload: replies stuck behind the queue; report the bound
-        return WARMUP + 8.0
-    return float(np.median(pinger.rtts))
 
 
 def test_fig3g_background_traffic(report, benchmark):
-    rows = []
+    spec = preset("fig3g")
+    outcome = ExperimentRunner(spec).run()
+    assert outcome.ok, [f.error for f in outcome.failures()]
+    metrics = outcome.metrics_by("rtt_ms", "bg_mbps")
+
     results = {}
-    for label, backhaul, core, internet in RTT_CONFIGS:
+    rows = []
+    for rtt_ms, label in RTT_LABELS.items():
         row = [f"One S-PGW ({label})"]
         for bg in BG_RATES_MBPS:
-            latency = measure(backhaul, core, internet, bg)
+            latency = metrics[(rtt_ms, bg)]["median_rtt_ms"] / 1e3
             results[(label, bg)] = latency
             row.append(f"{latency * 1e3:.1f}")
         rows.append(row)
@@ -57,7 +39,7 @@ def test_fig3g_background_traffic(report, benchmark):
                "Figure 3(g): median latency (ms) vs background traffic")
     r.table(["config"] + [f"{bg} Mbps" for bg in BG_RATES_MBPS], rows)
 
-    for label, _, _, _ in RTT_CONFIGS:
+    for label in RTT_LABELS.values():
         quiet = results[(label, 0)]
         loaded = results[(label, 100)]
         # flat until saturation...
@@ -70,5 +52,8 @@ def test_fig3g_background_traffic(report, benchmark):
     assert results[("8 ms", 0)] < results[("18 ms", 0)] < \
         results[("70 ms", 0)]
 
-    benchmark.pedantic(measure, args=(0.0, 0.0, 0.0, 0), rounds=1,
+    quiet_8ms = next(t for t in spec.trials()
+                     if t.param_dict["rtt_ms"] == 8
+                     and t.param_dict["bg_mbps"] == 0)
+    benchmark.pedantic(run_trial, args=(quiet_8ms,), rounds=1,
                        iterations=1)

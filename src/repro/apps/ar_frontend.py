@@ -13,6 +13,7 @@ import itertools
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable, Optional
 
+from repro.epc.events import DownlinkDelivered
 from repro.vision.camera import CameraModel, Resolution
 from repro.vision.codec import CompressionModel, JPEG90
 from repro.vision.features import Frame
@@ -94,12 +95,13 @@ class ARSession:
         self.max_frames = max_frames
         self.on_complete = on_complete
         self.session_id = next(_session_ids)
+        self.flow_id = f"ar-session-{self.session_id}"
         self.records: list[FrameRecord] = []
         self._seq = 0
         self._inflight: dict[int, tuple[float, Frame]] = {}
         self._finished = False
-        self._previous_downlink = ue.on_downlink
-        ue.on_downlink = self._on_downlink
+        self._subscription = sim.hooks.on(DownlinkDelivered,
+                                          self._on_downlink)
 
     # -- control ---------------------------------------------------------
 
@@ -128,19 +130,24 @@ class ARSession:
             src=self.ue.ip, dst=self.server_ip,
             size=self.frontend.frame_bytes, protocol="UDP",
             src_port=40000 + self.session_id, dst_port=AR_SERVER_PORT,
-            flow_id=f"ar-session-{self.session_id}",
+            flow_id=self.flow_id,
             created_at=self.sim.now,
             meta={"frame": frame, "frame_seq": self._seq,
                   "user_id": self.ue.name})
         self._inflight[self._seq] = (capture_time, frame)
         self.ue.send_app(packet)
 
-    def _on_downlink(self, packet: Packet) -> None:
+    def _on_downlink(self, event: DownlinkDelivered) -> None:
+        # server replies echo the request's flow id, so the bus filter
+        # is exact: our UE and our session only
+        if event.ue is not self.ue:
+            return
+        packet = event.packet
+        if packet.flow_id != self.flow_id:
+            return
         seq = packet.meta.get("frame_seq")
         entry = self._inflight.pop(seq, None) if seq is not None else None
         if entry is None:
-            if self._previous_downlink is not None:
-                self._previous_downlink(packet)
             return
         capture_time, _ = entry
         self.records.append(FrameRecord(
@@ -156,10 +163,17 @@ class ARSession:
                       - (self.sim.now - capture_time))
         self.sim.schedule(next_in, self._capture_next)
 
+    def close(self) -> None:
+        """Detach the session from the hook bus.  Idempotent."""
+        if self._subscription is not None:
+            self._subscription.close()
+            self._subscription = None
+
     def _finish(self) -> None:
         if self._finished:
             return
         self._finished = True
+        self.close()
         if self.on_complete is not None:
             self.on_complete(self)
 

@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
+from repro.epc.events import DownlinkDelivered
 from repro.sim.node import Node
 from repro.sim.packet import Packet
 
@@ -101,12 +102,13 @@ class VRClient:
         self.tick_interval = 1.0 / tick_hz
         self.max_poses = max_poses
         self.session_id = next(_session_ids)
+        self.flow_id = f"vr-{self.session_id}"
         self.records: list[PoseRecord] = []
         self.poses_sent = 0
         self._sent_at: dict[int, float] = {}
         self._running = False
-        self._previous_downlink = ue.on_downlink
-        ue.on_downlink = self._on_downlink
+        self._subscription = sim.hooks.on(DownlinkDelivered,
+                                          self._on_downlink)
 
     def start(self, at: float = 0.0) -> None:
         self._running = True
@@ -114,6 +116,13 @@ class VRClient:
 
     def stop(self) -> None:
         self._running = False
+
+    def close(self) -> None:
+        """Stop streaming and detach from the hook bus.  Idempotent."""
+        self._running = False
+        if self._subscription is not None:
+            self._subscription.close()
+            self._subscription = None
 
     def _tick(self) -> None:
         if not self._running:
@@ -127,17 +136,21 @@ class VRClient:
             src=self.ue.ip, dst=self.server_ip, size=POSE_BYTES,
             protocol="UDP", src_port=47000 + self.session_id,
             dst_port=VR_SERVER_PORT,
-            flow_id=f"vr-{self.session_id}", created_at=self.sim.now,
+            flow_id=self.flow_id, created_at=self.sim.now,
             meta={"pose_seq": seq})
         self._sent_at[seq] = self.sim.now
         self.ue.send_app(packet)
         self.sim.schedule(self.tick_interval, self._tick)
 
-    def _on_downlink(self, packet: Packet) -> None:
+    def _on_downlink(self, event: DownlinkDelivered) -> None:
+        # tiles echo the pose's flow id, so filter to our UE + session
+        if event.ue is not self.ue:
+            return
+        packet = event.packet
+        if packet.flow_id != self.flow_id:
+            return
         seq = packet.meta.get("pose_seq")
         if not packet.meta.get("is_tile") or seq not in self._sent_at:
-            if self._previous_downlink is not None:
-                self._previous_downlink(packet)
             return
         sent_at = self._sent_at.pop(seq)
         self.records.append(PoseRecord(

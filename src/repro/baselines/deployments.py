@@ -17,10 +17,8 @@ points differ:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
-
-import numpy as np
 
 from repro.apps.ar_backend import ARBackend, ARServerNode
 from repro.apps.ar_frontend import ARFrontend, ARSession
@@ -36,6 +34,7 @@ from repro.core.service import CIService
 from repro.d2d.channel import D2DChannel
 from repro.d2d.radio import RadioModel
 from repro.localization.pathloss import calibrate_from_radio
+from repro.sim.context import SimContext
 from repro.vision.camera import R720x480, Resolution
 from repro.vision.costmodel import DEVICES, DeviceProfile
 from repro.vision.database import ObjectDatabase
@@ -63,7 +62,7 @@ class Deployment:
     mrs: Optional[MecRegistrationServer] = None
     device_manager: Optional[AcaciaDeviceManager] = None
     customer: Optional[RetailCustomerApp] = None
-    localization: LocalizationManager = field(default=None)  # type: ignore
+    localization: Optional[LocalizationManager] = None
 
     def new_session(self, frames, resolution: Resolution = R720x480,
                     max_frames: Optional[int] = None,
@@ -96,15 +95,17 @@ def build_deployment(kind: str, db: ObjectDatabase,
         raise ValueError(f"unknown deployment kind {kind!r}; "
                          f"expected one of {DEPLOYMENT_KINDS}")
 
+    ctx = SimContext(seed)
     radio = RadioModel()
-    regression = calibrate_from_radio(radio, np.random.default_rng(seed))
+    regression = calibrate_from_radio(
+        radio, ctx.rng("localization.calibration"))
     landmark_map = landmark_map_for(scenario, regression)
     localization = LocalizationManager(landmark_map)
     backend = ARBackend(db, scenario, localization, device=server_device,
                         matcher_config=matcher_config)
 
     if kind == "cloud":
-        network = MobileNetwork(NetworkConfig(seed=seed))
+        network = MobileNetwork(NetworkConfig(seed=seed), ctx=ctx)
         server_node = ARServerNode(network.sim, AR_SERVER_NAME, backend,
                                    scheme="naive")
         network.add_server(AR_SERVER_NAME, site_name="central",
@@ -116,7 +117,7 @@ def build_deployment(kind: str, db: ObjectDatabase,
                           ue=ue, scheme="naive", localization=localization)
 
     if kind == "mec":
-        network = MobileNetwork(_mec_colocated_config(seed))
+        network = MobileNetwork(_mec_colocated_config(seed), ctx=ctx)
         server_node = ARServerNode(network.sim, AR_SERVER_NAME, backend,
                                    scheme="naive")
         network.add_server(AR_SERVER_NAME, site_name="central",
@@ -128,7 +129,7 @@ def build_deployment(kind: str, db: ObjectDatabase,
                           ue=ue, scheme="naive", localization=localization)
 
     # -- the full ACACIA system ------------------------------------------
-    network = MobileNetwork(NetworkConfig(seed=seed))
+    network = MobileNetwork(NetworkConfig(seed=seed), ctx=ctx)
     network.add_mec_site("mec")
     server_node = ARServerNode(network.sim, AR_SERVER_NAME, backend,
                                scheme="acacia")
@@ -140,8 +141,7 @@ def build_deployment(kind: str, db: ObjectDatabase,
                                    lte_direct_service=RETAIL_SERVICE))
     mrs.deploy_instance(AR_SERVICE_ID, AR_SERVER_NAME, "mec")
 
-    channel = D2DChannel(network.sim, radio,
-                         rng=np.random.default_rng(seed + 1))
+    channel = D2DChannel(network.sim, radio, rng=ctx.rng("d2d.channel"))
     store = RetailStore(scenario, channel)
     store.open()
 

@@ -18,6 +18,10 @@ Commands
     isolation).
 ``overhead``
     Print the Section 4 control-overhead analysis right here.
+``exp list | show <name> | run <name>``
+    Inspect and execute the declarative experiment presets through
+    the multi-seed :class:`repro.exp.ExperimentRunner` (optionally
+    across worker processes).
 """
 
 from __future__ import annotations
@@ -160,6 +164,57 @@ def cmd_overhead(_: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_exp_list(_: argparse.Namespace) -> int:
+    from repro.exp import PRESETS
+    width = max(len(k) for k in PRESETS)
+    for name, spec in PRESETS.items():
+        axes = ", ".join(f"{axis}x{len(values)}"
+                         for axis, values in spec.sweep) or "-"
+        print(f"  {name:<{width}}  workload={spec.workload:<12} "
+              f"seeds={len(spec.seeds)}  sweep: {axes}  "
+              f"({len(spec.trials())} trials)")
+    print("\nrun one with: python -m repro exp run <name>")
+    return 0
+
+
+def cmd_exp_show(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.exp import preset
+    try:
+        spec = preset(args.name)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    print(json.dumps(spec.to_dict(), indent=2))
+    return 0
+
+
+def cmd_exp_run(args: argparse.Namespace) -> int:
+    from repro.exp import ExperimentRunner, preset
+    try:
+        spec = preset(args.name)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    workers = None if args.serial else args.workers
+    trials = len(spec.trials())
+    mode = "serial" if workers in (None, 1) else f"{workers} workers"
+    print(f"running {spec.name!r}: {trials} trials ({mode})",
+          file=sys.stderr)
+    result = ExperimentRunner(spec, workers=workers).run()
+    text = result.canonical_json()
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    for failure in result.failures():
+        print(f"trial {failure.trial.index} failed:\n{failure.error}",
+              file=sys.stderr)
+    return 0 if result.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -181,6 +236,26 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("overhead",
                    help="print the Sec 4 overhead analysis").set_defaults(
         func=cmd_overhead)
+
+    exp = sub.add_parser("exp",
+                         help="declarative multi-seed experiment runner")
+    exp_sub = exp.add_subparsers(dest="exp_command", required=True)
+    exp_sub.add_parser("list",
+                       help="list experiment presets").set_defaults(
+        func=cmd_exp_list)
+    show = exp_sub.add_parser("show", help="print a preset spec as JSON")
+    show.add_argument("name", help="preset name (e.g. fig10b)")
+    show.set_defaults(func=cmd_exp_show)
+    run_exp = exp_sub.add_parser(
+        "run", help="execute a preset and emit canonical JSON results")
+    run_exp.add_argument("name", help="preset name (e.g. smoke)")
+    run_exp.add_argument("--workers", type=int, default=None,
+                         help="worker processes (default: serial)")
+    run_exp.add_argument("--serial", action="store_true",
+                         help="force a serial in-process run")
+    run_exp.add_argument("--output", default=None,
+                         help="write results JSON to this file")
+    run_exp.set_defaults(func=cmd_exp_run)
     return parser
 
 

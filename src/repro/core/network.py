@@ -13,12 +13,11 @@ from __future__ import annotations
 import itertools
 from typing import Callable, Optional
 
-import numpy as np
-
 from repro.core.config import NetworkConfig
 from repro.epc.entities import (GatewaySite, HSS, MME, PCRF, PGWC, SGWC,
                                 SubscriberProfile)
 from repro.epc.enodeb import ENodeB
+from repro.epc.events import DownlinkDelivered, UeIpAssigned
 from repro.epc.identifiers import ImsiAllocator
 from repro.epc.overhead import ControlLedger
 from repro.epc.paging import PagingManager
@@ -29,7 +28,7 @@ from repro.sdn.controller import SdnController
 from repro.sdn.dataplane import DataPlaneProfile
 from repro.sdn.openflow import FlowMatch, FlowRule, GtpDecap, Output
 from repro.sdn.switch import FlowSwitch
-from repro.sim.engine import Simulator
+from repro.sim.context import SimContext
 from repro.sim.link import Link
 from repro.sim.node import Node, PacketSink
 from repro.sim.packet import Packet
@@ -37,12 +36,21 @@ from repro.sim.traffic import PoissonSource
 
 
 class MobileNetwork:
-    """A complete LTE/EPC network with optional MEC sites."""
+    """A complete LTE/EPC network with optional MEC sites.
 
-    def __init__(self, config: Optional[NetworkConfig] = None) -> None:
+    The network draws all of its randomness from a
+    :class:`~repro.sim.context.SimContext` (one may be passed in to
+    share streams with a larger experiment; otherwise a private context
+    is derived from ``config.seed``).
+    """
+
+    def __init__(self, config: Optional[NetworkConfig] = None,
+                 ctx: Optional[SimContext] = None) -> None:
         self.config = config or NetworkConfig()
-        self.sim = Simulator()
-        self.rng = np.random.default_rng(self.config.seed)
+        self.ctx = ctx if ctx is not None else SimContext(self.config.seed)
+        self.sim = self.ctx.sim
+        self.hooks = self.ctx.hooks
+        self.rng = self.ctx.rng("net.jitter")
         self.ledger = ControlLedger()
         self.controller = SdnController(ledger=self.ledger)
         self.mme = MME()
@@ -65,6 +73,7 @@ class MobileNetwork:
         self._enb_count = itertools.count(0)
         self._server_ips = itertools.count(10)
         self._bg_count = itertools.count(1)
+        self._bg_loads: dict[str, tuple[PoissonSource, str, str]] = {}
         self.enb = self.add_enb("enb0")     # the default base station
         self._build_central_site()
 
@@ -73,9 +82,13 @@ class MobileNetwork:
     def _make_link(self, name: str, bandwidth: float, delay: float,
                    queue_bytes: int, jitter: float = 0.0,
                    qos: bool = True) -> Link:
+        # each jittered link draws from its own named stream, so one
+        # link's traffic volume cannot perturb another link's jitter
         link = Link(self.sim, name, bandwidth=bandwidth, delay=delay,
                     queue_bytes=queue_bytes, qos_priority=qos,
-                    jitter=jitter, rng=self.rng if jitter > 0 else None)
+                    jitter=jitter,
+                    rng=self.ctx.rng(f"net.link.{name}") if jitter > 0
+                    else None)
         if qos:
             apply_qci_priorities(link)
         return link
@@ -210,7 +223,8 @@ class MobileNetwork:
             bandwidth=ul_bandwidth or cfg.radio_ul_bandwidth,
             bandwidth_reverse=cfg.radio_dl_bandwidth,
             delay=cfg.radio_delay, queue_bytes=cfg.radio_queue_bytes,
-            qos_priority=True, jitter=cfg.radio_jitter, rng=self.rng)
+            qos_priority=True, jitter=cfg.radio_jitter,
+            rng=self.ctx.rng(f"net.radio.{ue.name}.{enb.name}"))
         apply_qci_priorities(radio)
         # the UE attaches first: its outbound direction is the uplink
         ue.ports.pop("radio", None)     # drop any previous cell's link
@@ -221,24 +235,19 @@ class MobileNetwork:
 
     def _attach(self, ue: UEDevice, enb: ENodeB,
                 radio_port: str) -> ProcedureResult:
-        # IP allocation happens inside the procedure; pre-register the
-        # radio port under a placeholder then fix it up after attach.
-        placeholder = f"pending:{ue.name}"
-        enb.radio_ports[placeholder] = radio_port
+        # IP allocation happens inside the procedure; the control plane
+        # announces it (synchronously) as UeIpAssigned before validating
+        # the bearer, so a transient subscription registers the radio
+        # port at exactly the right moment
+        def register(event: UeIpAssigned) -> None:
+            if event.ue is ue:
+                enb.register_ue(event.address, radio_port)
 
-        original_assign = ue.assign_ip
-
-        def assign_and_register(address: str) -> None:
-            original_assign(address)
-            enb.register_ue(address, radio_port)
-
-        ue.assign_ip = assign_and_register  # type: ignore[method-assign]
+        subscription = self.hooks.on(UeIpAssigned, register)
         try:
-            result = self.control_plane.attach(ue, enb)
+            return self.control_plane.attach(ue, enb)
         finally:
-            ue.assign_ip = original_assign  # type: ignore[method-assign]
-            del enb.radio_ports[placeholder]
-        return result
+            subscription.close()
 
     def handover(self, ue: UEDevice, target_enb_name: str
                  ) -> ProcedureResult:
@@ -296,32 +305,59 @@ class MobileNetwork:
         """Inject Poisson background traffic through a site's GW-Us.
 
         Models the competing traffic of other users sharing the central
-        gateways (Figures 3(g) and 10(b)).
+        gateways (Figures 3(g) and 10(b)).  Each source draws from its
+        own named RNG stream and installs rules under its own cookie, so
+        individual loads can be torn down independently with
+        :meth:`remove_background_load`.
         """
         site = self.sgwc.site(site_name)
         sink = self.servers[sink_server]
         index = next(self._bg_count)
         cfg = self.config
+        cookie = f"bg:{index}"
         source = PoissonSource(self.sim, f"bg{index}", dst=sink.ip,
-                               rate=rate, rng=self.rng,
+                               rate=rate, rng=self.ctx.rng(f"net.bg.{index}"),
                                ip=f"198.18.0.{index}", qci=9)
         # fast ingress so the offered load fully reaches the shared GW-Us
         link = self._make_link(f"bg{index}", 10 * cfg.core_bandwidth, 0.001,
                                cfg.core_queue_bytes)
         source.attach("out", link)
-        port = f"bg:{index}"
-        site.sgw_u.attach(port, link)
+        site.sgw_u.attach(cookie, link)
         site.sgw_u.install(FlowRule(
             FlowMatch(src_ip=source.ip),
-            [Output(site.sgw_ul_port)], priority=50, cookie="bg"))
+            [Output(site.sgw_ul_port)], priority=50, cookie=cookie))
         site.pgw_u.install(FlowRule(
             FlowMatch(src_ip=source.ip),
-            [Output(f"sgi:{sink_server}")], priority=50, cookie="bg"))
+            [Output(f"sgi:{sink_server}")], priority=50, cookie=cookie))
+        self._bg_loads[source.name] = (source, site_name, cookie)
         return source
+
+    def remove_background_load(self, source) -> None:
+        """Tear down one background load (by source or name): stop its
+        arrivals and remove its flow rules from the site's GW-Us."""
+        name = source if isinstance(source, str) else source.name
+        entry = self._bg_loads.pop(name, None)
+        if entry is None:
+            raise KeyError(f"no background load named {name!r}")
+        bg, site_name, cookie = entry
+        bg.stop()
+        site = self.sgwc.site(site_name)
+        site.sgw_u.remove(cookie)
+        site.pgw_u.remove(cookie)
+
+    def background_loads(self) -> tuple[str, ...]:
+        """Names of the currently-installed background loads."""
+        return tuple(self._bg_loads)
 
 
 class Pinger:
-    """ICMP-style RTT measurement from a UE to an echoing server."""
+    """ICMP-style RTT measurement from a UE to an echoing server.
+
+    Subscribes to the UE's :class:`~repro.epc.events.DownlinkDelivered`
+    events on the hook bus; any number of pingers (and other observers)
+    can therefore watch the same UE concurrently.  ``close()`` detaches
+    the subscription and books still-outstanding pings as ``lost``.
+    """
 
     def __init__(self, network: MobileNetwork, ue: UEDevice,
                  server_name: str, size: int = 64,
@@ -332,17 +368,31 @@ class Pinger:
         self.size = size
         self.interval = interval
         self.rtts: list[float] = []
+        self.lost = 0
         self._sent: dict[int, float] = {}
-        self._previous_handler = ue.on_downlink
-        ue.on_downlink = self._on_reply
+        self._subscription = network.hooks.on(DownlinkDelivered,
+                                              self._on_downlink)
 
-    def _on_reply(self, packet: Packet) -> None:
-        original = packet.meta.get("echo_of")
+    def _on_downlink(self, event: DownlinkDelivered) -> None:
+        if event.ue is not self.ue:
+            return
+        original = event.packet.meta.get("echo_of")
         sent_at = self._sent.pop(original, None)
         if sent_at is not None:
             self.rtts.append(self.network.sim.now - sent_at)
-        elif self._previous_handler is not None:
-            self._previous_handler(packet)
+
+    def close(self) -> None:
+        """Detach from the bus; unanswered pings count as lost.
+
+        Idempotent: a second close neither re-counts losses nor
+        touches the bus again.
+        """
+        if self._subscription is None:
+            return
+        self._subscription.close()
+        self._subscription = None
+        self.lost += len(self._sent)
+        self._sent.clear()
 
     def run(self, count: int, start: float = 0.0) -> None:
         """Schedule ``count`` pings starting at absolute sim time

@@ -17,6 +17,10 @@ from repro.epc.admission import (AdmissionController, AdmissionError, Arp,
 from repro.epc.bearer import Bearer, PacketFilter, TrafficFlowTemplate
 from repro.epc.charging import (BearerUsage, ChargingFunction,
                                 ChargingRecord, Tariff, UsageCollector)
+from repro.epc.events import (BearerActivated, BearerDeactivated,
+                              DownlinkDelivered, HandoverCompleted,
+                              ServiceRequestCompleted, UeAttached,
+                              UeIpAssigned, UeReleasedToIdle)
 from repro.epc.identifiers import (FTeid, ImsiAllocator, IpPool,
                                    TeidAllocator)
 from repro.epc.overhead import ControlLedger, daily_overhead_bytes
@@ -28,11 +32,15 @@ __all__ = [
     "AdmissionError",
     "Arp",
     "Bearer",
+    "BearerActivated",
+    "BearerDeactivated",
     "BearerUsage",
     "ChargingFunction",
     "ChargingRecord",
     "ControlLedger",
+    "DownlinkDelivered",
     "FTeid",
+    "HandoverCompleted",
     "ImsiAllocator",
     "IpPool",
     "PacketFilter",
@@ -40,9 +48,13 @@ __all__ = [
     "QCI_TABLE",
     "QosClass",
     "Reservation",
+    "ServiceRequestCompleted",
     "Tariff",
     "TeidAllocator",
     "TrafficFlowTemplate",
+    "UeAttached",
+    "UeIpAssigned",
+    "UeReleasedToIdle",
     "UsageCollector",
     "daily_overhead_bytes",
 ]

@@ -7,18 +7,21 @@ pages the UE through its last-known eNodeB, the UE performs a service
 request (re-establishing the bearers), and the buffered packets are
 flushed down the re-installed path.
 
-:class:`PagingManager` implements that loop on top of the SGW-U's
-table-miss hook: once a UE's downlink flow rules are removed at
-release, downlink packets miss the flow table and are punted here.
+:class:`PagingManager` implements that loop by subscribing to the
+:class:`~repro.sdn.events.TableMiss` events SGW-Us publish on the hook
+bus: once a UE's downlink flow rules are removed at release, downlink
+packets miss the flow table and the miss event lands here.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
 from repro.epc import messages as m
 from repro.epc.messages import MessageType
+from repro.sdn.events import TableMiss
+from repro.sim.hooks import Subscription
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.epc.procedures import EPCControlPlane
@@ -55,6 +58,9 @@ class PagingManager:
         self.packets_buffered = 0
         self.packets_dropped = 0
         self._ues_by_ip: dict[str, object] = {}
+        self._sgw_u_ids: set[int] = set()
+        self._subscription: Optional[Subscription] = \
+            control_plane.sim.hooks.on(TableMiss, self._on_table_miss)
 
     # -- wiring -----------------------------------------------------------
 
@@ -63,11 +69,20 @@ class PagingManager:
         self._ues_by_ip[ue.ip] = ue
 
     def attach_to_site(self, site) -> None:
-        """Install this manager as the site's SGW-U miss handler."""
-        sgw_u = site.sgw_u
-        sgw_u.miss_handler = lambda packet: self._on_miss(packet, sgw_u)
+        """Start buffering for table misses at the site's SGW-U."""
+        self._sgw_u_ids.add(id(site.sgw_u))
+
+    def close(self) -> None:
+        """Stop observing table misses.  Idempotent."""
+        if self._subscription is not None:
+            self._subscription.close()
+            self._subscription = None
 
     # -- the paging loop ------------------------------------------------------
+
+    def _on_table_miss(self, event: TableMiss) -> None:
+        if id(event.switch) in self._sgw_u_ids:
+            self._on_miss(event.packet, event.switch)
 
     def _on_miss(self, packet: "Packet", switch) -> None:
         ue = self._ues_by_ip.get(packet.dst)

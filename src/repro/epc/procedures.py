@@ -28,6 +28,9 @@ from repro.epc import messages as m
 from repro.epc.bearer import Bearer, PacketFilter, TrafficFlowTemplate
 from repro.epc.entities import (GatewaySite, HSS, MME, PCRF, PGWC, SGWC,
                                 UeContext)
+from repro.epc.events import (BearerActivated, BearerDeactivated,
+                              HandoverCompleted, ServiceRequestCompleted,
+                              UeAttached, UeIpAssigned, UeReleasedToIdle)
 from repro.epc.identifiers import FTeid
 from repro.epc.messages import ControlMessage
 from repro.epc.overhead import ControlLedger
@@ -117,6 +120,12 @@ class EPCControlPlane:
         result.elapsed = sum(
             self.hop_delays.get(msg.protocol, 0.0015)
             for msg in result.messages)
+
+    def _signal(self, event_type, **fields) -> None:
+        """Publish a procedure event, skipping construction if unheard."""
+        hooks = self.sim.hooks
+        if hooks.has(event_type):
+            hooks.emit(event_type(**fields))
 
     # -- flow-rule helpers --------------------------------------------------
 
@@ -213,6 +222,9 @@ class EPCControlPlane:
         self._emit(m.CREATE_SESSION_REQUEST, self.sgwc.name, self.pgwc.name)
 
         ue.assign_ip(self.pgwc.allocate_ue_ip())
+        # announced synchronously so fabric-level subscribers (radio-port
+        # registration) run before the eNodeB validates the bearer below
+        self._signal(UeIpAssigned, ue=ue, address=ue.ip)
         bearer = Bearer(ebi=ue.bearers.allocate_ebi(), qci=profile.default_qci,
                         imsi=ue.imsi, ue_ip=ue.ip, default=True)
         self._allocate_tunnel_endpoints(bearer, site, enb)
@@ -242,6 +254,7 @@ class EPCControlPlane:
 
         self._finish(result, start)
         result.bearer = bearer
+        self._signal(UeAttached, ue=ue, enb=enb, result=result)
         return result
 
     def activate_dedicated_bearer(
@@ -315,6 +328,7 @@ class EPCControlPlane:
 
         self._finish(result, start)
         result.bearer = bearer
+        self._signal(BearerActivated, ue=ue, bearer=bearer, result=result)
         return result
 
     def deactivate_dedicated_bearer(self, ue: "UEDevice", ebi: int,
@@ -365,6 +379,7 @@ class EPCControlPlane:
 
         self._finish(result, start)
         result.bearer = bearer
+        self._signal(BearerDeactivated, ue=ue, ebi=ebi, result=result)
         return result
 
     def release_to_idle(self, ue: "UEDevice") -> ProcedureResult:
@@ -399,6 +414,7 @@ class EPCControlPlane:
         ue.rrc_connected = False
         context.state = "idle"
         self._finish(result, start)
+        self._signal(UeReleasedToIdle, ue=ue, result=result)
         return result
 
     def service_request(self, ue: "UEDevice") -> ProcedureResult:
@@ -429,6 +445,7 @@ class EPCControlPlane:
         ue.rrc_connected = True
         context.state = "connected"
         self._finish(result, start)
+        self._signal(ServiceRequestCompleted, ue=ue, result=result)
         return result
 
     def handover(self, ue: "UEDevice", target_enb: "ENodeB",
@@ -493,6 +510,8 @@ class EPCControlPlane:
         context.enb = target_enb
 
         self._finish(result, start)
+        self._signal(HandoverCompleted, ue=ue, source=source,
+                     target=target_enb, result=result)
         return result
 
     def s1_handover(self, ue: "UEDevice", target_enb: "ENodeB",
@@ -555,4 +574,6 @@ class EPCControlPlane:
         context.enb = target_enb
 
         self._finish(result, start)
+        self._signal(HandoverCompleted, ue=ue, source=source,
+                     target=target_enb, result=result)
         return result

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.epc.bearer import Bearer, BearerRegistry
+from repro.epc.events import DownlinkDelivered
 from repro.epc.overhead import LTE_IDLE_TIMEOUT
 from repro.sim.node import Node
 from repro.sim.packet import Packet
@@ -104,6 +105,9 @@ class UEDevice(Node):
 
     def on_receive(self, packet: Packet, link: "Link") -> None:
         self._touch()
+        hooks = self.sim.hooks
+        if hooks.has(DownlinkDelivered):
+            hooks.emit(DownlinkDelivered(ue=self, packet=packet))
         if self.on_downlink is not None:
             self.on_downlink(packet)
 

@@ -1,0 +1,70 @@
+"""Preset experiment specs for the paper's figures.
+
+Each preset is a ready-to-run :class:`~repro.exp.spec.ExperimentSpec`;
+``python -m repro exp run <name>`` executes one from the command line,
+and the figure benchmarks drive the same specs through
+:class:`~repro.exp.runner.ExperimentRunner` so the CLI and the test
+suite measure exactly the same thing.
+"""
+
+from __future__ import annotations
+
+from repro.exp.spec import ExperimentSpec
+
+PRESETS: dict[str, ExperimentSpec] = {}
+
+
+def _preset(spec: ExperimentSpec) -> ExperimentSpec:
+    PRESETS[spec.name] = spec
+    return spec
+
+
+def preset(name: str) -> ExperimentSpec:
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise KeyError(f"unknown preset {name!r}; available: "
+                       f"{sorted(PRESETS)}") from None
+
+
+#: Tiny two-seed ping sweep: the CI smoke test for the runner itself.
+SMOKE = _preset(ExperimentSpec(
+    name="smoke",
+    workload="ping",
+    seeds=(0, 1),
+    sweep={"system": ("conventional", "acacia")},
+    params={"count": 3, "warmup": 1.0, "tail": 2.0, "interval": 0.2},
+))
+
+#: Figure 3(g): latency vs background load at three emulated RTTs.
+FIG3G = _preset(ExperimentSpec(
+    name="fig3g",
+    workload="ping",
+    seeds=(17,),
+    sweep={"rtt_ms": (70, 18, 8), "bg_mbps": (0, 40, 80, 90, 100)},
+))
+
+#: Figure 10(b): the three designs under background load.
+FIG10B = _preset(ExperimentSpec(
+    name="fig10b",
+    workload="ping",
+    seeds=(23,),
+    sweep={"system": ("conventional", "mec-shared", "acacia"),
+           "bg_mbps": (0, 40, 80, 100)},
+))
+
+#: Figure 11(a): matching time by scheme/resolution on two machines.
+FIG11A = _preset(ExperimentSpec(
+    name="fig11a",
+    workload="search_space",
+    seeds=(31,),
+    sweep={"machine": ("i7-8core", "xeon-32core")},
+))
+
+#: Figure 13: end-to-end breakdown for the three deployments.
+FIG13 = _preset(ExperimentSpec(
+    name="fig13",
+    workload="end_to_end",
+    seeds=(13,),
+    sweep={"kind": ("acacia", "mec", "cloud")},
+))

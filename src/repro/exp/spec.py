@@ -1,0 +1,128 @@
+"""Experiment and trial specifications.
+
+Both are frozen, picklable value objects: a :class:`TrialSpec` crosses a
+worker-process boundary intact, and an :class:`ExperimentSpec` can be
+round-tripped through JSON for provenance.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.sim.context import derive_seed
+
+
+def _freeze_sweep(sweep) -> tuple[tuple[str, tuple], ...]:
+    """Normalise a sweep (mapping or pair sequence) to nested tuples."""
+    if sweep is None:
+        return ()
+    items = sweep.items() if isinstance(sweep, Mapping) else sweep
+    return tuple((str(axis), tuple(values)) for axis, values in items)
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One unit of work: a workload at a seed with concrete parameters.
+
+    ``seed`` is derived (:func:`~repro.sim.context.derive_seed`) from
+    the experiment name, workload and ``base_seed`` -- stable across
+    processes, and identical for every sweep cell sharing a base seed,
+    so sweep axes stay *paired* comparisons.
+    """
+
+    experiment: str
+    index: int
+    workload: str
+    base_seed: int
+    seed: int
+    params: tuple[tuple[str, Any], ...] = ()
+
+    @property
+    def param_dict(self) -> dict[str, Any]:
+        return dict(self.params)
+
+    def provenance(self) -> dict[str, Any]:
+        """The who/what/why of this trial, embedded in its result."""
+        return {
+            "experiment": self.experiment,
+            "index": self.index,
+            "workload": self.workload,
+            "base_seed": self.base_seed,
+            "seed": self.seed,
+            "params": self.param_dict,
+        }
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A declarative experiment: workload x sweep axes x seeds.
+
+    ``sweep`` maps axis name -> values; the trial list is the cartesian
+    product of the axes (in declaration order) with the seeds innermost,
+    so trial order -- and therefore result order -- is deterministic.
+    ``params`` are fixed parameters shared by every trial.
+    """
+
+    name: str
+    workload: str
+    seeds: tuple = (0,)
+    sweep: tuple = ()
+    params: tuple = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "seeds", tuple(self.seeds))
+        object.__setattr__(self, "sweep", _freeze_sweep(self.sweep))
+        params = self.params
+        if isinstance(params, Mapping):
+            params = params.items()
+        object.__setattr__(self, "params",
+                           tuple((str(k), v) for k, v in params))
+
+    # -- trial expansion ---------------------------------------------------
+
+    def cells(self) -> list[tuple[tuple[str, Any], ...]]:
+        """The sweep's cartesian product, declaration-ordered."""
+        cells: list[tuple[tuple[str, Any], ...]] = [()]
+        for axis, values in self.sweep:
+            cells = [cell + ((axis, value),)
+                     for cell in cells for value in values]
+        return cells
+
+    def trials(self) -> list[TrialSpec]:
+        trials = []
+        for cell in self.cells():
+            for base_seed in self.seeds:
+                trials.append(TrialSpec(
+                    experiment=self.name,
+                    index=len(trials),
+                    workload=self.workload,
+                    base_seed=int(base_seed),
+                    seed=derive_seed(self.name, self.workload,
+                                     int(base_seed)),
+                    params=self.params + cell))
+        return trials
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "workload": self.workload,
+            "seeds": list(self.seeds),
+            "sweep": [[axis, list(values)] for axis, values in self.sweep],
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
+        return cls(name=data["name"], workload=data["workload"],
+                   seeds=tuple(data.get("seeds", (0,))),
+                   sweep=tuple((axis, tuple(values))
+                               for axis, values in data.get("sweep", ())),
+                   params=tuple(dict(data.get("params", {})).items()))
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        return cls.from_dict(json.loads(text))

@@ -1,0 +1,267 @@
+"""Workload implementations the experiment runner can dispatch to.
+
+A workload is a plain function ``fn(trial: TrialSpec) -> dict`` whose
+return value is JSON-serialisable.  Workloads build their entire world
+from ``trial.seed`` and ``trial.params`` -- no ambient state -- which is
+what makes serial and process-parallel runs byte-identical.
+
+Three workloads cover the paper's latency/matching experiments:
+
+``ping``
+    Median RTT from a UE through one of the three system designs
+    (``conventional``, ``mec-shared``, ``acacia``) under background
+    load -- the Figure 3(g)/10(b) measurement.
+``search_space``
+    Mean matching time and pruning accuracy per search scheme --
+    the Figure 11(a) measurement.
+``end_to_end``
+    Per-frame latency breakdown of a full AR session for one
+    deployment kind -- the Figure 13 measurement.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+import numpy as np
+
+from repro.exp.spec import TrialSpec
+
+WORKLOADS: Dict[str, Callable[[TrialSpec], dict]] = {}
+
+#: One-way (backhaul, core, internet) delays emulating a server RTT,
+#: keyed by the nominal RTT in milliseconds (Figure 3(g)).
+RTT_PROFILES = {
+    70: (0.010, 0.010, 0.009),
+    18: (0.0025, 0.0015, 0.001),
+    8: (0.0, 0.0, 0.0),
+}
+
+
+def workload(name: str):
+    """Register a workload function under ``name``."""
+    def register(fn):
+        WORKLOADS[name] = fn
+        return fn
+    return register
+
+
+def get(name: str) -> Callable[[TrialSpec], dict]:
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}; available: "
+                       f"{sorted(WORKLOADS)}") from None
+
+
+# ---------------------------------------------------------------------------
+# ping: RTT under background load (Figures 3(g) and 10(b))
+# ---------------------------------------------------------------------------
+
+@workload("ping")
+def run_ping(trial: TrialSpec) -> dict[str, Any]:
+    """Median RTT through one system design under background load.
+
+    Parameters (``trial.params``):
+
+    * ``system`` -- ``conventional`` | ``mec-shared`` | ``acacia``;
+    * ``rtt_ms`` -- optional nominal server RTT selecting a delay
+      profile from :data:`RTT_PROFILES` (conventional only);
+    * ``bg_mbps`` -- background offered load in Mbit/s;
+    * ``count`` / ``interval`` / ``size`` / ``warmup`` / ``tail`` --
+      ping train shape.
+    """
+    from repro.core.config import NetworkConfig
+    from repro.core.network import MobileNetwork, Pinger
+    from repro.epc.entities import ServicePolicy
+
+    p = trial.param_dict
+    system = p.get("system", "conventional")
+    bg_mbps = float(p.get("bg_mbps", 0))
+    count = int(p.get("count", 8))
+    interval = float(p.get("interval", 0.4))
+    size = int(p.get("size", 1000))
+    warmup = float(p.get("warmup", 6.0))
+    tail = float(p.get("tail", 8.0))
+
+    delays = {}
+    if "rtt_ms" in p:
+        backhaul, core, internet = RTT_PROFILES[int(p["rtt_ms"])]
+        delays = dict(backhaul_delay=backhaul, core_delay=core,
+                      internet_delay=internet)
+    elif system == "mec-shared":
+        delays = dict(backhaul_delay=0.0006, core_delay=0.0004,
+                      internet_delay=0.0002)
+    config = NetworkConfig(seed=trial.seed, **delays)
+    network = MobileNetwork(config)
+
+    if system == "acacia":
+        network.pcrf.configure(ServicePolicy("ar", qci=7))
+        network.add_mec_site("mec")
+        network.add_server("mec-server", site_name="mec", echo=True)
+        ue = network.add_ue()
+        network.create_mec_bearer(ue, "mec-server", service_id="ar")
+        server_name = "mec-server"
+    elif system in ("conventional", "mec-shared"):
+        ue = network.add_ue()
+        server_name = "internet"
+    else:
+        raise ValueError(f"unknown system {system!r}")
+
+    if bg_mbps > 0:
+        network.add_background_load(rate=bg_mbps * 1e6).start()
+
+    pinger = Pinger(network, ue, server_name, size=size, interval=interval)
+    pinger.run(count=count, start=warmup)
+    network.sim.run(until=warmup + count * interval + tail)
+    pinger.close()
+
+    if pinger.rtts:
+        median = float(np.median(pinger.rtts))
+    else:
+        median = warmup + tail      # replies trapped behind the queue
+    return {
+        "median_rtt_ms": median * 1e3,
+        "rtts_ms": [r * 1e3 for r in pinger.rtts],
+        "answered": len(pinger.rtts),
+        "lost": pinger.lost,
+    }
+
+
+# ---------------------------------------------------------------------------
+# search_space: matching time/accuracy per scheme (Figure 11(a))
+# ---------------------------------------------------------------------------
+
+@workload("search_space")
+def run_search_space(trial: TrialSpec) -> dict[str, Any]:
+    """Mean matching time per (resolution, scheme) on one machine.
+
+    Parameters: ``machine`` (a :data:`repro.vision.costmodel.DEVICES`
+    key), optional ``frames_per_checkpoint`` and ``n_features``.
+    """
+    from repro.apps.retail import build_retail_database, landmark_map_for
+    from repro.apps.scenario import store_scenario
+    from repro.apps.workload import CheckpointWorkload
+    from repro.core.localization_manager import LocalizationManager
+    from repro.core.optimizer import SearchSpaceOptimizer
+    from repro.d2d.radio import RadioModel
+    from repro.localization.pathloss import calibrate_from_radio
+    from repro.vision.camera import R720x480, R960x720, R1280x720
+    from repro.vision.costmodel import DEVICES
+
+    p = trial.param_dict
+    machine = p.get("machine", "i7-8core")
+    frames_per_checkpoint = int(p.get("frames_per_checkpoint", 5))
+    n_features = int(p.get("n_features", 60))
+    schemes = ("acacia", "rxpower", "naive")
+    resolutions = (R720x480, R960x720, R1280x720)
+
+    scenario = store_scenario()
+    db = build_retail_database(scenario, n_features=n_features)
+    radio = RadioModel()
+    rng = np.random.default_rng(trial.seed)
+    regression = calibrate_from_radio(radio, rng)
+    localization = LocalizationManager(landmark_map_for(scenario,
+                                                        regression))
+    workload_ = CheckpointWorkload(scenario, db, radio=radio,
+                                   seed=trial.seed)
+    samples = []
+    for cp in scenario.checkpoints:
+        sample = workload_.sample(cp)
+        for round_index in range(3):
+            observations = workload_.landmark_observations(cp.position)
+            for landmark, rx_power in observations.items():
+                localization.report(cp.name, landmark, rx_power,
+                                    float(round_index))
+        samples.append(sample)
+    optimizer = SearchSpaceOptimizer(db, scenario)
+
+    def space_for(scheme, cp_name):
+        if scheme == "naive":
+            return optimizer.naive()
+        if scheme == "rxpower":
+            return optimizer.rxpower(
+                localization.strongest_landmarks(cp_name, now=1.0))
+        location = localization.location(cp_name, now=1.0)
+        return optimizer.acacia(
+            location, localization.strongest_landmarks(cp_name, now=1.0))
+
+    device = DEVICES[machine]
+    mean_ms: dict[str, float] = {}
+    for resolution in resolutions:
+        for scheme in schemes:
+            times = []
+            for sample in samples:
+                space = space_for(scheme, sample.checkpoint.name)
+                t = device.db_match_time(
+                    resolution, db_objects=space.size,
+                    object_features=db.mean_nominal_features(
+                        space.records))
+                times.extend([t] * frames_per_checkpoint)
+            mean_ms[f"{resolution}|{scheme}"] = float(
+                np.mean(times)) * 1e3
+
+    misses: dict[str, list[str]] = {scheme: [] for scheme in schemes}
+    for sample in samples:
+        for scheme in schemes:
+            space = space_for(scheme, sample.checkpoint.name)
+            names = {record.name for record in space.records}
+            if sample.record.name not in names:
+                misses[scheme].append(sample.checkpoint.name)
+
+    return {"machine": machine, "mean_ms": mean_ms, "misses": misses,
+            "checkpoints": len(samples)}
+
+
+# ---------------------------------------------------------------------------
+# end_to_end: full-stack AR session breakdown (Figure 13)
+# ---------------------------------------------------------------------------
+
+@workload("end_to_end")
+def run_end_to_end(trial: TrialSpec) -> dict[str, Any]:
+    """Per-frame latency breakdown for one deployment kind.
+
+    Parameters: ``kind`` (``cloud`` | ``mec`` | ``acacia``), optional
+    ``frames``, ``checkpoint`` (index) and ``n_features``.
+    """
+    from repro.apps.retail import build_retail_database
+    from repro.apps.scenario import store_scenario
+    from repro.apps.workload import CheckpointWorkload
+    from repro.baselines import build_deployment
+    from repro.vision.camera import R720x480
+
+    p = trial.param_dict
+    kind = p.get("kind", "acacia")
+    frames = int(p.get("frames", 8))
+    checkpoint_index = int(p.get("checkpoint", 4))
+    n_features = int(p.get("n_features", 60))
+
+    scenario = store_scenario()
+    db = build_retail_database(scenario, n_features=n_features)
+    deployment = build_deployment(kind, db, scenario, seed=trial.seed)
+    checkpoint = scenario.checkpoints[checkpoint_index]
+    workload_ = CheckpointWorkload(scenario, db, seed=trial.seed,
+                                   frames_per_object=frames,
+                                   resolution=R720x480)
+    sample = workload_.sample(checkpoint)
+
+    if kind == "acacia":
+        section = scenario.section_of_subsection(checkpoint.subsection)
+        deployment.customer.move_to(checkpoint.position)
+        deployment.customer.open([section])
+        deployment.network.sim.run(until=32.0)
+    session = deployment.new_session(iter(sample.frames),
+                                     resolution=R720x480,
+                                     max_frames=frames)
+    session.start(at=deployment.network.sim.now)
+    deployment.network.sim.run(until=deployment.network.sim.now + 120.0)
+
+    breakdown = session.mean_breakdown()
+    return {
+        "kind": kind,
+        "frames_completed": len(session.records),
+        "all_matched": all(r.matched == sample.record.name
+                           for r in session.records),
+        "breakdown_ms": {part: value * 1e3
+                         for part, value in breakdown.items()},
+    }

@@ -10,6 +10,7 @@ fast path distinction whose cost difference Figure 8 measures.
 from repro.sdn.controller import SdnController
 from repro.sdn.dataplane import (ACACIA_OVS_PROFILE, IDEAL_PROFILE,
                                  OPENEPC_USERSPACE_PROFILE, DataPlaneProfile)
+from repro.sdn.events import FlowRuleInstalled, FlowRuleRemoved, TableMiss
 from repro.sdn.openflow import (FlowMatch, FlowRule, GtpDecap, GtpEncap,
                                 Output)
 from repro.sdn.switch import FlowSwitch
@@ -19,6 +20,8 @@ __all__ = [
     "DataPlaneProfile",
     "FlowMatch",
     "FlowRule",
+    "FlowRuleInstalled",
+    "FlowRuleRemoved",
     "FlowSwitch",
     "GtpDecap",
     "GtpEncap",
@@ -26,4 +29,5 @@ __all__ = [
     "OPENEPC_USERSPACE_PROFILE",
     "Output",
     "SdnController",
+    "TableMiss",
 ]

@@ -7,8 +7,9 @@ installs a cache entry; later packets hit the cache at the fast-path
 cost.  The CPU is a serial resource: costs accumulate on a busy-until
 clock, which is what caps a user-space gateway's throughput in Figure 8.
 
-Packets with no matching rule are counted as table misses and dropped
-(a production switch would punt them to the controller).
+Packets with no matching rule are counted as table misses, announced as
+a :class:`~repro.sdn.events.TableMiss` on the hook bus (the paging
+manager's punt path) and dropped.
 """
 
 from __future__ import annotations
@@ -17,6 +18,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.epc.gtp import gtp_teid
 from repro.sdn.dataplane import IDEAL_PROFILE, DataPlaneProfile
+from repro.sdn.events import FlowRuleInstalled, FlowRuleRemoved, TableMiss
 from repro.sdn.openflow import FlowRule, Output
 from repro.sim.node import Node
 from repro.sim.packet import Packet
@@ -45,9 +47,6 @@ class FlowSwitch(Node):
         self.table_misses = 0
         self.fast_path_hits = 0
         self.slow_path_hits = 0
-        #: optional table-miss punt (e.g. the SGW-U's paging hook);
-        #: called with the missed packet; return True if consumed
-        self.miss_handler = None
 
     # -- table management (driven by the controller) ---------------------
 
@@ -55,11 +54,18 @@ class FlowSwitch(Node):
         self.table.append(rule)
         self.table.sort(key=lambda r: -r.priority)
         self._cache.clear()     # conservatively invalidate the fast path
+        hooks = self.sim.hooks
+        if hooks.has(FlowRuleInstalled):
+            hooks.emit(FlowRuleInstalled(switch=self, rule=rule))
 
     def remove(self, cookie: str) -> list[FlowRule]:
         removed = [r for r in self.table if r.cookie == cookie]
         self.table = [r for r in self.table if r.cookie != cookie]
         self._cache.clear()
+        hooks = self.sim.hooks
+        if hooks.has(FlowRuleRemoved):
+            hooks.emit(FlowRuleRemoved(switch=self, cookie=cookie,
+                                       count=len(removed)))
         return removed
 
     def lookup(self, packet: Packet) -> Optional[FlowRule]:
@@ -78,8 +84,9 @@ class FlowSwitch(Node):
             rule = self.lookup(packet)
             if rule is None:
                 self.table_misses += 1
-                if self.miss_handler is not None:
-                    self.miss_handler(packet)
+                hooks = self.sim.hooks
+                if hooks.has(TableMiss):
+                    hooks.emit(TableMiss(switch=self, packet=packet))
                 return
             if self.profile.has_fast_path:
                 self._cache[key] = rule

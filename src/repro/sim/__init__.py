@@ -10,7 +10,10 @@ randomness is injected through :class:`numpy.random.Generator` instances
 so every experiment in the repository is reproducible from a seed.
 """
 
+from repro.sim.context import SimContext, derive_seed
 from repro.sim.engine import Event, Process, Simulator
+from repro.sim.hooks import (HookBus, PacketDelivered, PacketDropped,
+                             Subscription)
 from repro.sim.link import Link
 from repro.sim.monitor import FlowStats, LatencyProbe, ThroughputMeter
 from repro.sim.node import Node, PacketSink
@@ -25,17 +28,23 @@ __all__ = [
     "FlowStats",
     "GreedySource",
     "Header",
+    "HookBus",
     "LatencyProbe",
     "Link",
     "LTE_WAN_PROFILES",
     "Node",
     "Packet",
+    "PacketDelivered",
+    "PacketDropped",
     "PacketSink",
     "PoissonSource",
     "Process",
+    "SimContext",
     "Simulator",
+    "Subscription",
     "TcpSink",
     "TcpSource",
     "ThroughputMeter",
     "WANProfile",
+    "derive_seed",
 ]

@@ -16,6 +16,8 @@ import heapq
 import itertools
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from repro.sim.hooks import HookBus
+
 
 class SimulationError(RuntimeError):
     """Raised for invalid scheduling requests (negative delays, etc.)."""
@@ -121,10 +123,15 @@ class Simulator:
     ----------
     now:
         Current simulated time in seconds.
+    hooks:
+        The simulation's :class:`~repro.sim.hooks.HookBus`.  Nodes and
+        probes publish/subscribe typed events here instead of rebinding
+        each other's methods.
     """
 
     def __init__(self) -> None:
         self.now: float = 0.0
+        self.hooks = HookBus()
         self._heap: list[Event] = []
         self._seq = itertools.count()
         self._events_run = 0

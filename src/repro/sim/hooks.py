@@ -1,0 +1,142 @@
+"""Typed hook/signal bus.
+
+Cross-layer instrumentation used to be wired by rebinding methods at
+runtime (``ue.on_downlink = probe`` and friends), which made probes
+impossible to stack or remove and left dangling state behind.  The
+:class:`HookBus` replaces that with typed publish/subscribe: layers
+*emit* small frozen event dataclasses and any number of subscribers
+*observe* them, each holding a :class:`Subscription` it can ``close()``.
+
+Design rules:
+
+* dispatch is by **exact event type** -- one dict lookup per emit, so
+  emitting on a bus nobody listens to is near-free (guard hot paths
+  with :meth:`HookBus.has` to skip even the event construction);
+* handlers run synchronously, in subscription order, on the emitter's
+  stack -- the bus adds no scheduling of its own;
+* emission iterates a snapshot, so handlers may subscribe/unsubscribe
+  (including themselves) during dispatch.
+
+The sim-layer events live here too; higher layers define their own
+(:mod:`repro.epc.events`, :mod:`repro.sdn.events`) and emit them over
+the same bus -- the bus is type-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Optional, Type
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.link import Link
+    from repro.sim.node import Node
+    from repro.sim.packet import Packet
+
+
+class Subscription:
+    """Handle returned by :meth:`HookBus.on`; ``close()`` detaches it."""
+
+    __slots__ = ("bus", "event_type", "fn", "active")
+
+    def __init__(self, bus: "HookBus", event_type: type,
+                 fn: Callable[[Any], None]) -> None:
+        self.bus = bus
+        self.event_type = event_type
+        self.fn = fn
+        self.active = True
+
+    def close(self) -> None:
+        """Detach this handler.  Idempotent."""
+        self.bus.off(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "active" if self.active else "closed"
+        return (f"<Subscription {self.event_type.__name__} -> "
+                f"{getattr(self.fn, '__name__', self.fn)} {state}>")
+
+
+class HookBus:
+    """Synchronous typed signal bus."""
+
+    def __init__(self) -> None:
+        self._handlers: dict[type, list[Subscription]] = {}
+        self.emitted = 0
+
+    # -- subscription management -----------------------------------------
+
+    def on(self, event_type: Type[Any],
+           fn: Callable[[Any], None]) -> Subscription:
+        """Register ``fn`` to run for every emitted ``event_type``."""
+        if not isinstance(event_type, type):
+            raise TypeError(f"event type must be a class, got {event_type!r}")
+        sub = Subscription(self, event_type, fn)
+        self._handlers.setdefault(event_type, []).append(sub)
+        return sub
+
+    def off(self, subscription: Subscription) -> None:
+        """Remove a subscription.  Idempotent."""
+        if not subscription.active:
+            return
+        subscription.active = False
+        subs = self._handlers.get(subscription.event_type)
+        if subs is not None:
+            try:
+                subs.remove(subscription)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+            if not subs:
+                del self._handlers[subscription.event_type]
+
+    def has(self, event_type: type) -> bool:
+        """True if anyone listens for ``event_type`` (hot-path guard)."""
+        return event_type in self._handlers
+
+    def subscriber_count(self, event_type: Optional[type] = None) -> int:
+        if event_type is not None:
+            return len(self._handlers.get(event_type, ()))
+        return sum(len(subs) for subs in self._handlers.values())
+
+    def close(self) -> None:
+        """Detach every subscriber."""
+        for subs in list(self._handlers.values()):
+            for sub in list(subs):
+                self.off(sub)
+
+    # -- emission ---------------------------------------------------------
+
+    def emit(self, event: Any) -> int:
+        """Dispatch ``event`` to its type's subscribers, in order.
+
+        Returns the number of handlers invoked.
+        """
+        subs = self._handlers.get(type(event))
+        if not subs:
+            return 0
+        self.emitted += 1
+        count = 0
+        for sub in tuple(subs):
+            if sub.active:
+                sub.fn(event)
+                count += 1
+        return count
+
+
+# -- sim-layer events ------------------------------------------------------
+
+@dataclass(frozen=True)
+class PacketDelivered:
+    """A packet reached a terminal sink (:class:`~repro.sim.node.PacketSink`)."""
+
+    node: "Node"
+    packet: "Packet"
+    link: Optional["Link"]
+
+
+@dataclass(frozen=True)
+class PacketDropped:
+    """A link dropped a packet (queue overflow or link down)."""
+
+    link: "Link"
+    packet: "Packet"
+    sender: "Node"
+    reason: str         # "queue-full" | "link-down"

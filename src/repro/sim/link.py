@@ -18,6 +18,7 @@ import itertools
 from collections import deque
 from typing import TYPE_CHECKING, Optional
 
+from repro.sim.hooks import PacketDropped
 from repro.sim.packet import Packet
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -188,11 +189,20 @@ class Link:
                 f"{sender!r} is not attached to link {self.name}")
         if not self.up:
             self.dropped_while_down += 1
+            self._signal_drop(packet, sender, "link-down")
             return
         if not direction.enqueue(packet):
+            self._signal_drop(packet, sender, "queue-full")
             return  # drop-tail
         if not direction.busy:
             self._start_transmission(sender, direction)
+
+    def _signal_drop(self, packet: Packet, sender: "Node",
+                     reason: str) -> None:
+        hooks = self.sim.hooks
+        if hooks.has(PacketDropped):
+            hooks.emit(PacketDropped(link=self, packet=packet,
+                                     sender=sender, reason=reason))
 
     def _start_transmission(self, sender: "Node",
                             direction: _Direction) -> None:

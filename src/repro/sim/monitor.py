@@ -3,11 +3,53 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
+from repro.sim.hooks import PacketDelivered, Subscription
 from repro.sim.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.node import Node
+
+
+class _BusProbe:
+    """Shared subscription plumbing for the measurement probes.
+
+    A probe can be driven two ways: directly (pass it as a sink's
+    ``on_packet`` callback) or by subscribing it to the simulation's
+    hook bus with :meth:`subscribe`, optionally filtered to one node.
+    ``close()`` detaches the subscription either way.
+    """
+
+    def __init__(self) -> None:
+        self._subscription: Optional[Subscription] = None
+        self._node_filter: Optional["Node"] = None
+
+    def subscribe(self, node: Optional["Node"] = None):
+        """Observe :class:`PacketDelivered` events on the sim's bus.
+
+        ``node`` restricts the probe to packets delivered at that node.
+        Returns ``self`` so construction and wiring chain naturally.
+        """
+        if self._subscription is not None:
+            raise RuntimeError(f"{type(self).__name__} is already subscribed")
+        self._node_filter = node
+        self._subscription = self.sim.hooks.on(PacketDelivered,
+                                               self._on_delivered)
+        return self
+
+    def _on_delivered(self, event: PacketDelivered) -> None:
+        if self._node_filter is not None and event.node is not self._node_filter:
+            return
+        self(event.packet)
+
+    def close(self) -> None:
+        """Stop observing.  Idempotent; direct callers are unaffected."""
+        if self._subscription is not None:
+            self._subscription.close()
+            self._subscription = None
 
 
 @dataclass
@@ -31,16 +73,21 @@ class FlowStats:
         return float(np.percentile(self.latencies, q)) if self.latencies else 0.0
 
 
-class LatencyProbe:
+class LatencyProbe(_BusProbe):
     """Collects one-way (or round-trip) delay samples keyed by flow id.
 
     Attach via a sink's ``on_packet`` callback:
 
     >>> probe = LatencyProbe(sim)
     >>> sink = PacketSink(sim, "sink", on_packet=probe)   # doctest: +SKIP
+
+    or observe the whole simulation through the hook bus:
+
+    >>> probe = LatencyProbe(sim).subscribe(node=sink)    # doctest: +SKIP
     """
 
     def __init__(self, sim) -> None:
+        super().__init__()
         self.sim = sim
         self.flows: dict[str, FlowStats] = {}
 
@@ -58,15 +105,17 @@ class LatencyProbe:
         return self.flows.setdefault(flow_id, FlowStats())
 
 
-class ThroughputMeter:
+class ThroughputMeter(_BusProbe):
     """Windowed throughput series measured at a sink.
 
-    Call :meth:`observe` for every delivered packet; :meth:`series`
-    returns `(window_start_times, bits_per_second)` arrays, the exact
-    shape plotted in Figure 8.
+    Call :meth:`observe` for every delivered packet (directly or via
+    :meth:`subscribe`); :meth:`series` returns
+    `(window_start_times, bits_per_second)` arrays, the exact shape
+    plotted in Figure 8.
     """
 
     def __init__(self, sim, window: float = 1.0) -> None:
+        super().__init__()
         if window <= 0:
             raise ValueError("window must be positive")
         self.sim = sim

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Optional
 
+from repro.sim.hooks import PacketDelivered
 from repro.sim.packet import Packet
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -81,6 +82,9 @@ class PacketSink(Node):
         self.received.append(packet)
         self.bytes_received += packet.wire_size
         self.arrival_times.append(self.sim.now)
+        hooks = self.sim.hooks
+        if hooks.has(PacketDelivered):
+            hooks.emit(PacketDelivered(node=self, packet=packet, link=link))
         if self.on_packet is not None:
             self.on_packet(packet)
         if self.echo:

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.apps.ar_frontend import ARFrontend, ARSession, FrameRecord
+from repro.epc.events import DownlinkDelivered
 from repro.sim.engine import Simulator
 from repro.sim.link import Link
 from repro.sim.node import Node, PacketSink
@@ -42,7 +43,7 @@ class _EchoServer(Node):
 
     def on_receive(self, packet, link):
         reply = Packet(src=self.ip, dst=packet.src, size=1000,
-                       created_at=self.sim.now,
+                       flow_id=packet.flow_id, created_at=self.sim.now,
                        meta={"frame_seq": packet.meta.get("frame_seq"),
                              "matched": "obj", "decode_time": 0.002,
                              "surf_time": 0.018,
@@ -52,18 +53,17 @@ class _EchoServer(Node):
 
 
 class _FakeUE(Node):
-    """Stands in for a UE: forwards app packets over a link."""
+    """Stands in for a UE: forwards app packets over a link and
+    publishes downlink arrivals on the hook bus like the real one."""
 
     def __init__(self, sim, name, ip):
         super().__init__(sim, name, ip)
-        self.on_downlink = None
 
     def send_app(self, packet):
         self.send("radio", packet)
 
     def on_receive(self, packet, link):
-        if self.on_downlink is not None:
-            self.on_downlink(packet)
+        self.sim.hooks.emit(DownlinkDelivered(ue=self, packet=packet))
 
 
 def build_session(n_frames=3, max_frames=None):

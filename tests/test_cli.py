@@ -54,3 +54,57 @@ def test_every_demo_maps_to_an_existing_example():
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_exp_list_shows_every_preset(capsys):
+    from repro.exp import PRESETS
+    assert main(["exp", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in PRESETS:
+        assert name in out
+
+
+def test_exp_show_prints_spec_json(capsys):
+    import json
+    assert main(["exp", "show", "smoke"]) == 0
+    spec = json.loads(capsys.readouterr().out)
+    assert spec["name"] == "smoke"
+    assert spec["workload"] == "ping"
+
+
+def test_exp_unknown_preset_fails_cleanly(capsys):
+    assert main(["exp", "show", "fig99"]) == 2
+    assert "unknown preset" in capsys.readouterr().err
+    assert main(["exp", "run", "fig99"]) == 2
+
+
+def test_exp_run_writes_canonical_results(capsys, monkeypatch, tmp_path):
+    import json
+
+    from repro.exp import ExperimentSpec, PRESETS, workload
+
+    @workload("_cli_probe")
+    def probe(trial):
+        return {"x": trial.param_dict["x"]}
+
+    monkeypatch.setitem(PRESETS, "_cli-probe", ExperimentSpec(
+        name="_cli-probe", workload="_cli_probe", sweep={"x": (1, 2)}))
+    out_file = tmp_path / "results.json"
+    assert main(["exp", "run", "_cli-probe",
+                 "--output", str(out_file)]) == 0
+    data = json.loads(out_file.read_text())
+    assert [t["metrics"]["x"] for t in data["trials"]] == [1, 2]
+    assert all(t["status"] == "ok" for t in data["trials"])
+
+
+def test_exp_run_reports_failures_with_nonzero_exit(capsys, monkeypatch):
+    from repro.exp import ExperimentSpec, PRESETS, workload
+
+    @workload("_cli_boom")
+    def boom(trial):
+        raise RuntimeError("kaput")
+
+    monkeypatch.setitem(PRESETS, "_cli-boom", ExperimentSpec(
+        name="_cli-boom", workload="_cli_boom"))
+    assert main(["exp", "run", "_cli-boom"]) == 1
+    assert "kaput" in capsys.readouterr().err

@@ -161,6 +161,26 @@ def test_background_load_does_not_affect_mec_bearer(network):
     assert float(np.percentile(pinger.rtts, 95)) <= 0.015
 
 
+def test_background_loads_have_distinct_cookies_and_remove_cleanly(network):
+    """Each load installs rules under its own cookie, so tearing one
+    down leaves the others' flow rules (and traffic) untouched."""
+    first = network.add_background_load(rate=10e6)
+    second = network.add_background_load(rate=20e6)
+    assert first.name != second.name
+    assert set(network.background_loads()) == {first.name, second.name}
+    site = network.sgwc.site("central")
+    rules_with_both = len(site.sgw_u.table)
+
+    network.remove_background_load(first)
+    assert network.background_loads() == (second.name,)
+    assert len(site.sgw_u.table) == rules_with_both - 1
+
+    network.remove_background_load(second.name)     # by name also works
+    assert network.background_loads() == ()
+    with pytest.raises(KeyError):
+        network.remove_background_load(second)
+
+
 def test_multiple_ues_isolated_ips(network):
     ue1 = network.add_ue()
     ue2 = network.add_ue()

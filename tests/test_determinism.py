@@ -69,6 +69,22 @@ def test_end_to_end_deployment_is_deterministic():
     assert one_run() == one_run()
 
 
+def test_serial_and_parallel_runner_byte_identical():
+    """A process-parallel experiment run serialises to exactly the same
+    bytes as a serial run: every trial builds its world from its derived
+    seed, so worker scheduling cannot leak into the results."""
+    from repro.exp import ExperimentRunner, ExperimentSpec
+
+    spec = ExperimentSpec(
+        name="determinism-probe", workload="ping", seeds=(0, 1),
+        sweep={"system": ("conventional", "acacia")},
+        params={"count": 2, "warmup": 1.0, "tail": 1.5, "interval": 0.2})
+    serial = ExperimentRunner(spec).run()
+    parallel = ExperimentRunner(spec, workers=2).run()
+    assert serial.ok
+    assert serial.canonical_json() == parallel.canonical_json()
+
+
 def test_ledger_replay_is_identical():
     def ledger_fingerprint(seed):
         network = MobileNetwork(NetworkConfig(seed=seed))

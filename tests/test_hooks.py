@@ -1,0 +1,171 @@
+"""Unit tests for the typed hook bus and SimContext RNG streams."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.sim import HookBus, SimContext, derive_seed
+
+
+@dataclass(frozen=True)
+class Ping:
+    value: int
+
+
+@dataclass(frozen=True)
+class Pong:
+    value: int
+
+
+# ---------------------------------------------------------------------------
+# HookBus
+# ---------------------------------------------------------------------------
+
+def test_emit_dispatches_by_exact_type():
+    bus = HookBus()
+    seen = []
+    bus.on(Ping, seen.append)
+    assert bus.emit(Ping(1)) == 1
+    assert bus.emit(Pong(2)) == 0
+    assert seen == [Ping(1)]
+
+
+def test_handlers_run_in_subscription_order():
+    bus = HookBus()
+    order = []
+    bus.on(Ping, lambda e: order.append("first"))
+    bus.on(Ping, lambda e: order.append("second"))
+    bus.on(Ping, lambda e: order.append("third"))
+    bus.emit(Ping(0))
+    assert order == ["first", "second", "third"]
+
+
+def test_subscription_close_detaches_and_is_idempotent():
+    bus = HookBus()
+    seen = []
+    sub = bus.on(Ping, seen.append)
+    bus.emit(Ping(1))
+    sub.close()
+    sub.close()     # second close is a no-op
+    bus.emit(Ping(2))
+    assert seen == [Ping(1)]
+    assert not sub.active
+    assert bus.subscriber_count(Ping) == 0
+
+
+def test_has_reflects_live_subscribers():
+    bus = HookBus()
+    assert not bus.has(Ping)
+    sub = bus.on(Ping, lambda e: None)
+    assert bus.has(Ping)
+    sub.close()
+    assert not bus.has(Ping)
+
+
+def test_subscriber_count_total_and_per_type():
+    bus = HookBus()
+    bus.on(Ping, lambda e: None)
+    bus.on(Ping, lambda e: None)
+    bus.on(Pong, lambda e: None)
+    assert bus.subscriber_count(Ping) == 2
+    assert bus.subscriber_count(Pong) == 1
+    assert bus.subscriber_count() == 3
+
+
+def test_bus_close_detaches_everyone():
+    bus = HookBus()
+    subs = [bus.on(Ping, lambda e: None), bus.on(Pong, lambda e: None)]
+    bus.close()
+    assert bus.subscriber_count() == 0
+    assert all(not s.active for s in subs)
+    assert bus.emit(Ping(0)) == 0
+
+
+def test_handler_may_unsubscribe_itself_during_dispatch():
+    bus = HookBus()
+    seen = []
+
+    def once(event):
+        seen.append(event.value)
+        sub.close()
+
+    sub = bus.on(Ping, once)
+    bus.emit(Ping(1))
+    bus.emit(Ping(2))
+    assert seen == [1]
+
+
+def test_handler_subscribed_during_dispatch_misses_current_event():
+    bus = HookBus()
+    late = []
+
+    def subscribe_late(event):
+        bus.on(Ping, lambda e: late.append(e.value))
+
+    bus.on(Ping, subscribe_late)
+    bus.emit(Ping(1))   # snapshot: the late handler must not see this one
+    assert late == []
+    bus.emit(Ping(2))
+    assert late == [2]
+
+
+def test_on_rejects_non_type():
+    with pytest.raises(TypeError):
+        HookBus().on("PacketDelivered", lambda e: None)
+
+
+def test_emitted_counts_only_observed_events():
+    bus = HookBus()
+    bus.emit(Ping(1))               # nobody listening: not counted
+    assert bus.emitted == 0
+    bus.on(Ping, lambda e: None)
+    bus.emit(Ping(2))
+    assert bus.emitted == 1
+
+
+# ---------------------------------------------------------------------------
+# SimContext named RNG streams
+# ---------------------------------------------------------------------------
+
+def test_same_seed_same_stream_regardless_of_request_order():
+    a = SimContext(seed=42)
+    b = SimContext(seed=42)
+    a.rng("net.jitter")     # materialise an unrelated stream first
+    assert (a.rng("d2d.channel").random(8).tolist()
+            == b.rng("d2d.channel").random(8).tolist())
+
+
+def test_distinct_names_give_independent_streams():
+    ctx = SimContext(seed=0)
+    assert (ctx.rng("net.jitter").random(8).tolist()
+            != ctx.rng("d2d.channel").random(8).tolist())
+
+
+def test_rng_is_cached_per_name():
+    ctx = SimContext(seed=0)
+    assert ctx.rng("x") is ctx.rng("x")
+    assert ctx.stream_names() == ("x",)
+
+
+def test_derive_seed_is_stable_and_component_sensitive():
+    assert derive_seed("exp", "ping", 0) == derive_seed("exp", "ping", 0)
+    assert derive_seed("exp", "ping", 0) != derive_seed("exp", "ping", 1)
+    assert derive_seed("exp", "ping", 0) != derive_seed("other", "ping", 0)
+    assert 0 <= derive_seed("exp") < 2 ** 63
+
+
+def test_child_context_derives_its_own_seed():
+    ctx = SimContext(seed=7)
+    child = ctx.child("replica")
+    assert child.seed == derive_seed(7, "replica")
+    assert child.sim is not ctx.sim
+    assert child.hooks is not ctx.hooks
+
+
+def test_context_owns_clock_and_bus():
+    ctx = SimContext(seed=0)
+    fired = []
+    ctx.schedule(1.5, lambda: fired.append(ctx.now))
+    ctx.run(until=2.0)
+    assert fired == [1.5]
+    assert ctx.hooks is ctx.sim.hooks

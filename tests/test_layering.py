@@ -63,6 +63,36 @@ def test_layer_does_not_reach_up(package):
     assert violations == [], violations
 
 
+#: Attributes that used to be wired by rebinding at runtime
+#: (``ue.on_downlink = probe`` and friends).  Cross-layer wiring must go
+#: through the typed hook bus; only the owning object (``self``) may
+#: still declare/initialise these names.
+FORBIDDEN_REBINDS = {"assign_ip", "on_downlink", "miss_handler"}
+
+
+def test_no_monkey_patched_wiring():
+    violations = []
+    for path in SRC.rglob("*.py"):
+        for node in ast.walk(ast.parse(path.read_text())):
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, ast.AnnAssign):
+                targets = [node.target]
+            else:
+                continue
+            for target in targets:
+                if (isinstance(target, ast.Attribute)
+                        and target.attr in FORBIDDEN_REBINDS
+                        and not (isinstance(target.value, ast.Name)
+                                 and target.value.id == "self")):
+                    violations.append(
+                        f"{path.relative_to(SRC)}:{node.lineno}: "
+                        f"rebinds .{target.attr}")
+    assert violations == [], (
+        "method-assignment wiring found; subscribe on the hook bus "
+        f"instead: {violations}")
+
+
 def test_sim_is_fully_self_contained():
     """The simulator layer depends on nothing but stdlib and numpy."""
     allowed_prefixes = ("repro.sim",)
