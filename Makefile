@@ -2,10 +2,13 @@
 
 PYTHON ?= python
 
-.PHONY: test bench bench-matcher examples quick exp-smoke all clean-results
+.PHONY: test lint bench bench-matcher examples quick exp-smoke all clean-results
 
 test:
 	$(PYTHON) -m pytest tests/ -q
+
+lint:   ## same gate as CI (needs ruff on PATH: pip install ruff)
+	ruff check src/ tests/ benchmarks/ tools/ examples/
 
 exp-smoke:   ## tiny 2-seed experiment spec end-to-end through the parallel runner
 	PYTHONPATH=src $(PYTHON) -m repro exp run smoke --workers 2

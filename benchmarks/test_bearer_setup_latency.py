@@ -1,0 +1,67 @@
+"""Bearer-setup latency vs. concurrent signalling load.
+
+Every control procedure now runs as a simulator process whose messages
+traverse modelled signalling channels, so concurrent dedicated-bearer
+activations contend on the shared per-cell RRC channel and the core
+S11/S5/Gx paths.  This bench sweeps how many UEs activate a dedicated
+MEC bearer simultaneously and reports the measured setup-latency
+distribution -- the Section 5.4 bearer-setup sequence under load.
+"""
+
+import numpy as np
+
+from repro.core.config import NetworkConfig
+from repro.core.network import MobileNetwork
+from repro.epc.entities import ServicePolicy
+
+SWEEP = (1, 5, 10, 25, 50)
+
+
+def setup_latencies(n_ues, seed=41, qci=3):
+    """Attach ``n_ues`` UEs then activate one bearer each, concurrently."""
+    network = MobileNetwork(NetworkConfig(seed=seed))
+    network.add_mec_site("mec")
+    network.add_server("ci", site_name="mec", echo=True)
+    network.pcrf.configure(ServicePolicy(service_id="svc", qci=qci))
+    server_ip = network.servers["ci"].ip
+    cp = network.control_plane
+
+    ues = [network.add_ue() for _ in range(n_ues)]
+    procs = [cp.activate_dedicated_bearer_async(ue, "svc", server_ip, "mec")
+             for ue in ues]
+    network.sim.run()
+    assert all(p.finished and p.error is None for p in procs)
+    return [p.value.elapsed for p in procs]
+
+
+def test_bearer_setup_latency_vs_load(report, benchmark):
+    rows = []
+    by_n = {}
+    for n_ues in SWEEP:
+        latencies = setup_latencies(n_ues)
+        by_n[n_ues] = latencies
+        rows.append([n_ues,
+                     f"{np.mean(latencies) * 1e3:.1f}",
+                     f"{np.percentile(latencies, 95) * 1e3:.1f}",
+                     f"{np.max(latencies) * 1e3:.1f}"])
+
+    r = report("bearer_setup_latency",
+               "Dedicated-bearer setup latency vs concurrent load")
+    r.table(["n_ues", "mean_ms", "p95_ms", "max_ms"], rows)
+    r.line()
+    r.line("concurrent setups serialise on the shared RRC channel and "
+           "the core signalling paths")
+
+    lone = by_n[1][0]
+    # a lone setup sits in the calibrated tens-of-ms band
+    assert 0.02 < lone < 0.1
+    # latency grows under concurrent signalling load ...
+    means = [float(np.mean(by_n[n])) for n in SWEEP]
+    assert means == sorted(means)
+    assert means[-1] > 1.5 * lone
+    # ... and the tail stretches even more than the mean
+    assert np.max(by_n[SWEEP[-1]]) > 2.0 * lone
+    # but every bearer still comes up in bounded time
+    assert all(lat < 1.0 for lats in by_n.values() for lat in lats)
+
+    benchmark.pedantic(setup_latencies, args=(10,), rounds=3, iterations=1)

@@ -30,6 +30,8 @@ class MobileUser:
     started_at: float
     customer: Optional["RetailCustomerApp"] = None
     handovers: list[tuple[float, str, str]] = field(default_factory=list)
+    #: True while an (asynchronous) handover procedure is in flight
+    handover_in_flight: bool = False
 
     def position_at(self, now: float) -> Position:
         return self.walk.position_at(now - self.started_at)
@@ -100,6 +102,8 @@ class MobilityManager:
 
     def _maybe_handover(self, user: MobileUser, position: Position) -> None:
         ue = user.ue
+        if user.handover_in_flight:
+            return      # one signalling procedure per UE at a time
         if not ue.rrc_connected:
             return      # idle-mode reselection is out of scope
         current = self.network.mme.context(ue.imsi).enb.name
@@ -112,5 +116,15 @@ class MobilityManager:
                 - self._distance_to(best, position))
         if gain < self.hysteresis:
             return
-        self.network.handover(ue, best)
-        user.handovers.append((self.network.sim.now, current, best))
+        # run the handover as a process: the tick loop (and every other
+        # user's signalling) keeps going while this one's is in flight
+        user.handover_in_flight = True
+        self.network.sim.spawn(self._handover_proc(user, current, best),
+                               name=f"mobility-ho:{ue.name}")
+
+    def _handover_proc(self, user: MobileUser, current: str, best: str):
+        try:
+            yield self.network.handover_async(user.ue, best)
+            user.handovers.append((self.network.sim.now, current, best))
+        finally:
+            user.handover_in_flight = False

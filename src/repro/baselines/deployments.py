@@ -25,7 +25,8 @@ from repro.apps.ar_frontend import ARFrontend, ARSession
 from repro.apps.retail import (RETAIL_SERVICE, RetailCustomerApp,
                                RetailStore, landmark_map_for)
 from repro.apps.scenario import StoreScenario
-from repro.core.config import MatcherConfig, NetworkConfig
+from repro.core.config import (MatcherConfig, NetworkConfig,
+                               SignallingConfig)
 from repro.core.device_manager import AcaciaDeviceManager
 from repro.core.localization_manager import LocalizationManager
 from repro.core.mrs import MecRegistrationServer
@@ -74,11 +75,25 @@ class Deployment:
                          frontend, frames, max_frames=max_frames)
 
 
-def _mec_colocated_config(seed: int) -> NetworkConfig:
+def _mec_colocated_config(
+        seed: int,
+        signalling: Optional[SignallingConfig] = None) -> NetworkConfig:
     """Conventional (shared, non-split) gateways moved next to the eNB."""
-    return NetworkConfig(
+    config = NetworkConfig(
         backhaul_delay=0.0006, core_delay=0.0004, internet_delay=0.0002,
         seed=seed)
+    if signalling is not None:
+        config.signalling = signalling
+    return config
+
+
+def _network_config(
+        seed: int,
+        signalling: Optional[SignallingConfig] = None) -> NetworkConfig:
+    config = NetworkConfig(seed=seed)
+    if signalling is not None:
+        config.signalling = signalling
+    return config
 
 
 def build_deployment(kind: str, db: ObjectDatabase,
@@ -86,11 +101,14 @@ def build_deployment(kind: str, db: ObjectDatabase,
                      server_device: DeviceProfile = DEVICES["i7-8core"],
                      user_position: Optional[tuple[float, float]] = None,
                      matcher_config: Optional[MatcherConfig] = None,
+                     signalling_config: Optional[SignallingConfig] = None,
                      ) -> Deployment:
     """Build one of the three comparison deployments.
 
     ``matcher_config`` selects the server's matching engine (default:
-    the batched engine; decision-equivalent to the reference)."""
+    the batched engine; decision-equivalent to the reference);
+    ``signalling_config`` parameterises the control-plane signalling
+    fabric (default transports when omitted)."""
     if kind not in DEPLOYMENT_KINDS:
         raise ValueError(f"unknown deployment kind {kind!r}; "
                          f"expected one of {DEPLOYMENT_KINDS}")
@@ -105,7 +123,8 @@ def build_deployment(kind: str, db: ObjectDatabase,
                         matcher_config=matcher_config)
 
     if kind == "cloud":
-        network = MobileNetwork(NetworkConfig(seed=seed), ctx=ctx)
+        network = MobileNetwork(_network_config(seed, signalling_config),
+                                ctx=ctx)
         server_node = ARServerNode(network.sim, AR_SERVER_NAME, backend,
                                    scheme="naive")
         network.add_server(AR_SERVER_NAME, site_name="central",
@@ -117,7 +136,8 @@ def build_deployment(kind: str, db: ObjectDatabase,
                           ue=ue, scheme="naive", localization=localization)
 
     if kind == "mec":
-        network = MobileNetwork(_mec_colocated_config(seed), ctx=ctx)
+        network = MobileNetwork(
+            _mec_colocated_config(seed, signalling_config), ctx=ctx)
         server_node = ARServerNode(network.sim, AR_SERVER_NAME, backend,
                                    scheme="naive")
         network.add_server(AR_SERVER_NAME, site_name="central",
@@ -129,7 +149,8 @@ def build_deployment(kind: str, db: ObjectDatabase,
                           ue=ue, scheme="naive", localization=localization)
 
     # -- the full ACACIA system ------------------------------------------
-    network = MobileNetwork(NetworkConfig(seed=seed), ctx=ctx)
+    network = MobileNetwork(_network_config(seed, signalling_config),
+                            ctx=ctx)
     network.add_mec_site("mec")
     server_node = ARServerNode(network.sim, AR_SERVER_NAME, backend,
                                scheme="acacia")

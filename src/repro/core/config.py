@@ -53,6 +53,8 @@ class NetworkConfig:
 
     # control plane
     seed: int = 0
+    signalling: "SignallingConfig" = field(
+        default_factory=lambda: SignallingConfig())
 
     def cloud_one_way_delay(self) -> float:
         """Nominal UE -> cloud one-way propagation (no queueing/jitter)."""
@@ -63,6 +65,53 @@ class NetworkConfig:
         """Nominal UE -> MEC one-way propagation."""
         return (self.radio_delay + self.mec_backhaul_delay
                 + self.mec_core_delay + self.mec_server_delay)
+
+
+@dataclass
+class SignallingConfig:
+    """Transport parameters for the control-plane signalling fabric.
+
+    Replaces the old fixed per-hop delay table: each protocol now gets
+    a one-way propagation delay *and* a serialisation bandwidth, so a
+    control message's latency is measured on a queued link and grows
+    under concurrent signalling load (see
+    :mod:`repro.epc.signalling`).  Defaults are calibrated so a lone
+    procedure's latency lands where the old constants put it.
+    """
+
+    rrc_delay: float = 0.008           # over the air
+    rrc_bandwidth: float = 1e6         # shared per-cell PDCCH/PUCCH budget
+    sctp_delay: float = 0.0015         # S1-MME backhaul hop
+    sctp_bandwidth: float = 20e6
+    gtpc_delay: float = 0.0015         # S11 / S5-C core control hop
+    gtpc_bandwidth: float = 20e6
+    diameter_delay: float = 0.0015     # Gx / Rx hop
+    diameter_bandwidth: float = 20e6
+    openflow_delay: float = 0.001      # controller -> switch
+    openflow_bandwidth: float = 100e6
+    x2_delay: float = 0.002            # inter-eNodeB backhaul hop
+    x2_bandwidth: float = 50e6
+    queue_bytes: int = 2_000_000       # reliable transports queue, not drop
+
+    def transports(self):
+        """Per-protocol :class:`~repro.epc.signalling.ChannelSpec` map.
+
+        Imports lazily so the config layer stays importable without
+        pulling the EPC stack in at module scope.
+        """
+        from repro.epc.signalling import ChannelSpec
+
+        q = self.queue_bytes
+        return {
+            "RRC": ChannelSpec(self.rrc_delay, self.rrc_bandwidth, q),
+            "SCTP": ChannelSpec(self.sctp_delay, self.sctp_bandwidth, q),
+            "GTPv2": ChannelSpec(self.gtpc_delay, self.gtpc_bandwidth, q),
+            "Diameter": ChannelSpec(self.diameter_delay,
+                                    self.diameter_bandwidth, q),
+            "OpenFlow": ChannelSpec(self.openflow_delay,
+                                    self.openflow_bandwidth, q),
+            "X2AP": ChannelSpec(self.x2_delay, self.x2_bandwidth, q),
+        }
 
 
 #: Available object-matching engines (see :mod:`repro.vision.batch`).

@@ -23,6 +23,7 @@ from repro.epc.overhead import ControlLedger
 from repro.epc.paging import PagingManager
 from repro.epc.procedures import EPCControlPlane, ProcedureResult
 from repro.epc.qos import apply_qci_priorities
+from repro.epc.signalling import SignallingFabric
 from repro.epc.ue import UEDevice
 from repro.sdn.controller import SdnController
 from repro.sdn.dataplane import DataPlaneProfile
@@ -58,9 +59,14 @@ class MobileNetwork:
         self.pcrf = PCRF()
         self.sgwc = SGWC()
         self.pgwc = PGWC()
+        # the signalling fabric carries every control message as a
+        # simulated packet; its transports come from config.signalling
+        self.fabric = SignallingFabric(
+            self.sim, self.ledger,
+            specs=self.config.signalling.transports())
         self.control_plane = EPCControlPlane(
             self.sim, self.mme, self.hss, self.pcrf, self.sgwc, self.pgwc,
-            self.controller, ledger=self.ledger)
+            self.controller, ledger=self.ledger, fabric=self.fabric)
         self.paging = PagingManager(self.control_plane)
         self.imsis = ImsiAllocator()
         self.enbs: dict[str, ENodeB] = {}
@@ -101,6 +107,7 @@ class MobileNetwork:
             raise ValueError(f"eNodeB {name!r} already exists")
         enb = ENodeB(self.sim, name, ip=f"192.168.1.{index + 1}")
         self.enbs[name] = enb
+        self.control_plane.register_enb(enb)
         for site in self.sites.values():
             self._wire_enb_to_site(enb, site)
         return enb
@@ -199,20 +206,49 @@ class MobileNetwork:
                ul_bandwidth: Optional[float] = None,
                enb_name: Optional[str] = None) -> UEDevice:
         """Create a UE, wire its radio link, provision it and attach it."""
-        cfg = self.config
+        return self.sim.run_until_complete(
+            self.add_ue_async(name, manage_idle, ul_bandwidth, enb_name))
+
+    def add_ue_async(self, name: Optional[str] = None,
+                     manage_idle: bool = False,
+                     ul_bandwidth: Optional[float] = None,
+                     enb_name: Optional[str] = None):
+        """Create a UE and start its attach as a process.
+
+        Returns the :class:`~repro.sim.engine.Process`; its value is
+        the attached :class:`UEDevice`.  Many UEs can attach
+        concurrently, contending on the cell's shared RRC channel and
+        the core signalling paths.
+        """
         index = next(self._ue_count)
         name = name or f"ue{index}"
+        if name in self.ues:
+            raise ValueError(f"UE {name!r} already exists")
         enb = self.enbs[enb_name] if enb_name is not None else self.enb
         ue = UEDevice(self.sim, name, imsi=self.imsis.allocate(),
                       manage_idle=manage_idle)
         port = self._wire_radio(ue, enb, ul_bandwidth)
         self.hss.provision(SubscriberProfile(imsi=ue.imsi))
-        # the eNB learns the UE's radio port once the IP is known, which
-        # happens inside attach -- so register lazily via a wrapper
-        result = self._attach(ue, enb, radio_port=port)
+        self.ues[name] = ue
+        return self.sim.spawn(self._attach_proc(ue, enb, port),
+                              name=f"add-ue:{name}")
+
+    def _attach_proc(self, ue: UEDevice, enb: ENodeB, radio_port: str):
+        # IP allocation happens inside the procedure; the control plane
+        # announces it (synchronously) as UeIpAssigned before validating
+        # the bearer, so a transient subscription registers the radio
+        # port at exactly the right moment
+        def register(event: UeIpAssigned) -> None:
+            if event.ue is ue:
+                enb.register_ue(event.address, radio_port)
+
+        subscription = self.hooks.on(UeIpAssigned, register)
+        try:
+            result = yield self.control_plane.attach_async(ue, enb)
+        finally:
+            subscription.close()
         ue.attach_result = result
         self.paging.track(ue)
-        self.ues[name] = ue
         return ue
 
     def _wire_radio(self, ue: UEDevice, enb: ENodeB,
@@ -231,23 +267,9 @@ class MobileNetwork:
         ue.attach("radio", radio)
         port = f"radio:{ue.name}"
         enb.attach(port, radio)
+        # RRC signalling now contends on the (new) cell's shared channel
+        self.control_plane.join_cell(ue.name, enb.name)
         return port
-
-    def _attach(self, ue: UEDevice, enb: ENodeB,
-                radio_port: str) -> ProcedureResult:
-        # IP allocation happens inside the procedure; the control plane
-        # announces it (synchronously) as UeIpAssigned before validating
-        # the bearer, so a transient subscription registers the radio
-        # port at exactly the right moment
-        def register(event: UeIpAssigned) -> None:
-            if event.ue is ue:
-                enb.register_ue(event.address, radio_port)
-
-        subscription = self.hooks.on(UeIpAssigned, register)
-        try:
-            return self.control_plane.attach(ue, enb)
-        finally:
-            subscription.close()
 
     def handover(self, ue: UEDevice, target_enb_name: str
                  ) -> ProcedureResult:
@@ -258,9 +280,15 @@ class MobileNetwork:
         downlink at the target while the S5 legs (and any MEC-site
         anchoring) stay put.
         """
+        return self.sim.run_until_complete(
+            self.handover_async(ue, target_enb_name))
+
+    def handover_async(self, ue: UEDevice, target_enb_name: str):
+        """Wire the target-cell radio and start the X2 handover as a
+        process (its value is the :class:`ProcedureResult`)."""
         target = self.enbs[target_enb_name]
         port = self._wire_radio(ue, target)
-        return self.control_plane.handover(ue, target, radio_port=port)
+        return self.control_plane.handover_async(ue, target, radio_port=port)
 
     def s1_handover(self, ue: UEDevice, target_enb_name: str
                     ) -> ProcedureResult:

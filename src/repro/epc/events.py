@@ -20,6 +20,31 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 @dataclass(frozen=True)
+class ProcedureStarted:
+    """A signalling procedure began executing as a simulator process.
+
+    ``subject`` is the UE (or other principal) the procedure acts on;
+    ``time`` is the simulated start time.  Paired with
+    :class:`ProcedureCompleted` this gives tracing tools per-phase
+    visibility into concurrent control-plane activity.
+    """
+
+    name: str
+    subject: Any
+    time: float
+
+
+@dataclass(frozen=True)
+class ProcedureCompleted:
+    """A signalling procedure finished; ``result`` carries its
+    messages and measured elapsed simulated time."""
+
+    name: str
+    subject: Any
+    result: Any
+
+
+@dataclass(frozen=True)
 class UeIpAssigned:
     """A PGW-C allocated an IP for a UE during attach.
 

@@ -99,20 +99,26 @@ class PagingManager:
             self._page(ue)
 
     def _page(self, ue) -> None:
-        cp = self.control_plane
-        context = cp.mme.context(ue.imsi)
-        cp._emit(m.DOWNLINK_DATA_NOTIFICATION, "sgw-c", cp.mme.name)
-        cp._emit(m.DOWNLINK_DATA_NOTIFICATION_ACK, cp.mme.name, "sgw-c")
-        cp._emit(PAGING_MESSAGE, cp.mme.name, context.enb.name)
-        cp._emit(PAGING_RRC, context.enb.name, ue.name)
         self.pages_sent += 1
-        cp.sim.schedule(self.paging_delay, self._ue_responds, ue)
+        self.control_plane.sim.spawn(self._page_proc(ue),
+                                     name=f"page:{ue.name}")
 
-    def _ue_responds(self, ue) -> None:
+    def _page_proc(self, ue):
+        """The paging choreography as a simulator process: DDN to the
+        MME, page via the last-known eNodeB, then the UE's service
+        request after the paging cycle."""
+        cp = self.control_plane
+        fab = cp.fabric
+        context = cp.mme.context(ue.imsi)
+        yield fab.send(m.DOWNLINK_DATA_NOTIFICATION, "sgw-c", cp.mme.name)
+        yield fab.send(m.DOWNLINK_DATA_NOTIFICATION_ACK, cp.mme.name, "sgw-c")
+        yield fab.send(PAGING_MESSAGE, cp.mme.name, context.enb.name)
+        yield fab.send(PAGING_RRC, context.enb.name, ue.name)
+        yield self.paging_delay      # paging cycle + random access
         if not ue.rrc_connected:
             ue.rrc_connected = True
             ue.promotions += 1
-            self.control_plane.service_request(ue)
+            yield cp.service_request_async(ue)
         self._flush(ue)
 
     def _flush(self, ue) -> None:

@@ -1,4 +1,4 @@
-"""EPC signalling procedures.
+"""EPC signalling procedures, run as simulator processes.
 
 Implements the control-plane choreography the paper relies on:
 
@@ -14,43 +14,43 @@ Implements the control-plane choreography the paper relies on:
   whose message counts and byte totals are calibrated to the paper's
   measured 15 messages / 2914 bytes (Section 4).
 
-Every message is recorded in a :class:`~repro.epc.overhead.ControlLedger`
-and procedures return the elapsed signalling latency computed from
-per-hop delays.
+Each procedure is a generator driven by the
+:class:`~repro.sim.engine.Simulator`: every control message is a packet
+on the :class:`~repro.epc.signalling.SignallingFabric` and the
+procedure suspends until it is delivered, so
+``ProcedureResult.elapsed`` is *measured simulated time* and any number
+of procedures run concurrently, contending on shared channels.  The
+synchronous methods (``attach``, ``service_request``, ...) wrap the
+``*_async`` variants with
+:meth:`~repro.sim.engine.Simulator.run_until_complete`, so existing
+call sites keep working -- including calls made from inside event
+callbacks while the simulation is running.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Generator, Optional
 
 from repro.epc import messages as m
 from repro.epc.bearer import Bearer, PacketFilter, TrafficFlowTemplate
 from repro.epc.entities import (GatewaySite, HSS, MME, PCRF, PGWC, SGWC,
                                 UeContext)
 from repro.epc.events import (BearerActivated, BearerDeactivated,
-                              HandoverCompleted, ServiceRequestCompleted,
+                              HandoverCompleted, ProcedureCompleted,
+                              ProcedureStarted, ServiceRequestCompleted,
                               UeAttached, UeIpAssigned, UeReleasedToIdle)
 from repro.epc.identifiers import FTeid
 from repro.epc.messages import ControlMessage
 from repro.epc.overhead import ControlLedger
+from repro.epc.signalling import SignallingFabric
 from repro.sdn.openflow import FlowMatch, FlowRule, GtpDecap, GtpEncap, Output
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.epc.enodeb import ENodeB
     from repro.epc.ue import UEDevice
     from repro.sdn.controller import SdnController
-    from repro.sim.engine import Simulator
-
-#: Per-hop control-message latencies (seconds) by transport.
-DEFAULT_HOP_DELAYS = {
-    "RRC": 0.008,        # over the air
-    "SCTP": 0.0015,      # S1-AP backhaul hop
-    "GTPv2": 0.0015,     # core control hop
-    "Diameter": 0.0015,  # Rx / Gx hop
-    "OpenFlow": 0.001,   # controller -> switch
-    "X2AP": 0.002,       # inter-eNodeB backhaul hop
-}
+    from repro.sim.engine import Process, Simulator
 
 #: Flow-rule priorities: dedicated-bearer DL classification must beat the
 #: default bearer's catch-all at the PGW-U.
@@ -60,12 +60,20 @@ PRIORITY_DEDICATED = 200
 
 @dataclass
 class ProcedureResult:
-    """Outcome of one signalling procedure."""
+    """Outcome of one signalling procedure.
+
+    ``messages`` are this procedure's own control messages in delivery
+    order (each stamped with its delivery time); ``elapsed`` is the
+    measured simulated time between ``started_at`` and
+    ``completed_at``.
+    """
 
     name: str
     messages: list[ControlMessage] = field(default_factory=list)
     elapsed: float = 0.0
     bearer: Optional[Bearer] = None
+    started_at: float = 0.0
+    completed_at: float = 0.0
 
     @property
     def message_count(self) -> int:
@@ -77,12 +85,19 @@ class ProcedureResult:
 
 
 class EPCControlPlane:
-    """Binds the control entities together and runs the procedures."""
+    """Binds the control entities together and runs the procedures.
+
+    Procedures execute as simulator processes over a
+    :class:`~repro.epc.signalling.SignallingFabric`; one is created on
+    the shared ledger if none is supplied.  The SDN controller is bound
+    to the same fabric so flow-mods traverse the OpenFlow channel like
+    every other control message.
+    """
 
     def __init__(self, sim: "Simulator", mme: MME, hss: HSS, pcrf: PCRF,
                  sgwc: SGWC, pgwc: PGWC, controller: "SdnController",
                  ledger: Optional[ControlLedger] = None,
-                 hop_delays: Optional[dict[str, float]] = None) -> None:
+                 fabric: Optional[SignallingFabric] = None) -> None:
         self.sim = sim
         self.mme = mme
         self.hss = hss
@@ -94,13 +109,53 @@ class EPCControlPlane:
         if controller.ledger is not self.ledger:
             raise ValueError(
                 "controller and control plane must share one ledger")
-        self.hop_delays = dict(DEFAULT_HOP_DELAYS)
-        if hop_delays:
-            self.hop_delays.update(hop_delays)
+        self.fabric = fabric if fabric is not None else SignallingFabric(
+            sim, self.ledger)
+        if self.fabric.ledger is not self.ledger:
+            raise ValueError(
+                "signalling fabric and control plane must share one ledger")
+        self._open_core_channels()
+        controller.bind_fabric(self.fabric)
         #: optional GBR admission control (repro.epc.admission)
         self.admission = None
+        #: in-flight service requests by IMSI (concurrent triggers join)
+        self._service_requests: dict[str, "Process"] = {}
 
     # -- plumbing ---------------------------------------------------------
+
+    def _open_core_channels(self) -> None:
+        """Open the fixed core-network signalling channels."""
+        fab = self.fabric
+        fab.open_channel("s11", "GTPv2", [self.mme.name], [self.sgwc.name])
+        fab.open_channel("s5c", "GTPv2", [self.sgwc.name], [self.pgwc.name])
+        fab.open_channel("gx", "Diameter", ["pcrf"], [self.pgwc.name])
+        fab.open_channel("rx.mrs", "Diameter", ["mrs"], ["pcrf"])
+        for entity in (self.mme, self.sgwc, self.pgwc):
+            fab.register_handler(entity.name, entity.handle_message)
+        fab.register_handler("pcrf", self.pcrf.handle_message)
+
+    def register_enb(self, enb: "ENodeB") -> None:
+        """Open the eNodeB's S1-MME association and its cell's shared
+        RRC channel (UEs join the cell via :meth:`join_cell`)."""
+        self.register_enb_name(enb.name)
+        self.fabric.register_handler(enb.name, enb.handle_message)
+
+    def join_cell(self, ue_name: str, enb_name: str) -> None:
+        """Put a UE on its serving cell's shared RRC channel.
+
+        All UEs of a cell contend on the one air-interface channel; at
+        handover, joining the target cell re-routes the UE's RRC
+        signalling there.
+        """
+        channel_id = f"rrc.{enb_name}"
+        if channel_id not in self.fabric.channels:  # direct-use fallback
+            self.register_enb_name(enb_name)
+        self.fabric.add_party(channel_id, ue_name, side="b")
+
+    def register_enb_name(self, enb_name: str) -> None:
+        self.fabric.open_channel(f"s1mme.{enb_name}", "SCTP",
+                                 [enb_name], [self.mme.name])
+        self.fabric.open_channel(f"rrc.{enb_name}", "RRC", [enb_name], [])
 
     def add_site(self, site: GatewaySite) -> None:
         self.sgwc.add_site(site)
@@ -108,18 +163,24 @@ class EPCControlPlane:
         self.controller.register(site.sgw_u)
         self.controller.register(site.pgw_u)
 
-    def _emit(self, mtype: m.MessageType, sender: str,
-              receiver: str, **fields) -> ControlMessage:
-        message = ControlMessage(mtype, sender, receiver, fields,
-                                 timestamp=self.sim.now)
-        self.ledger.record(message)
+    def _hop(self, result: ProcedureResult, mtype: m.MessageType,
+             sender: str, receiver: str, **fields) -> Generator:
+        """Send one control message and suspend until delivery."""
+        message = yield self.fabric.send(mtype, sender, receiver, **fields)
+        result.messages.append(message)
         return message
 
-    def _finish(self, result: ProcedureResult, start_index: int) -> None:
-        result.messages = self.ledger.messages[start_index:]
-        result.elapsed = sum(
-            self.hop_delays.get(msg.protocol, 0.0015)
-            for msg in result.messages)
+    def _begin(self, name: str, subject) -> ProcedureResult:
+        result = ProcedureResult(name, started_at=self.sim.now)
+        self._signal(ProcedureStarted, name=name, subject=subject,
+                     time=self.sim.now)
+        return result
+
+    def _complete(self, result: ProcedureResult, subject) -> None:
+        result.completed_at = self.sim.now
+        result.elapsed = result.completed_at - result.started_at
+        self._signal(ProcedureCompleted, name=result.name, subject=subject,
+                     result=result)
 
     def _signal(self, event_type, **fields) -> None:
         """Publish a procedure event, skipping construction if unheard."""
@@ -137,35 +198,46 @@ class EPCControlPlane:
     def _dl_cookie(bearer: Bearer) -> str:
         return f"{bearer.imsi}:ebi{bearer.ebi}:dl"
 
-    def _install_uplink_flows(self, bearer: Bearer,
-                              site: GatewaySite) -> None:
+    def _flow_add(self, result: ProcedureResult, switch_name: str,
+                  rule: FlowRule) -> Generator:
+        message = yield self.controller.install_rule(switch_name, rule)
+        result.messages.append(message)
+
+    def _flow_del(self, result: ProcedureResult, switch_name: str,
+                  cookie: str) -> Generator:
+        message = yield self.controller.remove_rules(switch_name, cookie)
+        result.messages.append(message)
+
+    def _install_uplink_flows(self, result: ProcedureResult, bearer: Bearer,
+                              site: GatewaySite) -> Generator:
         if not site.pgw_ul_port:
             raise RuntimeError(
                 f"site {site.name!r} has no SGi destination; attach a "
                 f"server to it before establishing bearers")
-        self._install_sgw_ul_rule(bearer, site)
-        self.controller.install_rule(site.pgw_u.name, FlowRule(
+        yield from self._install_sgw_ul_rule(result, bearer, site)
+        yield from self._flow_add(result, site.pgw_u.name, FlowRule(
             FlowMatch(teid=bearer.pgw_fteid.teid),
             [GtpDecap(), Output(site.pgw_ul_port)],
             priority=PRIORITY_DEFAULT, cookie=self._ul_cookie(bearer)))
 
-    def _install_sgw_ul_rule(self, bearer: Bearer,
-                             site: GatewaySite) -> None:
-        self.controller.install_rule(site.sgw_u.name, FlowRule(
+    def _install_sgw_ul_rule(self, result: ProcedureResult, bearer: Bearer,
+                             site: GatewaySite) -> Generator:
+        yield from self._flow_add(result, site.sgw_u.name, FlowRule(
             FlowMatch(teid=bearer.sgw_s1_fteid.teid),
             [GtpDecap(),
              GtpEncap(bearer.pgw_fteid.teid, site.sgw_u.ip, site.pgw_u.ip),
              Output(site.sgw_ul_port)],
             priority=PRIORITY_DEFAULT, cookie=self._ul_cookie(bearer)))
 
-    def _install_downlink_flows(self, bearer: Bearer, site: GatewaySite,
-                                enb: "ENodeB",
-                                server_ip: Optional[str] = None) -> None:
-        self._install_pgw_dl_rule(bearer, site, server_ip)
-        self._install_sgw_dl_rule(bearer, site, enb)
+    def _install_downlink_flows(self, result: ProcedureResult, bearer: Bearer,
+                                site: GatewaySite, enb: "ENodeB",
+                                server_ip: Optional[str] = None) -> Generator:
+        yield from self._install_pgw_dl_rule(result, bearer, site, server_ip)
+        yield from self._install_sgw_dl_rule(result, bearer, site, enb)
 
-    def _install_pgw_dl_rule(self, bearer: Bearer, site: GatewaySite,
-                             server_ip: Optional[str] = None) -> None:
+    def _install_pgw_dl_rule(self, result: ProcedureResult, bearer: Bearer,
+                             site: GatewaySite,
+                             server_ip: Optional[str] = None) -> Generator:
         cookie = self._dl_cookie(bearer)
         if server_ip is None:
             match = FlowMatch(dst_ip=bearer.ue_ip)
@@ -173,17 +245,17 @@ class EPCControlPlane:
         else:
             match = FlowMatch(src_ip=server_ip, dst_ip=bearer.ue_ip)
             priority = PRIORITY_DEDICATED
-        self.controller.install_rule(site.pgw_u.name, FlowRule(
+        yield from self._flow_add(result, site.pgw_u.name, FlowRule(
             match,
             [GtpEncap(bearer.sgw_s5_fteid.teid, site.pgw_u.ip, site.sgw_u.ip),
              Output(site.pgw_dl_port)],
             priority=priority, cookie=cookie))
 
-    def _install_sgw_dl_rule(self, bearer: Bearer, site: GatewaySite,
-                             enb: "ENodeB") -> None:
+    def _install_sgw_dl_rule(self, result: ProcedureResult, bearer: Bearer,
+                             site: GatewaySite, enb: "ENodeB") -> Generator:
         priority = (PRIORITY_DEFAULT if bearer.default
                     else PRIORITY_DEDICATED)
-        self.controller.install_rule(site.sgw_u.name, FlowRule(
+        yield from self._flow_add(result, site.sgw_u.name, FlowRule(
             FlowMatch(teid=bearer.sgw_s5_fteid.teid),
             [GtpDecap(),
              GtpEncap(bearer.enb_fteid.teid, site.sgw_u.ip,
@@ -206,20 +278,35 @@ class EPCControlPlane:
     def attach(self, ue: "UEDevice", enb: "ENodeB",
                site_name: str = "central") -> ProcedureResult:
         """Attach a UE: authentication + default bearer establishment."""
+        return self.sim.run_until_complete(
+            self.attach_async(ue, enb, site_name))
+
+    def attach_async(self, ue: "UEDevice", enb: "ENodeB",
+                     site_name: str = "central") -> "Process":
+        """Start an attach as a process; returns immediately."""
+        return self.sim.spawn(self._attach_proc(ue, enb, site_name),
+                              name=f"attach:{ue.name}")
+
+    def _attach_proc(self, ue: "UEDevice", enb: "ENodeB",
+                     site_name: str) -> Generator:
         if ue.attached:
             raise RuntimeError(f"{ue.name} is already attached")
         profile = self.hss.lookup(ue.imsi)     # raises for unknown IMSI
         site = self.sgwc.site(site_name)
-        result = ProcedureResult("attach")
-        start = len(self.ledger)
+        result = self._begin("attach", ue)
 
-        self._emit(m.RRC_CONNECTION_REQUEST, ue.name, enb.name)
-        self._emit(m.RRC_CONNECTION_SETUP, enb.name, ue.name)
-        self._emit(m.RRC_CONNECTION_SETUP_COMPLETE, ue.name, enb.name)
-        self._emit(m.ATTACH_INITIAL_UE_MESSAGE, enb.name, self.mme.name,
-                   imsi=ue.imsi)
-        self._emit(m.CREATE_SESSION_REQUEST, self.mme.name, self.sgwc.name)
-        self._emit(m.CREATE_SESSION_REQUEST, self.sgwc.name, self.pgwc.name)
+        yield from self._hop(result, m.RRC_CONNECTION_REQUEST, ue.name,
+                             enb.name)
+        yield from self._hop(result, m.RRC_CONNECTION_SETUP, enb.name,
+                             ue.name)
+        yield from self._hop(result, m.RRC_CONNECTION_SETUP_COMPLETE,
+                             ue.name, enb.name)
+        yield from self._hop(result, m.ATTACH_INITIAL_UE_MESSAGE, enb.name,
+                             self.mme.name, imsi=ue.imsi)
+        yield from self._hop(result, m.CREATE_SESSION_REQUEST, self.mme.name,
+                             self.sgwc.name)
+        yield from self._hop(result, m.CREATE_SESSION_REQUEST, self.sgwc.name,
+                             self.pgwc.name)
 
         ue.assign_ip(self.pgwc.allocate_ue_ip())
         # announced synchronously so fabric-level subscribers (radio-port
@@ -229,22 +316,31 @@ class EPCControlPlane:
                         imsi=ue.imsi, ue_ip=ue.ip, default=True)
         self._allocate_tunnel_endpoints(bearer, site, enb)
 
-        self._emit(m.CREATE_SESSION_RESPONSE, self.pgwc.name, self.sgwc.name,
-                   pgw_fteid=str(bearer.pgw_fteid))
-        self._emit(m.CREATE_SESSION_RESPONSE, self.sgwc.name, self.mme.name,
-                   sgw_fteid=str(bearer.sgw_s1_fteid))
-        self._emit(m.INITIAL_CONTEXT_SETUP_REQUEST, self.mme.name, enb.name)
-        self._emit(m.RRC_CONNECTION_RECONFIGURATION, enb.name, ue.name)
-        self._emit(m.RRC_CONNECTION_RECONFIGURATION_COMPLETE, ue.name,
-                   enb.name)
-        self._emit(m.INITIAL_CONTEXT_SETUP_RESPONSE, enb.name, self.mme.name,
-                   enb_fteid=str(bearer.enb_fteid))
-        self._emit(m.ATTACH_COMPLETE_UPLINK, enb.name, self.mme.name)
-        self._emit(m.MODIFY_BEARER_REQUEST, self.mme.name, self.sgwc.name)
-        self._emit(m.MODIFY_BEARER_RESPONSE, self.sgwc.name, self.mme.name)
+        yield from self._hop(result, m.CREATE_SESSION_RESPONSE,
+                             self.pgwc.name, self.sgwc.name,
+                             pgw_fteid=str(bearer.pgw_fteid))
+        yield from self._hop(result, m.CREATE_SESSION_RESPONSE,
+                             self.sgwc.name, self.mme.name,
+                             sgw_fteid=str(bearer.sgw_s1_fteid))
+        yield from self._hop(result, m.INITIAL_CONTEXT_SETUP_REQUEST,
+                             self.mme.name, enb.name)
+        yield from self._hop(result, m.RRC_CONNECTION_RECONFIGURATION,
+                             enb.name, ue.name)
+        yield from self._hop(result,
+                             m.RRC_CONNECTION_RECONFIGURATION_COMPLETE,
+                             ue.name, enb.name)
+        yield from self._hop(result, m.INITIAL_CONTEXT_SETUP_RESPONSE,
+                             enb.name, self.mme.name,
+                             enb_fteid=str(bearer.enb_fteid))
+        yield from self._hop(result, m.ATTACH_COMPLETE_UPLINK, enb.name,
+                             self.mme.name)
+        yield from self._hop(result, m.MODIFY_BEARER_REQUEST, self.mme.name,
+                             self.sgwc.name)
+        yield from self._hop(result, m.MODIFY_BEARER_RESPONSE, self.sgwc.name,
+                             self.mme.name)
 
-        self._install_uplink_flows(bearer, site)
-        self._install_downlink_flows(bearer, site, enb)
+        yield from self._install_uplink_flows(result, bearer, site)
+        yield from self._install_downlink_flows(result, bearer, site, enb)
 
         ue.add_bearer(bearer)
         ue.attached = True
@@ -252,8 +348,8 @@ class EPCControlPlane:
         ue.control_plane = self
         self.mme.register(UeContext(imsi=ue.imsi, ue=ue, enb=enb))
 
-        self._finish(result, start)
         result.bearer = bearer
+        self._complete(result, ue)
         self._signal(UeAttached, ue=ue, enb=enb, result=result)
         return result
 
@@ -262,21 +358,38 @@ class EPCControlPlane:
             site_name: str, server_port: Optional[int] = None,
             requested_by: str = "mrs") -> ProcedureResult:
         """Network-initiated dedicated bearer to a CI server (Section 5.4)."""
+        return self.sim.run_until_complete(
+            self.activate_dedicated_bearer_async(
+                ue, service_id, server_ip, site_name, server_port,
+                requested_by))
+
+    def activate_dedicated_bearer_async(
+            self, ue: "UEDevice", service_id: str, server_ip: str,
+            site_name: str, server_port: Optional[int] = None,
+            requested_by: str = "mrs") -> "Process":
+        return self.sim.spawn(
+            self._activate_proc(ue, service_id, server_ip, site_name,
+                                server_port, requested_by),
+            name=f"activate:{ue.name}:{service_id}")
+
+    def _activate_proc(self, ue: "UEDevice", service_id: str, server_ip: str,
+                       site_name: str, server_port: Optional[int],
+                       requested_by: str) -> Generator:
         context = self.mme.context(ue.imsi)
         enb = context.enb
         site = self.sgwc.site(site_name)
-        result = ProcedureResult("activate-dedicated-bearer")
-        start = len(self.ledger)
+        result = self._begin("activate-dedicated-bearer", ue)
 
         # (1) Request + (2) Create: MRS -> PCRF -> PCEF in PGW-C
-        self._emit(m.AA_REQUEST, requested_by, "pcrf",
-                   service=service_id, ue_ip=ue.ip, server_ip=server_ip)
+        yield from self._hop(result, m.AA_REQUEST, requested_by, "pcrf",
+                             service=service_id, ue_ip=ue.ip,
+                             server_ip=server_ip)
         rule = self.pcrf.generate_rule(service_id, ue.ip, server_ip,
                                        server_port)
-        self._emit(m.RE_AUTH_REQUEST, "pcrf", self.pgwc.name,
-                   qci=rule.qci, service=service_id)
+        yield from self._hop(result, m.RE_AUTH_REQUEST, "pcrf",
+                             self.pgwc.name, qci=rule.qci, service=service_id)
         self.pgwc.pcef_install(ue.imsi, rule)
-        self._emit(m.RE_AUTH_ANSWER, self.pgwc.name, "pcrf")
+        yield from self._hop(result, m.RE_AUTH_ANSWER, self.pgwc.name, "pcrf")
 
         # GBR admission (optional): reserve bandwidth, preempting
         # lower-ARP bearers if the rule's ARP permits
@@ -287,13 +400,13 @@ class EPCControlPlane:
                                        rule.gbr, rule.arp)
             except Exception:
                 self.pgwc.pcef_remove(ue.imsi, service_id)
-                self._emit(m.AA_ANSWER, "pcrf", requested_by,
-                           outcome="rejected")
-                self._finish(result, start)
+                yield from self._hop(result, m.AA_ANSWER, "pcrf",
+                                     requested_by, outcome="rejected")
+                self._complete(result, ue)
                 raise
             for victim in self.admission.drain_preempted():
                 victim_ue = self.mme.context(victim.imsi).ue
-                self.deactivate_dedicated_bearer(
+                yield from self._deactivate_proc(
                     victim_ue, victim.ebi, requested_by="admission")
 
         # (3) Set-up: GW-Cs place *local* GW-U addresses in the F-TEIDs
@@ -304,30 +417,36 @@ class EPCControlPlane:
             remote_address=server_ip, remote_port=server_port)])
         self._allocate_tunnel_endpoints(bearer, site, enb)
 
-        self._emit(m.CREATE_BEARER_REQUEST, self.pgwc.name, self.sgwc.name,
-                   pgw_fteid=str(bearer.pgw_fteid))
-        self._emit(m.CREATE_BEARER_REQUEST, self.sgwc.name, self.mme.name,
-                   sgw_fteid=str(bearer.sgw_s1_fteid))
-        self._emit(m.ERAB_SETUP_REQUEST, self.mme.name, enb.name,
-                   sgw_fteid=str(bearer.sgw_s1_fteid))
-        self._emit(m.RRC_CONNECTION_RECONFIGURATION, enb.name, ue.name,
-                   ebi=bearer.ebi, qci=bearer.qci, tft_remote=server_ip)
-        self._emit(m.RRC_CONNECTION_RECONFIGURATION_COMPLETE, ue.name,
-                   enb.name)
-        self._emit(m.ERAB_SETUP_RESPONSE, enb.name, self.mme.name,
-                   enb_fteid=str(bearer.enb_fteid))
-        self._emit(m.CREATE_BEARER_RESPONSE, self.mme.name, self.sgwc.name)
-        self._emit(m.CREATE_BEARER_RESPONSE, self.sgwc.name, self.pgwc.name)
-        self._emit(m.AA_ANSWER, "pcrf", requested_by)
+        yield from self._hop(result, m.CREATE_BEARER_REQUEST, self.pgwc.name,
+                             self.sgwc.name, pgw_fteid=str(bearer.pgw_fteid))
+        yield from self._hop(result, m.CREATE_BEARER_REQUEST, self.sgwc.name,
+                             self.mme.name,
+                             sgw_fteid=str(bearer.sgw_s1_fteid))
+        yield from self._hop(result, m.ERAB_SETUP_REQUEST, self.mme.name,
+                             enb.name, sgw_fteid=str(bearer.sgw_s1_fteid))
+        yield from self._hop(result, m.RRC_CONNECTION_RECONFIGURATION,
+                             enb.name, ue.name, ebi=bearer.ebi,
+                             qci=bearer.qci, tft_remote=server_ip)
+        yield from self._hop(result,
+                             m.RRC_CONNECTION_RECONFIGURATION_COMPLETE,
+                             ue.name, enb.name)
+        yield from self._hop(result, m.ERAB_SETUP_RESPONSE, enb.name,
+                             self.mme.name, enb_fteid=str(bearer.enb_fteid))
+        yield from self._hop(result, m.CREATE_BEARER_RESPONSE, self.mme.name,
+                             self.sgwc.name)
+        yield from self._hop(result, m.CREATE_BEARER_RESPONSE, self.sgwc.name,
+                             self.pgwc.name)
+        yield from self._hop(result, m.AA_ANSWER, "pcrf", requested_by)
 
         # (4) Route: OpenFlow rules onto the local GW-Us
-        self._install_uplink_flows(bearer, site)
-        self._install_downlink_flows(bearer, site, enb, server_ip=server_ip)
+        yield from self._install_uplink_flows(result, bearer, site)
+        yield from self._install_downlink_flows(result, bearer, site, enb,
+                                                server_ip=server_ip)
 
         ue.add_bearer(bearer)
 
-        self._finish(result, start)
         result.bearer = bearer
+        self._complete(result, ue)
         self._signal(BearerActivated, ue=ue, bearer=bearer, result=result)
         return result
 
@@ -335,6 +454,17 @@ class EPCControlPlane:
                                     requested_by: str = "mrs"
                                     ) -> ProcedureResult:
         """Tear down a dedicated bearer and its flow state."""
+        return self.sim.run_until_complete(
+            self.deactivate_dedicated_bearer_async(ue, ebi, requested_by))
+
+    def deactivate_dedicated_bearer_async(self, ue: "UEDevice", ebi: int,
+                                          requested_by: str = "mrs"
+                                          ) -> "Process":
+        return self.sim.spawn(self._deactivate_proc(ue, ebi, requested_by),
+                              name=f"deactivate:{ue.name}:ebi{ebi}")
+
+    def _deactivate_proc(self, ue: "UEDevice", ebi: int,
+                         requested_by: str) -> Generator:
         context = self.mme.context(ue.imsi)
         enb = context.enb
         bearer = ue.bearers.bearers.get(ebi)
@@ -342,32 +472,47 @@ class EPCControlPlane:
             raise ValueError(f"EBI {ebi} is not a dedicated bearer of "
                              f"{ue.name}")
         site = self.sgwc.site(bearer.gateway_site)
-        result = ProcedureResult("deactivate-dedicated-bearer")
-        start = len(self.ledger)
+        result = self._begin("deactivate-dedicated-bearer", ue)
 
-        self._emit(m.SESSION_TERMINATION_REQUEST, requested_by, "pcrf")
-        self._emit(m.RE_AUTH_REQUEST, "pcrf", self.pgwc.name)
-        self._emit(m.DELETE_BEARER_REQUEST, self.pgwc.name, self.sgwc.name)
-        self._emit(m.DELETE_BEARER_REQUEST, self.sgwc.name, self.mme.name)
-        self._emit(m.ERAB_RELEASE_COMMAND, self.mme.name, enb.name)
-        self._emit(m.RRC_CONNECTION_RECONFIGURATION, enb.name, ue.name)
-        self._emit(m.RRC_CONNECTION_RECONFIGURATION_COMPLETE, ue.name,
-                   enb.name)
-        self._emit(m.ERAB_RELEASE_RESPONSE, enb.name, self.mme.name)
-        self._emit(m.DELETE_BEARER_RESPONSE, self.mme.name, self.sgwc.name)
-        self._emit(m.DELETE_BEARER_RESPONSE, self.sgwc.name, self.pgwc.name)
-        self._emit(m.RE_AUTH_ANSWER, self.pgwc.name, "pcrf")
-        self._emit(m.SESSION_TERMINATION_ANSWER, "pcrf", requested_by)
+        yield from self._hop(result, m.SESSION_TERMINATION_REQUEST,
+                             requested_by, "pcrf")
+        yield from self._hop(result, m.RE_AUTH_REQUEST, "pcrf",
+                             self.pgwc.name)
+        yield from self._hop(result, m.DELETE_BEARER_REQUEST, self.pgwc.name,
+                             self.sgwc.name)
+        yield from self._hop(result, m.DELETE_BEARER_REQUEST, self.sgwc.name,
+                             self.mme.name)
+        yield from self._hop(result, m.ERAB_RELEASE_COMMAND, self.mme.name,
+                             enb.name)
+        yield from self._hop(result, m.RRC_CONNECTION_RECONFIGURATION,
+                             enb.name, ue.name)
+        yield from self._hop(result,
+                             m.RRC_CONNECTION_RECONFIGURATION_COMPLETE,
+                             ue.name, enb.name)
+        yield from self._hop(result, m.ERAB_RELEASE_RESPONSE, enb.name,
+                             self.mme.name)
+        yield from self._hop(result, m.DELETE_BEARER_RESPONSE, self.mme.name,
+                             self.sgwc.name)
+        yield from self._hop(result, m.DELETE_BEARER_RESPONSE, self.sgwc.name,
+                             self.pgwc.name)
+        yield from self._hop(result, m.RE_AUTH_ANSWER, self.pgwc.name,
+                             "pcrf")
+        yield from self._hop(result, m.SESSION_TERMINATION_ANSWER, "pcrf",
+                             requested_by)
 
         service_ids = [sid for (imsi, sid) in self.pgwc.pcef_rules
                        if imsi == ue.imsi]
         for sid in service_ids:
             self.pgwc.pcef_remove(ue.imsi, sid)
 
-        self.controller.remove_rules(site.sgw_u.name, self._ul_cookie(bearer))
-        self.controller.remove_rules(site.pgw_u.name, self._ul_cookie(bearer))
-        self.controller.remove_rules(site.sgw_u.name, self._dl_cookie(bearer))
-        self.controller.remove_rules(site.pgw_u.name, self._dl_cookie(bearer))
+        yield from self._flow_del(result, site.sgw_u.name,
+                                  self._ul_cookie(bearer))
+        yield from self._flow_del(result, site.pgw_u.name,
+                                  self._ul_cookie(bearer))
+        yield from self._flow_del(result, site.sgw_u.name,
+                                  self._dl_cookie(bearer))
+        yield from self._flow_del(result, site.pgw_u.name,
+                                  self._dl_cookie(bearer))
 
         site.sgw_teids.release(bearer.sgw_s1_fteid.teid)
         site.sgw_teids.release(bearer.sgw_s5_fteid.teid)
@@ -377,26 +522,35 @@ class EPCControlPlane:
         if self.admission is not None:
             self.admission.release(ue.imsi, ebi, bearer.gateway_site)
 
-        self._finish(result, start)
         result.bearer = bearer
+        self._complete(result, ue)
         self._signal(BearerDeactivated, ue=ue, ebi=ebi, result=result)
         return result
 
     def release_to_idle(self, ue: "UEDevice") -> ProcedureResult:
         """RRC-inactivity release: the calibrated 7-message sequence
         (3 SCTP + 2 GTPv2 + 2 OpenFlow) for a single-bearer UE."""
+        return self.sim.run_until_complete(self.release_to_idle_async(ue))
+
+    def release_to_idle_async(self, ue: "UEDevice") -> "Process":
+        return self.sim.spawn(self._release_proc(ue),
+                              name=f"release:{ue.name}")
+
+    def _release_proc(self, ue: "UEDevice") -> Generator:
         context = self.mme.context(ue.imsi)
         enb = context.enb
-        result = ProcedureResult("release-to-idle")
-        start = len(self.ledger)
+        result = self._begin("release-to-idle", ue)
 
-        self._emit(m.UE_CONTEXT_RELEASE_REQUEST, enb.name, self.mme.name)
-        self._emit(m.RELEASE_ACCESS_BEARERS_REQUEST, self.mme.name,
-                   self.sgwc.name)
-        self._emit(m.RELEASE_ACCESS_BEARERS_RESPONSE, self.sgwc.name,
-                   self.mme.name)
-        self._emit(m.UE_CONTEXT_RELEASE_COMMAND, self.mme.name, enb.name)
-        self._emit(m.UE_CONTEXT_RELEASE_COMPLETE, enb.name, self.mme.name)
+        yield from self._hop(result, m.UE_CONTEXT_RELEASE_REQUEST, enb.name,
+                             self.mme.name)
+        yield from self._hop(result, m.RELEASE_ACCESS_BEARERS_REQUEST,
+                             self.mme.name, self.sgwc.name)
+        yield from self._hop(result, m.RELEASE_ACCESS_BEARERS_RESPONSE,
+                             self.sgwc.name, self.mme.name)
+        yield from self._hop(result, m.UE_CONTEXT_RELEASE_COMMAND,
+                             self.mme.name, enb.name)
+        yield from self._hop(result, m.UE_CONTEXT_RELEASE_COMPLETE, enb.name,
+                             self.mme.name)
 
         # only the S1 leg is torn down: the SGW-U's rules go, but the
         # PGW-U keeps tunnelling downlink toward the SGW-U, where
@@ -405,15 +559,15 @@ class EPCControlPlane:
             if not bearer.active:
                 continue
             site = self.sgwc.site(bearer.gateway_site)
-            self.controller.remove_rules(site.sgw_u.name,
-                                         self._ul_cookie(bearer))
-            self.controller.remove_rules(site.sgw_u.name,
-                                         self._dl_cookie(bearer))
+            yield from self._flow_del(result, site.sgw_u.name,
+                                      self._ul_cookie(bearer))
+            yield from self._flow_del(result, site.sgw_u.name,
+                                      self._dl_cookie(bearer))
             bearer.active = False
 
         ue.rrc_connected = False
         context.state = "idle"
-        self._finish(result, start)
+        self._complete(result, ue)
         self._signal(UeReleasedToIdle, ue=ue, result=result)
         return result
 
@@ -421,32 +575,62 @@ class EPCControlPlane:
         """Idle -> connected re-establishment: the calibrated 8-message
         sequence (4 SCTP + 2 GTPv2 + 2 OpenFlow) for a single-bearer UE."""
         context = self.mme.context(ue.imsi)
-        enb = context.enb
-        if context.state == "connected":
+        if (context.state == "connected"
+                and ue.imsi not in self._service_requests):
             return ProcedureResult("service-request(noop)")
-        result = ProcedureResult("service-request")
-        start = len(self.ledger)
+        return self.sim.run_until_complete(self.service_request_async(ue))
 
-        self._emit(m.INITIAL_UE_MESSAGE, enb.name, self.mme.name)
-        self._emit(m.INITIAL_CONTEXT_SETUP_REQUEST, self.mme.name, enb.name)
-        self._emit(m.INITIAL_CONTEXT_SETUP_RESPONSE, enb.name, self.mme.name)
-        self._emit(m.UPLINK_NAS_TRANSPORT, enb.name, self.mme.name)
-        self._emit(m.MODIFY_BEARER_REQUEST, self.mme.name, self.sgwc.name)
-        self._emit(m.MODIFY_BEARER_RESPONSE, self.sgwc.name, self.mme.name)
+    def service_request_async(self, ue: "UEDevice") -> "Process":
+        """Start (or join) the UE's service request.
 
-        for bearer in list(ue.bearers):
-            if bearer.active:
-                continue
-            site = self.sgwc.site(bearer.gateway_site)
-            self._install_sgw_ul_rule(bearer, site)
-            self._install_sgw_dl_rule(bearer, site, enb)
-            bearer.active = True
+        Concurrent triggers -- paging and an uplink promotion racing,
+        say -- share one in-flight procedure instead of double-signalling.
+        """
+        proc = self._service_requests.get(ue.imsi)
+        if proc is not None and not proc.finished:
+            return proc
+        proc = self.sim.spawn(self._service_request_proc(ue),
+                              name=f"service-request:{ue.name}")
+        self._service_requests[ue.imsi] = proc
+        return proc
 
-        ue.rrc_connected = True
-        context.state = "connected"
-        self._finish(result, start)
-        self._signal(ServiceRequestCompleted, ue=ue, result=result)
-        return result
+    def _service_request_proc(self, ue: "UEDevice") -> Generator:
+        try:
+            context = self.mme.context(ue.imsi)
+            enb = context.enb
+            if context.state == "connected":
+                return ProcedureResult("service-request(noop)")
+            result = self._begin("service-request", ue)
+
+            yield from self._hop(result, m.INITIAL_UE_MESSAGE, enb.name,
+                                 self.mme.name)
+            yield from self._hop(result, m.INITIAL_CONTEXT_SETUP_REQUEST,
+                                 self.mme.name, enb.name)
+            yield from self._hop(result, m.INITIAL_CONTEXT_SETUP_RESPONSE,
+                                 enb.name, self.mme.name)
+            yield from self._hop(result, m.UPLINK_NAS_TRANSPORT, enb.name,
+                                 self.mme.name)
+            yield from self._hop(result, m.MODIFY_BEARER_REQUEST,
+                                 self.mme.name, self.sgwc.name)
+            yield from self._hop(result, m.MODIFY_BEARER_RESPONSE,
+                                 self.sgwc.name, self.mme.name)
+
+            for bearer in list(ue.bearers):
+                if bearer.active:
+                    continue
+                site = self.sgwc.site(bearer.gateway_site)
+                yield from self._install_sgw_ul_rule(result, bearer, site)
+                yield from self._install_sgw_dl_rule(result, bearer, site,
+                                                     enb)
+                bearer.active = True
+
+            ue.rrc_connected = True
+            context.state = "connected"
+            self._complete(result, ue)
+            self._signal(ServiceRequestCompleted, ue=ue, result=result)
+            return result
+        finally:
+            self._service_requests.pop(ue.imsi, None)
 
     def handover(self, ue: "UEDevice", target_enb: "ENodeB",
                  radio_port: str) -> ProcedureResult:
@@ -463,6 +647,16 @@ class EPCControlPlane:
         (re-attached) radio link; the network builder wires the link
         before invoking the procedure.
         """
+        return self.sim.run_until_complete(
+            self.handover_async(ue, target_enb, radio_port))
+
+    def handover_async(self, ue: "UEDevice", target_enb: "ENodeB",
+                       radio_port: str) -> "Process":
+        return self.sim.spawn(self._handover_proc(ue, target_enb, radio_port),
+                              name=f"handover:{ue.name}")
+
+    def _handover_proc(self, ue: "UEDevice", target_enb: "ENodeB",
+                       radio_port: str) -> Generator:
         context = self.mme.context(ue.imsi)
         source = context.enb
         if source is target_enb:
@@ -470,12 +664,11 @@ class EPCControlPlane:
         if not ue.rrc_connected:
             raise RuntimeError(
                 f"{ue.name} is idle; handover needs RRC connected")
-        result = ProcedureResult("handover")
-        start = len(self.ledger)
+        result = self._begin("handover", ue)
 
         # preparation over X2: target admits the UE and all its bearers
-        self._emit(m.X2_HANDOVER_REQUEST, source.name, target_enb.name,
-                   imsi=ue.imsi)
+        yield from self._hop(result, m.X2_HANDOVER_REQUEST, source.name,
+                             target_enb.name, imsi=ue.imsi)
         target_enb.register_ue(ue.ip, radio_port)
         active = [b for b in ue.bearers if b.active]
         for bearer in active:
@@ -483,33 +676,41 @@ class EPCControlPlane:
             bearer.enb_fteid = target_enb.setup_bearer(
                 ue.ip, bearer.ebi, bearer.sgw_s1_fteid,
                 site.enb_port(target_enb.name))
-        self._emit(m.X2_HANDOVER_REQUEST_ACK, target_enb.name, source.name)
+        yield from self._hop(result, m.X2_HANDOVER_REQUEST_ACK,
+                             target_enb.name, source.name)
 
         # execution: the UE is commanded over and syncs to the target
-        self._emit(m.RRC_CONNECTION_RECONFIGURATION, source.name, ue.name,
-                   handover=True)
-        self._emit(m.X2_SN_STATUS_TRANSFER, source.name, target_enb.name)
-        self._emit(m.RRC_CONNECTION_RECONFIGURATION_COMPLETE, ue.name,
-                   target_enb.name)
+        yield from self._hop(result, m.RRC_CONNECTION_RECONFIGURATION,
+                             source.name, ue.name, handover=True)
+        yield from self._hop(result, m.X2_SN_STATUS_TRANSFER, source.name,
+                             target_enb.name)
+        yield from self._hop(result,
+                             m.RRC_CONNECTION_RECONFIGURATION_COMPLETE,
+                             ue.name, target_enb.name)
 
         # completion: S1 path switch re-anchors the downlink at the SGW-Us
-        self._emit(m.PATH_SWITCH_REQUEST, target_enb.name, self.mme.name)
-        self._emit(m.MODIFY_BEARER_REQUEST, self.mme.name, self.sgwc.name)
-        self._emit(m.MODIFY_BEARER_RESPONSE, self.sgwc.name, self.mme.name)
+        yield from self._hop(result, m.PATH_SWITCH_REQUEST, target_enb.name,
+                             self.mme.name)
+        yield from self._hop(result, m.MODIFY_BEARER_REQUEST, self.mme.name,
+                             self.sgwc.name)
+        yield from self._hop(result, m.MODIFY_BEARER_RESPONSE, self.sgwc.name,
+                             self.mme.name)
         for bearer in active:
             site = self.sgwc.site(bearer.gateway_site)
-            self.controller.remove_rules(site.sgw_u.name,
-                                         self._dl_cookie(bearer))
-            self._install_sgw_dl_rule(bearer, site, target_enb)
-        self._emit(m.PATH_SWITCH_REQUEST_ACK, self.mme.name,
-                   target_enb.name)
-        self._emit(m.X2_UE_CONTEXT_RELEASE, target_enb.name, source.name)
+            yield from self._flow_del(result, site.sgw_u.name,
+                                      self._dl_cookie(bearer))
+            yield from self._install_sgw_dl_rule(result, bearer, site,
+                                                 target_enb)
+        yield from self._hop(result, m.PATH_SWITCH_REQUEST_ACK, self.mme.name,
+                             target_enb.name)
+        yield from self._hop(result, m.X2_UE_CONTEXT_RELEASE,
+                             target_enb.name, source.name)
         for bearer in active:
             source.release_bearer(ue.ip, bearer.ebi)
         source.radio_ports.pop(ue.ip, None)
         context.enb = target_enb
 
-        self._finish(result, start)
+        self._complete(result, ue)
         self._signal(HandoverCompleted, ue=ue, source=source,
                      target=target_enb, result=result)
         return result
@@ -523,6 +724,17 @@ class EPCControlPlane:
         preparation and completion run through the MME, costing more
         signalling and a longer interruption.
         """
+        return self.sim.run_until_complete(
+            self.s1_handover_async(ue, target_enb, radio_port))
+
+    def s1_handover_async(self, ue: "UEDevice", target_enb: "ENodeB",
+                          radio_port: str) -> "Process":
+        return self.sim.spawn(
+            self._s1_handover_proc(ue, target_enb, radio_port),
+            name=f"s1-handover:{ue.name}")
+
+    def _s1_handover_proc(self, ue: "UEDevice", target_enb: "ENodeB",
+                          radio_port: str) -> Generator:
         context = self.mme.context(ue.imsi)
         source = context.enb
         if source is target_enb:
@@ -530,13 +742,13 @@ class EPCControlPlane:
         if not ue.rrc_connected:
             raise RuntimeError(
                 f"{ue.name} is idle; handover needs RRC connected")
-        result = ProcedureResult("s1-handover")
-        start = len(self.ledger)
+        result = self._begin("s1-handover", ue)
 
         # preparation through the MME
-        self._emit(m.HANDOVER_REQUIRED, source.name, self.mme.name,
-                   imsi=ue.imsi)
-        self._emit(m.HANDOVER_REQUEST, self.mme.name, target_enb.name)
+        yield from self._hop(result, m.HANDOVER_REQUIRED, source.name,
+                             self.mme.name, imsi=ue.imsi)
+        yield from self._hop(result, m.HANDOVER_REQUEST, self.mme.name,
+                             target_enb.name)
         target_enb.register_ue(ue.ip, radio_port)
         active = [b for b in ue.bearers if b.active]
         for bearer in active:
@@ -544,36 +756,43 @@ class EPCControlPlane:
             bearer.enb_fteid = target_enb.setup_bearer(
                 ue.ip, bearer.ebi, bearer.sgw_s1_fteid,
                 site.enb_port(target_enb.name))
-        self._emit(m.HANDOVER_REQUEST_ACK, target_enb.name, self.mme.name)
-        self._emit(m.HANDOVER_COMMAND, self.mme.name, source.name)
+        yield from self._hop(result, m.HANDOVER_REQUEST_ACK, target_enb.name,
+                             self.mme.name)
+        yield from self._hop(result, m.HANDOVER_COMMAND, self.mme.name,
+                             source.name)
 
         # execution over the air
-        self._emit(m.RRC_CONNECTION_RECONFIGURATION, source.name, ue.name,
-                   handover=True)
-        self._emit(m.RRC_CONNECTION_RECONFIGURATION_COMPLETE, ue.name,
-                   target_enb.name)
-        self._emit(m.HANDOVER_NOTIFY, target_enb.name, self.mme.name)
+        yield from self._hop(result, m.RRC_CONNECTION_RECONFIGURATION,
+                             source.name, ue.name, handover=True)
+        yield from self._hop(result,
+                             m.RRC_CONNECTION_RECONFIGURATION_COMPLETE,
+                             ue.name, target_enb.name)
+        yield from self._hop(result, m.HANDOVER_NOTIFY, target_enb.name,
+                             self.mme.name)
 
         # completion: bearer modification + downlink path switch
-        self._emit(m.MODIFY_BEARER_REQUEST, self.mme.name, self.sgwc.name)
-        self._emit(m.MODIFY_BEARER_RESPONSE, self.sgwc.name, self.mme.name)
+        yield from self._hop(result, m.MODIFY_BEARER_REQUEST, self.mme.name,
+                             self.sgwc.name)
+        yield from self._hop(result, m.MODIFY_BEARER_RESPONSE, self.sgwc.name,
+                             self.mme.name)
         for bearer in active:
             site = self.sgwc.site(bearer.gateway_site)
-            self.controller.remove_rules(site.sgw_u.name,
-                                         self._dl_cookie(bearer))
-            self._install_sgw_dl_rule(bearer, site, target_enb)
+            yield from self._flow_del(result, site.sgw_u.name,
+                                      self._dl_cookie(bearer))
+            yield from self._install_sgw_dl_rule(result, bearer, site,
+                                                 target_enb)
 
         # the MME releases the source-side context
-        self._emit(m.UE_CONTEXT_RELEASE_COMMAND, self.mme.name,
-                   source.name)
-        self._emit(m.UE_CONTEXT_RELEASE_COMPLETE, source.name,
-                   self.mme.name)
+        yield from self._hop(result, m.UE_CONTEXT_RELEASE_COMMAND,
+                             self.mme.name, source.name)
+        yield from self._hop(result, m.UE_CONTEXT_RELEASE_COMPLETE,
+                             source.name, self.mme.name)
         for bearer in active:
             source.release_bearer(ue.ip, bearer.ebi)
         source.radio_ports.pop(ue.ip, None)
         context.enb = target_enb
 
-        self._finish(result, start)
+        self._complete(result, ue)
         self._signal(HandoverCompleted, ue=ue, source=source,
                      target=target_enb, result=result)
         return result

@@ -1,0 +1,225 @@
+"""The signalling fabric: control messages as simulated traffic.
+
+The paper's Section 4 argument is that EPC signalling *shares the
+network with data*: release/re-establish cycles cost real messages on
+real transports.  This module models those transports so control
+procedures (see :mod:`repro.epc.procedures`) pay measured, load-
+dependent latency instead of a fixed per-hop constant:
+
+* each *channel* is a :class:`~repro.sim.link.Link` with propagation
+  delay, finite bandwidth and a queue -- concurrent procedures sharing
+  a channel contend exactly like data packets do;
+* shared channels model the real topology: one RRC channel per cell
+  (every UE in the cell serialises its air-interface signalling on
+  it), one S1-MME SCTP association per eNodeB, one S11 and one S5-C
+  GTP-C path, Gx/Rx Diameter legs and one OpenFlow channel per
+  switch;
+* a :class:`ControlMessage` is stamped and recorded in the
+  :class:`~repro.epc.overhead.ControlLedger` at *delivery* time, so
+  ledger timestamps are the times the messages actually arrived.
+
+:meth:`SignallingFabric.send` returns a
+:class:`~repro.sim.engine.Future` that resolves to the delivered
+message; procedure generators yield it to advance hop by hop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
+
+from repro.epc.messages import ControlMessage, MessageType
+from repro.epc.overhead import ControlLedger
+from repro.sim.engine import Future
+from repro.sim.link import Link
+from repro.sim.node import Node
+from repro.sim.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class ChannelSpec:
+    """Transport parameters for one signalling channel.
+
+    ``delay`` is the one-way propagation delay (seconds), ``bandwidth``
+    the serialisation rate (bits/second) and ``queue_bytes`` the
+    per-direction buffer.  Signalling transports are reliable, so the
+    default buffer is deep enough that messages queue rather than drop.
+    """
+
+    delay: float
+    bandwidth: float
+    queue_bytes: int = 2_000_000
+
+
+#: Default transport parameters by protocol, calibrated so a lone
+#: procedure's latency lands where the old per-hop constants put it,
+#: while concurrent procedures now contend for the shared channels.
+DEFAULT_TRANSPORTS: dict[str, ChannelSpec] = {
+    "RRC": ChannelSpec(delay=0.008, bandwidth=1e6),       # air interface
+    "SCTP": ChannelSpec(delay=0.0015, bandwidth=20e6),    # S1-MME
+    "GTPv2": ChannelSpec(delay=0.0015, bandwidth=20e6),   # S11 / S5-C
+    "Diameter": ChannelSpec(delay=0.0015, bandwidth=20e6),  # Gx / Rx
+    "OpenFlow": ChannelSpec(delay=0.001, bandwidth=100e6),  # controller
+    "X2AP": ChannelSpec(delay=0.002, bandwidth=50e6),     # eNB <-> eNB
+}
+
+#: Spec used for messages whose protocol has no registered transport.
+FALLBACK_SPEC = ChannelSpec(delay=0.0015, bandwidth=20e6)
+
+
+class _ChannelEnd(Node):
+    """One endpoint of a signalling channel; hands deliveries back to
+    the fabric."""
+
+    def __init__(self, sim: "Simulator", name: str,
+                 fabric: "SignallingFabric") -> None:
+        super().__init__(sim, name)
+        self._fabric = fabric
+
+    def on_receive(self, packet: Packet, link: Optional[Link]) -> None:
+        self._fabric._deliver(packet)
+
+
+class SignallingChannel:
+    """A shared duplex transport between two *sides* of parties.
+
+    Side ``a`` and side ``b`` each map onto one link endpoint; any
+    number of named parties may sit on a side (all UEs of a cell share
+    the RRC channel's UE side), which is what creates cross-procedure
+    contention under concurrent signalling load.
+    """
+
+    def __init__(self, sim: "Simulator", fabric: "SignallingFabric",
+                 channel_id: str, protocol: str, spec: ChannelSpec) -> None:
+        self.channel_id = channel_id
+        self.protocol = protocol
+        self.spec = spec
+        self.ends = {
+            "a": _ChannelEnd(sim, f"{channel_id}.a", fabric),
+            "b": _ChannelEnd(sim, f"{channel_id}.b", fabric),
+        }
+        self.parties: dict[str, set[str]] = {"a": set(), "b": set()}
+        self.link = Link(sim, f"sig.{channel_id}", bandwidth=spec.bandwidth,
+                         delay=spec.delay, queue_bytes=spec.queue_bytes)
+        self.ends["a"].attach("peer", self.link)
+        self.ends["b"].attach("peer", self.link)
+
+    def stats(self) -> dict:
+        """Per-direction transmit/queue counters (a->b and b->a)."""
+        return {"a": self.link.stats(self.ends["a"]),
+                "b": self.link.stats(self.ends["b"])}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<SignallingChannel {self.channel_id} {self.protocol} "
+                f"{sorted(self.parties['a'])}<->{sorted(self.parties['b'])}>")
+
+
+class SignallingFabric:
+    """Routes control messages between named parties over channels.
+
+    The network builder opens the topologically meaningful channels
+    (per-cell RRC, per-eNodeB S1-MME, S11, S5-C, Gx, Rx, per-switch
+    OpenFlow); unknown sender/receiver pairs fall back to a lazily
+    created ad-hoc channel with that protocol's default spec, so a
+    procedure can always make progress.
+    """
+
+    def __init__(self, sim: "Simulator", ledger: ControlLedger,
+                 specs: Optional[dict[str, ChannelSpec]] = None) -> None:
+        self.sim = sim
+        self.ledger = ledger
+        self.specs = dict(DEFAULT_TRANSPORTS)
+        if specs:
+            self.specs.update(specs)
+        self.channels: dict[str, SignallingChannel] = {}
+        self.messages_sent = 0
+        self._routes: dict[tuple[str, str], tuple[SignallingChannel, str]] = {}
+        self._handlers: dict[str, Callable[[ControlMessage], None]] = {}
+
+    # -- topology -----------------------------------------------------------
+
+    def spec_for(self, protocol: str) -> ChannelSpec:
+        return self.specs.get(protocol, FALLBACK_SPEC)
+
+    def open_channel(self, channel_id: str, protocol: str,
+                     a_parties: Iterable[str] = (),
+                     b_parties: Iterable[str] = ()) -> SignallingChannel:
+        """Create (or fetch) a channel and route its parties over it."""
+        channel = self.channels.get(channel_id)
+        if channel is None:
+            channel = SignallingChannel(self.sim, self, channel_id,
+                                        protocol, self.spec_for(protocol))
+            self.channels[channel_id] = channel
+        for name in a_parties:
+            self.add_party(channel_id, name, side="a")
+        for name in b_parties:
+            self.add_party(channel_id, name, side="b")
+        return channel
+
+    def add_party(self, channel_id: str, name: str, side: str = "b") -> None:
+        """Put ``name`` on one side of a channel and (re)route it.
+
+        Routes to the parties on the *other* side are overwritten, which
+        is how a UE moves to its target cell's RRC channel at handover.
+        """
+        channel = self.channels[channel_id]
+        other = "a" if side == "b" else "b"
+        channel.parties[side].add(name)
+        for peer in channel.parties[other]:
+            self._routes[(name, peer)] = (channel, side)
+            self._routes[(peer, name)] = (channel, other)
+
+    def register_handler(self, party: str,
+                         fn: Callable[[ControlMessage], None]) -> None:
+        """Deliver every message addressed to ``party`` to ``fn`` too."""
+        self._handlers[party] = fn
+
+    def _adhoc(self, protocol: str, sender: str,
+               receiver: str) -> tuple[SignallingChannel, str]:
+        lo, hi = sorted((sender, receiver))
+        channel_id = f"adhoc.{protocol}.{lo}.{hi}"
+        self.open_channel(channel_id, protocol, [lo], [hi])
+        return self._routes[(sender, receiver)]
+
+    # -- the data path ------------------------------------------------------
+
+    def send(self, mtype: MessageType, sender: str, receiver: str,
+             on_deliver: Optional[Callable[[ControlMessage], None]] = None,
+             **fields) -> Future:
+        """Transmit one control message; resolves at delivery.
+
+        The returned future's value is the delivered
+        :class:`ControlMessage` (timestamped with its arrival time and
+        already recorded in the ledger).  ``on_deliver`` runs at
+        delivery before the future resolves -- the SDN controller uses
+        it to apply a flow-mod to the switch the moment it arrives.
+        """
+        route = self._routes.get((sender, receiver))
+        if route is None:
+            route = self._adhoc(mtype.protocol, sender, receiver)
+        channel, side = route
+        message = ControlMessage(mtype, sender, receiver, fields)
+        future = Future(self.sim)
+        packet = Packet(src=sender, dst=receiver, size=mtype.size,
+                        protocol=mtype.protocol,
+                        created_at=self.sim.now,
+                        meta={"message": message, "future": future,
+                              "on_deliver": on_deliver})
+        self.messages_sent += 1
+        channel.ends[side].send("peer", packet)
+        return future
+
+    def _deliver(self, packet: Packet) -> None:
+        message: ControlMessage = packet.meta["message"]
+        message.timestamp = self.sim.now
+        self.ledger.record(message)
+        handler = self._handlers.get(message.receiver)
+        if handler is not None:
+            handler(message)
+        on_deliver = packet.meta.get("on_deliver")
+        if on_deliver is not None:
+            on_deliver(message)
+        packet.meta["future"].resolve(message)

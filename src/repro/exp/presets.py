@@ -53,6 +53,15 @@ FIG10B = _preset(ExperimentSpec(
            "bg_mbps": (0, 40, 80, 100)},
 ))
 
+#: Bearer-setup latency vs concurrent signalling load: sweeps how many
+#: UEs activate dedicated MEC bearers at once (Section 5.4 under load).
+BEARER_SETUP = _preset(ExperimentSpec(
+    name="bearer-setup",
+    workload="bearer_setup",
+    seeds=(41,),
+    sweep={"n_ues": (1, 5, 10, 25, 50)},
+))
+
 #: Figure 11(a): matching time by scheme/resolution on two machines.
 FIG11A = _preset(ExperimentSpec(
     name="fig11a",

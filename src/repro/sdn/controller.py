@@ -4,16 +4,31 @@ GW-Cs program the GW user planes through this controller.  Every
 flow-table change is recorded as an OpenFlow control message in the
 control ledger so the overhead analysis (Section 4) sees SDN signalling
 alongside 3GPP signalling.
+
+The controller can run in two modes:
+
+* **standalone** (no fabric bound): flow-mods apply immediately and are
+  recorded synchronously -- handy for unit tests and direct scripting;
+* **fabric-bound** (see :meth:`bind_fabric`): each flow-mod is a packet
+  on the controller's per-switch OpenFlow channel; the rule is applied
+  to the switch *at delivery* and the returned
+  :class:`~repro.sim.engine.Future` resolves to the recorded
+  :class:`ControlMessage`.  This is how flow-rule installation time
+  becomes part of measured procedure latency.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional, Union
 
 from repro.epc.messages import ControlMessage, MessageType
 from repro.epc.overhead import ControlLedger
 from repro.sdn.openflow import FlowRule
 from repro.sdn.switch import FlowSwitch
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.epc.signalling import SignallingFabric
+    from repro.sim.engine import Future
 
 #: Fallback OpenFlow message sizes for switches outside the calibrated
 #: release/re-establish groups.
@@ -30,9 +45,30 @@ class SdnController:
         self.ledger = ledger if ledger is not None else ControlLedger()
         self.switches: dict[str, FlowSwitch] = {}
         self.flow_mods_sent = 0
+        self._fabric: Optional["SignallingFabric"] = None
+
+    def bind_fabric(self, fabric: "SignallingFabric") -> None:
+        """Route flow-mods over the signalling fabric from now on.
+
+        Opens one OpenFlow channel per registered switch (and per
+        switch registered later), so controller-to-switch latency and
+        queueing are part of every procedure that programs the data
+        plane.
+        """
+        if fabric.ledger is not self.ledger:
+            raise ValueError("controller and fabric must share one ledger")
+        self._fabric = fabric
+        for switch in self.switches.values():
+            self._open_channel(switch)
 
     def register(self, switch: FlowSwitch) -> None:
         self.switches[switch.name] = switch
+        if self._fabric is not None:
+            self._open_channel(switch)
+
+    def _open_channel(self, switch: FlowSwitch) -> None:
+        self._fabric.open_channel(f"of.{switch.name}", "OpenFlow",
+                                  [self.name], [switch.name])
 
     def _record(self, kind: str, switch: FlowSwitch, size: int,
                 detail: str) -> None:
@@ -43,19 +79,53 @@ class SdnController:
         self.flow_mods_sent += 1
 
     def install_rule(self, switch_name: str, rule: FlowRule,
-                     size: int = _FLOW_MOD_ADD_SIZE) -> None:
-        """Add a flow rule (one OpenFlow flow-mod message)."""
+                     size: int = _FLOW_MOD_ADD_SIZE
+                     ) -> Union[None, "Future"]:
+        """Add a flow rule (one OpenFlow flow-mod message).
+
+        Fabric-bound, returns a future resolving to the recorded
+        message once the flow-mod reaches the switch (which is when the
+        rule takes effect); standalone, applies immediately and returns
+        ``None``.
+        """
         switch = self._switch(switch_name)
-        switch.install(rule)
-        self._record("add", switch, size, rule.match.describe())
+        if self._fabric is None:
+            switch.install(rule)
+            self._record("add", switch, size, rule.match.describe())
+            return None
+        mtype = MessageType("OpenFlow", f"FlowMod(add,{switch.name})", size)
+
+        def apply(message: ControlMessage) -> None:
+            switch.install(rule)
+            self.flow_mods_sent += 1
+
+        return self._fabric.send(mtype, self.name, switch.name,
+                                 on_deliver=apply,
+                                 detail=rule.match.describe())
 
     def remove_rules(self, switch_name: str, cookie: str,
-                     size: int = _FLOW_MOD_DELETE_SIZE) -> int:
-        """Delete all rules carrying a cookie (one flow-mod message)."""
+                     size: int = _FLOW_MOD_DELETE_SIZE
+                     ) -> Union[int, "Future"]:
+        """Delete all rules carrying a cookie (one flow-mod message).
+
+        Standalone, returns the number of rules removed; fabric-bound,
+        returns a future resolving to the recorded message (the switch
+        drops the rules at delivery).
+        """
         switch = self._switch(switch_name)
-        removed = switch.remove(cookie)
-        self._record("delete", switch, size, f"cookie={cookie}")
-        return len(removed)
+        if self._fabric is None:
+            removed = switch.remove(cookie)
+            self._record("delete", switch, size, f"cookie={cookie}")
+            return len(removed)
+        mtype = MessageType("OpenFlow", f"FlowMod(delete,{switch.name})",
+                            size)
+
+        def apply(message: ControlMessage) -> None:
+            switch.remove(cookie)
+            self.flow_mods_sent += 1
+
+        return self._fabric.send(mtype, self.name, switch.name,
+                                 on_deliver=apply, detail=f"cookie={cookie}")
 
     def _switch(self, name: str) -> FlowSwitch:
         try:

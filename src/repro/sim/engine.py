@@ -7,7 +7,14 @@ supported:
 
 * callback style -- ``sim.schedule(delay, fn, *args)``;
 * process style -- ``sim.spawn(generator)`` where the generator yields
-  either a float delay in seconds or another :class:`Process` to join.
+  a float delay in seconds, another :class:`Process` to join, or a
+  :class:`Future` to await.
+
+:meth:`Simulator.run_until_complete` bridges the two worlds: it drives
+the shared event heap until one process finishes, which lets ordinary
+synchronous code (including code already running inside an event
+callback) block on a signalling procedure that is itself modelled as
+simulated traffic.
 """
 
 from __future__ import annotations
@@ -66,6 +73,64 @@ class Event:
         return f"<Event t={self.time:.6f} {getattr(self.fn, '__name__', self.fn)} {state}>"
 
 
+class Future:
+    """A one-shot waitable result.
+
+    Producers (a signalling channel delivering a message, for example)
+    call :meth:`resolve` or :meth:`reject` exactly once; consumers
+    either ``yield`` the future from a process or attach a callback.
+    """
+
+    __slots__ = ("_sim", "done", "value", "error", "_waiters", "_callbacks")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self._sim = sim
+        self.done = False
+        self.value: Any = None
+        self.error: Optional[BaseException] = None
+        self._waiters: list["Process"] = []
+        self._callbacks: list[Callable[["Future"], Any]] = []
+
+    def _settle(self) -> None:
+        waiters, self._waiters = self._waiters, []
+        callbacks, self._callbacks = self._callbacks, []
+        for waiter in waiters:
+            if self.error is not None:
+                self._sim.schedule(0.0, waiter._step, None, self.error)
+            else:
+                self._sim.schedule(0.0, waiter._step, self.value)
+        for fn in callbacks:
+            fn(self)
+
+    def resolve(self, value: Any = None) -> None:
+        """Complete the future; waiting processes resume at ``now``."""
+        if self.done:
+            raise SimulationError("future already settled")
+        self.done = True
+        self.value = value
+        self._settle()
+
+    def reject(self, error: BaseException) -> None:
+        """Fail the future; the error is thrown into waiting processes."""
+        if self.done:
+            raise SimulationError("future already settled")
+        self.done = True
+        self.error = error
+        self._settle()
+
+    def add_done_callback(self, fn: Callable[["Future"], Any]) -> None:
+        """Run ``fn(future)`` when settled (immediately if already done)."""
+        if self.done:
+            fn(self)
+        else:
+            self._callbacks.append(fn)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = ("rejected" if self.error is not None
+                 else "resolved" if self.done else "pending")
+        return f"<Future {state}>"
+
+
 class Process:
     """A generator-driven coroutine running inside the simulator.
 
@@ -73,8 +138,14 @@ class Process:
 
     * ``float`` -- sleep for that many simulated seconds;
     * :class:`Process` -- suspend until that process finishes;
+    * :class:`Future` -- suspend until the future settles;
     * ``None`` -- yield control and resume immediately (time does not
       advance).
+
+    An exception escaping the generator marks the process ``finished``
+    with ``error`` set.  If other processes are joined on it, the
+    exception is thrown into each of them; otherwise it propagates out
+    of the event loop (fail fast for fire-and-forget processes).
     """
 
     def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
@@ -83,13 +154,18 @@ class Process:
         self.name = name or getattr(gen, "__name__", "process")
         self.finished = False
         self.value: Any = None
+        self.error: Optional[BaseException] = None
         self._waiters: list[Process] = []
 
-    def _step(self, send_value: Any = None) -> None:
+    def _step(self, send_value: Any = None,
+              throw: Optional[BaseException] = None) -> None:
         if self.finished:
             return
         try:
-            yielded = self._gen.send(send_value)
+            if throw is not None:
+                yielded = self._gen.throw(throw)
+            else:
+                yielded = self._gen.send(send_value)
         except StopIteration as stop:
             self.finished = True
             self.value = stop.value
@@ -97,11 +173,31 @@ class Process:
                 self._sim.schedule(0.0, waiter._step, self.value)
             self._waiters.clear()
             return
+        except Exception as exc:
+            self.finished = True
+            self.error = exc
+            waiters, self._waiters = self._waiters, []
+            if not waiters:
+                raise
+            for waiter in waiters:
+                self._sim.schedule(0.0, waiter._step, None, exc)
+            return
         if yielded is None:
             self._sim.schedule(0.0, self._step)
         elif isinstance(yielded, Process):
             if yielded.finished:
-                self._sim.schedule(0.0, self._step, yielded.value)
+                if yielded.error is not None:
+                    self._sim.schedule(0.0, self._step, None, yielded.error)
+                else:
+                    self._sim.schedule(0.0, self._step, yielded.value)
+            else:
+                yielded._waiters.append(self)
+        elif isinstance(yielded, Future):
+            if yielded.done:
+                if yielded.error is not None:
+                    self._sim.schedule(0.0, self._step, None, yielded.error)
+                else:
+                    self._sim.schedule(0.0, self._step, yielded.value)
             else:
                 yielded._waiters.append(self)
         else:
@@ -164,6 +260,10 @@ class Simulator:
         self.schedule(0.0, proc._step)
         return proc
 
+    def future(self) -> Future:
+        """Create a fresh :class:`Future` bound to this simulator."""
+        return Future(self)
+
     # -- execution ------------------------------------------------------
 
     def run(self, until: Optional[float] = None,
@@ -188,6 +288,26 @@ class Simulator:
                 break
         if until is not None and self.now < until:
             self.now = until
+
+    def run_until_complete(self, proc: Process) -> Any:
+        """Drive the event heap until ``proc`` finishes; return its value.
+
+        This is the synchronous facade over process-style procedures:
+        it pops events off the *shared* heap, so it is reentrant --
+        an event callback may call it, and the whole world (other
+        procedures, data-plane traffic, timers) keeps advancing while
+        the caller blocks.  Raises the process's own exception if it
+        fails, and :class:`SimulationError` if the heap drains before
+        the process can finish (a deadlocked wait).
+        """
+        while not proc.finished:
+            if not self.step():
+                raise SimulationError(
+                    f"deadlock: no pending events but process "
+                    f"{proc.name!r} has not finished")
+        if proc.error is not None:
+            raise proc.error
+        return proc.value
 
     def step(self) -> bool:
         """Run exactly one pending event.  Returns False if none remain."""

@@ -39,11 +39,13 @@ def test_ue_goes_idle_after_inactivity():
 
 def test_activity_resets_idle_timer():
     network, ue = build(idle_timeout=2.0)
+    # attach consumed measured signalling time, so offsets are from now
+    t0 = network.sim.now
     for t in (0.0, 1.5, 3.0, 4.5):
-        network.sim.schedule_at(t, send_one, network, ue)
-    network.sim.run(until=5.5)
+        network.sim.schedule_at(t0 + t, send_one, network, ue)
+    network.sim.run(until=t0 + 5.5)
     assert ue.rrc_connected          # gaps never exceeded 2 s
-    network.sim.run(until=9.0)
+    network.sim.run(until=t0 + 9.0)
     assert not ue.rrc_connected
 
 
@@ -72,7 +74,7 @@ def test_idle_cycle_emits_calibrated_messages():
 
 def test_repeated_cycles_accumulate_overhead():
     network, ue = build(idle_timeout=1.0)
-    t = 0.0
+    t = network.sim.now                   # attach already consumed time
     for _ in range(3):
         network.sim.schedule_at(t, send_one, network, ue)
         t += 5.0                          # long gap -> idle in between
