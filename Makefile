@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test lint bench bench-matcher examples quick exp-smoke all clean-results
+.PHONY: test lint bench bench-matcher bench-resilience examples quick exp-smoke all clean-results
 
 test:
 	$(PYTHON) -m pytest tests/ -q
@@ -18,6 +18,9 @@ bench:
 
 bench-matcher:   ## engine comparison on the Fig 11a workload -> BENCH_matcher.json
 	PYTHONPATH=src $(PYTHON) tools/bench_matcher.py
+
+bench-resilience:   ## chaos sweep: control-plane success under signalling loss
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_resilience_chaos.py --benchmark-only -q
 
 quick:   ## tests + the sub-second benchmarks only
 	$(PYTHON) -m pytest tests/ -q

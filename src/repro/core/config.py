@@ -55,6 +55,8 @@ class NetworkConfig:
     seed: int = 0
     signalling: "SignallingConfig" = field(
         default_factory=lambda: SignallingConfig())
+    resilience: "ResilienceConfig" = field(
+        default_factory=lambda: ResilienceConfig())
 
     def cloud_one_way_delay(self) -> float:
         """Nominal UE -> cloud one-way propagation (no queueing/jitter)."""
@@ -112,6 +114,57 @@ class SignallingConfig:
                                     self.openflow_bandwidth, q),
             "X2AP": ChannelSpec(self.x2_delay, self.x2_bandwidth, q),
         }
+
+
+@dataclass
+class ResilienceConfig:
+    """Retransmission timers for the control plane (3GPP-flavoured).
+
+    Timer names follow the NAS/GTP timers they stand in for: T3410
+    guards attach-family NAS exchanges on the air interface, T3450
+    the S1AP leg, T3485 the GTP-C bearer-management requests.  Values
+    are generous relative to lone-procedure latency so a timer only
+    fires when a message was genuinely lost (or queued behind a
+    pathological signalling storm), never on healthy runs -- with zero
+    injected loss the timers arm and cancel without changing a single
+    message count.
+
+    ``enabled=False`` keeps the timers armed but performs no
+    retransmissions: a lost message then surfaces as a terminal
+    ``timeout`` procedure outcome instead of a simulator deadlock.
+    """
+
+    enabled: bool = True
+    t3410: float = 3.0          # RRC / NAS air-interface exchanges
+    t3450: float = 3.0          # S1AP (SCTP) leg
+    t3485: float = 3.0          # GTP-C / Diameter bearer management
+    openflow_timer: float = 1.0  # controller -> switch flow-mods
+    x2_timer: float = 2.0       # inter-eNodeB handover signalling
+    backoff: float = 2.0
+    max_retries: int = 4
+
+    def policy(self):
+        """Build the :class:`~repro.epc.signalling.RetryPolicy`.
+
+        Imports lazily so the config layer stays importable without
+        pulling the EPC stack in at module scope.
+        """
+        from repro.epc.signalling import RetryPolicy
+
+        return RetryPolicy(
+            enabled=self.enabled,
+            timers={
+                "RRC": self.t3410,
+                "SCTP": self.t3450,
+                "GTPv2": self.t3485,
+                "Diameter": self.t3485,
+                "OpenFlow": self.openflow_timer,
+                "X2AP": self.x2_timer,
+            },
+            default_timer=self.t3485,
+            backoff=self.backoff,
+            max_retries=self.max_retries,
+        )
 
 
 #: Available object-matching engines (see :mod:`repro.vision.batch`).

@@ -1,0 +1,35 @@
+"""Hook-bus events published by the core orchestration layer.
+
+Currently the MRS's graceful-degradation signals: emitted when a MEC
+outage forces a session off its CI server instance and when the
+session later returns to a healthy dedicated path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SessionDegraded:
+    """A session lost its CI server instance to a fault.
+
+    ``mode`` is ``"relocated"`` (moved to a surviving instance on
+    another site) or ``"central-fallback"`` (dedicated bearer torn
+    down; traffic rides the default bearer through the central
+    gateways until recovery).
+    """
+
+    imsi: str
+    service_id: str
+    mode: str
+    time: float
+
+
+@dataclass(frozen=True)
+class SessionRestored:
+    """A degraded session got a healthy dedicated MEC path back."""
+
+    imsi: str
+    service_id: str
+    time: float

@@ -7,6 +7,17 @@ in the mobile edge clouds.  The first service discovery message a
 device manager forwards is used to locate the closest CI server; the
 MRS then drives the PCRF to trigger the network-initiated dedicated
 bearer (Section 5.4, step 1-2).
+
+Graceful degradation: the MRS watches the fault layer's
+:class:`~repro.faults.events.FaultInjected` / ``FaultCleared`` events.
+When a :class:`~repro.faults.plan.McServerOutage` (or a
+``LinkDown`` of a site's S5 core link) kills the server behind a live
+session, the MRS tears the dedicated bearer down and either
+*relocates* the session to a surviving instance or *falls back* to
+the central gateway path (default bearer only), emitting
+:class:`~repro.core.events.SessionDegraded`; when the fault clears,
+degraded sessions get their dedicated MEC path rebuilt and
+:class:`~repro.core.events.SessionRestored` fires.
 """
 
 from __future__ import annotations
@@ -14,9 +25,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
+from repro.core.events import SessionDegraded, SessionRestored
 from repro.core.service import CIServerInstance, CIService, ServiceRegistry
 from repro.epc.entities import ServicePolicy
 from repro.epc.procedures import ProcedureResult
+from repro.faults.events import FaultCleared, FaultInjected
+from repro.faults.plan import LinkDown, McServerOutage
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.network import MobileNetwork
@@ -34,6 +48,15 @@ class ActiveSession:
     setup_result: ProcedureResult
 
 
+@dataclass
+class DegradedSession:
+    """Bookkeeping for a session knocked off its CI server by a fault."""
+
+    imsi: str
+    service_id: str
+    mode: str                   # "relocated" | "central-fallback"
+
+
 class MecRegistrationServer:
     """Manages CI services and on-demand MEC connectivity."""
 
@@ -43,6 +66,12 @@ class MecRegistrationServer:
         self.registry = ServiceRegistry()
         self.sessions: dict[tuple[str, str], ActiveSession] = {}
         self.requests_served = 0
+        #: sessions currently running degraded, by (imsi, service_id)
+        self.degraded: dict[tuple[str, str], DegradedSession] = {}
+        self._down_servers: set[str] = set()
+        self._down_sites: set[str] = set()
+        network.hooks.on(FaultInjected, self._on_fault)
+        network.hooks.on(FaultCleared, self._on_fault_cleared)
 
     # -- service management (operator-facing) ------------------------------
 
@@ -77,9 +106,12 @@ class MecRegistrationServer:
         if key in self.sessions:
             return self.sessions[key]
         service = self.registry.get(service_id)
-        # closest instance to the UE's *current* cell
+        # closest *healthy* instance to the UE's current cell
         enb_name = self.network.mme.context(ue.imsi).enb.name
-        instance = service.instance_for_enb(enb_name)
+        instance = self._select_instance(service, enb_name)
+        if instance is None:
+            raise LookupError(
+                f"service {service_id!r} has no healthy instances")
         result = self.network.control_plane.activate_dedicated_bearer(
             ue, service_id, instance.server_ip, instance.site_name,
             requested_by=self.name)
@@ -119,8 +151,93 @@ class MecRegistrationServer:
             return None
         service = self.registry.get(service_id)
         enb_name = self.network.mme.context(ue.imsi).enb.name
-        best = service.instance_for_enb(enb_name)
+        best = self._select_instance(service, enb_name)
         if best is session.instance:
             return session
         self.release_connectivity(ue, service_id)
         return self.request_connectivity(ue, service_id)
+
+    # -- graceful degradation (fault-layer driven) -------------------------
+
+    def _select_instance(self, service: CIService,
+                         enb_name: str) -> Optional[CIServerInstance]:
+        """Closest instance among those not behind a known fault."""
+        alive = [i for i in service.instances
+                 if i.server_name not in self._down_servers
+                 and i.site_name not in self._down_sites]
+        if not alive:
+            return None
+        for instance in alive:
+            if enb_name in instance.serves_enbs:
+                return instance
+        return alive[0]
+
+    def _on_fault(self, event: FaultInjected) -> None:
+        spec = event.spec
+        if isinstance(spec, McServerOutage):
+            self._down_servers.add(spec.server)
+            self._degrade_where(
+                lambda s: s.instance.server_name == spec.server)
+        elif isinstance(spec, LinkDown) and spec.link.startswith("s5."):
+            site = spec.link[len("s5."):]
+            self._down_sites.add(site)
+            self._degrade_where(lambda s: s.instance.site_name == site)
+
+    def _on_fault_cleared(self, event: FaultCleared) -> None:
+        spec = event.spec
+        if isinstance(spec, McServerOutage):
+            self._down_servers.discard(spec.server)
+        elif isinstance(spec, LinkDown) and spec.link.startswith("s5."):
+            self._down_sites.discard(spec.link[len("s5."):])
+        else:
+            return
+        self._restore_degraded()
+
+    def _degrade_where(self, affected) -> None:
+        """Move every session matching ``affected`` off its dead path.
+
+        Relocation reuses the ordinary release + request cycle, so the
+        dedicated bearer is properly torn down (flow rules deleted)
+        before the fallback takes over.
+        """
+        for session in [s for s in self.sessions.values() if affected(s)]:
+            key = (session.imsi, session.service_id)
+            ue = self.network.mme.context(session.imsi).ue
+            service = self.registry.get(session.service_id)
+            enb_name = self.network.mme.context(session.imsi).enb.name
+            self.release_connectivity(ue, session.service_id)
+            if self._select_instance(service, enb_name) is not None:
+                self.request_connectivity(ue, session.service_id)
+                mode = "relocated"
+            else:
+                # no healthy instance anywhere: the default bearer
+                # through the central gateways carries the service
+                # until the fault clears
+                mode = "central-fallback"
+            self.degraded[key] = DegradedSession(
+                imsi=session.imsi, service_id=session.service_id, mode=mode)
+            self._emit(SessionDegraded, imsi=session.imsi,
+                       service_id=session.service_id, mode=mode,
+                       time=self.network.sim.now)
+
+    def _restore_degraded(self) -> None:
+        """Rebuild the dedicated MEC path for recoverable sessions."""
+        for key, degraded in list(self.degraded.items()):
+            imsi, service_id = key
+            ue = self.network.mme.context(imsi).ue
+            service = self.registry.get(service_id)
+            enb_name = self.network.mme.context(imsi).enb.name
+            if self._select_instance(service, enb_name) is None:
+                continue        # still nothing healthy to return to
+            if degraded.mode == "central-fallback":
+                self.request_connectivity(ue, service_id)
+            else:
+                self.relocate_session(ue, service_id)
+            del self.degraded[key]
+            self._emit(SessionRestored, imsi=imsi, service_id=service_id,
+                       time=self.network.sim.now)
+
+    def _emit(self, event_type, **fields) -> None:
+        hooks = self.network.hooks
+        if hooks.has(event_type):
+            hooks.emit(event_type(**fields))

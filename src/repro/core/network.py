@@ -18,6 +18,7 @@ from repro.epc.entities import (GatewaySite, HSS, MME, PCRF, PGWC, SGWC,
                                 SubscriberProfile)
 from repro.epc.enodeb import ENodeB
 from repro.epc.events import DownlinkDelivered, UeIpAssigned
+from repro.sim.hooks import PacketDropped
 from repro.epc.identifiers import ImsiAllocator
 from repro.epc.overhead import ControlLedger
 from repro.epc.paging import PagingManager
@@ -66,13 +67,16 @@ class MobileNetwork:
             specs=self.config.signalling.transports())
         self.control_plane = EPCControlPlane(
             self.sim, self.mme, self.hss, self.pcrf, self.sgwc, self.pgwc,
-            self.controller, ledger=self.ledger, fabric=self.fabric)
+            self.controller, ledger=self.ledger, fabric=self.fabric,
+            retry_policy=self.config.resilience.policy())
         self.paging = PagingManager(self.control_plane)
         self.imsis = ImsiAllocator()
         self.enbs: dict[str, ENodeB] = {}
         self.ues: dict[str, UEDevice] = {}
         self.servers: dict[str, Node] = {}
         self.sites: dict[str, GatewaySite] = {}
+        #: every data-plane link by name (the fault layer targets these)
+        self.links: dict[str, Link] = {}
         #: per-site S1 wiring parameters, for attaching later eNodeBs
         self._site_params: dict[str, tuple[float, float, int]] = {}
         self._ue_count = itertools.count(1)
@@ -97,6 +101,7 @@ class MobileNetwork:
                     else None)
         if qos:
             apply_qci_priorities(link)
+        self.links[name] = link
         return link
 
     def add_enb(self, name: Optional[str] = None) -> ENodeB:
@@ -248,7 +253,8 @@ class MobileNetwork:
         finally:
             subscription.close()
         ue.attach_result = result
-        self.paging.track(ue)
+        if ue.attached:
+            self.paging.track(ue)
         return ue
 
     def _wire_radio(self, ue: UEDevice, enb: ENodeB,
@@ -262,6 +268,7 @@ class MobileNetwork:
             qos_priority=True, jitter=cfg.radio_jitter,
             rng=self.ctx.rng(f"net.radio.{ue.name}.{enb.name}"))
         apply_qci_priorities(radio)
+        self.links[radio.name] = radio
         # the UE attaches first: its outbound direction is the uplink
         ue.ports.pop("radio", None)     # drop any previous cell's link
         ue.attach("radio", radio)
@@ -385,6 +392,12 @@ class Pinger:
     events on the hook bus; any number of pingers (and other observers)
     can therefore watch the same UE concurrently.  ``close()`` detaches
     the subscription and books still-outstanding pings as ``lost``.
+
+    Mid-flight drops are counted *as they happen*: the pinger also
+    watches :class:`~repro.sim.hooks.PacketDropped` and books a loss
+    (with its reason, in ``lost_reasons``) the moment a ping -- or its
+    echo -- dies on a link, instead of only discovering the gap at
+    ``close()``.
     """
 
     def __init__(self, network: MobileNetwork, ue: UEDevice,
@@ -397,9 +410,12 @@ class Pinger:
         self.interval = interval
         self.rtts: list[float] = []
         self.lost = 0
+        self.lost_reasons: dict[str, int] = {}
         self._sent: dict[int, float] = {}
         self._subscription = network.hooks.on(DownlinkDelivered,
                                               self._on_downlink)
+        self._drop_subscription = network.hooks.on(PacketDropped,
+                                                   self._on_drop)
 
     def _on_downlink(self, event: DownlinkDelivered) -> None:
         if event.ue is not self.ue:
@@ -408,6 +424,20 @@ class Pinger:
         sent_at = self._sent.pop(original, None)
         if sent_at is not None:
             self.rtts.append(self.network.sim.now - sent_at)
+
+    def _on_drop(self, event: PacketDropped) -> None:
+        # the outbound ping itself, or the server's echo of it (GTP
+        # encap/decap mutates the same Packet object, so packet_id
+        # survives the tunnels)
+        packet_id = event.packet.packet_id
+        if packet_id not in self._sent:
+            packet_id = event.packet.meta.get("echo_of")
+            if packet_id not in self._sent:
+                return
+        self._sent.pop(packet_id)
+        self.lost += 1
+        self.lost_reasons[event.reason] = \
+            self.lost_reasons.get(event.reason, 0) + 1
 
     def close(self) -> None:
         """Detach from the bus; unanswered pings count as lost.
@@ -419,8 +449,12 @@ class Pinger:
             return
         self._subscription.close()
         self._subscription = None
-        self.lost += len(self._sent)
-        self._sent.clear()
+        self._drop_subscription.close()
+        if self._sent:
+            self.lost += len(self._sent)
+            self.lost_reasons["unanswered"] = \
+                self.lost_reasons.get("unanswered", 0) + len(self._sent)
+            self._sent.clear()
 
     def run(self, count: int, start: float = 0.0) -> None:
         """Schedule ``count`` pings starting at absolute sim time

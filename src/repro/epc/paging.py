@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.epc import messages as m
 from repro.epc.messages import MessageType
+from repro.epc.signalling import SignallingTimeout
 from repro.sdn.events import TableMiss
 from repro.sim.hooks import Subscription
 
@@ -55,6 +56,7 @@ class PagingManager:
         self.paging_delay = paging_delay
         self._pending: dict[str, _PendingPage] = {}
         self.pages_sent = 0
+        self.pages_abandoned = 0
         self.packets_buffered = 0
         self.packets_dropped = 0
         self._ues_by_ip: dict[str, object] = {}
@@ -106,14 +108,32 @@ class PagingManager:
     def _page_proc(self, ue):
         """The paging choreography as a simulator process: DDN to the
         MME, page via the last-known eNodeB, then the UE's service
-        request after the paging cycle."""
+        request after the paging cycle.
+
+        Page messages are retransmitted per the control plane's retry
+        policy; if one still times out the page is *abandoned* (the
+        buffered packets stay pending, page_sent resets, so a later
+        downlink miss re-pages) rather than crashing the loop.
+        """
         cp = self.control_plane
         fab = cp.fabric
         context = cp.mme.context(ue.imsi)
-        yield fab.send(m.DOWNLINK_DATA_NOTIFICATION, "sgw-c", cp.mme.name)
-        yield fab.send(m.DOWNLINK_DATA_NOTIFICATION_ACK, cp.mme.name, "sgw-c")
-        yield fab.send(PAGING_MESSAGE, cp.mme.name, context.enb.name)
-        yield fab.send(PAGING_RRC, context.enb.name, ue.name)
+        try:
+            policy = cp.retry_policy
+            yield fab.send_reliable(m.DOWNLINK_DATA_NOTIFICATION, "sgw-c",
+                                    cp.mme.name, policy=policy)
+            yield fab.send_reliable(m.DOWNLINK_DATA_NOTIFICATION_ACK,
+                                    cp.mme.name, "sgw-c", policy=policy)
+            yield fab.send_reliable(PAGING_MESSAGE, cp.mme.name,
+                                    context.enb.name, policy=policy)
+            yield fab.send_reliable(PAGING_RRC, context.enb.name, ue.name,
+                                    policy=policy)
+        except SignallingTimeout:
+            self.pages_abandoned += 1
+            pending = self._pending.get(ue.ip)
+            if pending is not None:
+                pending.page_sent = False
+            return
         yield self.paging_delay      # paging cycle + random access
         if not ue.rrc_connected:
             ue.rrc_connected = True

@@ -30,7 +30,7 @@ callbacks while the simulation is running.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Generator, Optional
+from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from repro.epc import messages as m
 from repro.epc.bearer import Bearer, PacketFilter, TrafficFlowTemplate
@@ -43,7 +43,8 @@ from repro.epc.events import (BearerActivated, BearerDeactivated,
 from repro.epc.identifiers import FTeid
 from repro.epc.messages import ControlMessage
 from repro.epc.overhead import ControlLedger
-from repro.epc.signalling import SignallingFabric
+from repro.epc.signalling import (RetryPolicy, SignallingFabric,
+                                  SignallingTimeout)
 from repro.sdn.openflow import FlowMatch, FlowRule, GtpDecap, GtpEncap, Output
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -66,6 +67,17 @@ class ProcedureResult:
     order (each stamped with its delivery time); ``elapsed`` is the
     measured simulated time between ``started_at`` and
     ``completed_at``.
+
+    ``outcome`` is terminal and one of:
+
+    * ``"ok"`` -- completed, no retransmissions needed;
+    * ``"retried-ok"`` -- completed, but >= 1 message was retransmitted;
+    * ``"timeout"`` -- a message exhausted its retransmission budget
+      (the procedure stopped at that hop instead of hanging);
+    * ``"rejected"`` -- refused by admission control.
+
+    ``retries`` / ``timer_expiries`` count retransmissions and timer
+    firings across the procedure's hops (including its flow-mods).
     """
 
     name: str
@@ -74,6 +86,11 @@ class ProcedureResult:
     bearer: Optional[Bearer] = None
     started_at: float = 0.0
     completed_at: float = 0.0
+    outcome: str = "ok"
+    retries: int = 0
+    timer_expiries: int = 0
+    failure: Optional[str] = None
+    subject: Any = None
 
     @property
     def message_count(self) -> int:
@@ -97,8 +114,12 @@ class EPCControlPlane:
     def __init__(self, sim: "Simulator", mme: MME, hss: HSS, pcrf: PCRF,
                  sgwc: SGWC, pgwc: PGWC, controller: "SdnController",
                  ledger: Optional[ControlLedger] = None,
-                 fabric: Optional[SignallingFabric] = None) -> None:
+                 fabric: Optional[SignallingFabric] = None,
+                 retry_policy: Optional[RetryPolicy] = None) -> None:
         self.sim = sim
+        #: retransmission policy for every hop (None = legacy plain
+        #: sends, which assume lossless transports)
+        self.retry_policy = retry_policy
         self.mme = mme
         self.hss = hss
         self.pcrf = pcrf
@@ -116,6 +137,7 @@ class EPCControlPlane:
                 "signalling fabric and control plane must share one ledger")
         self._open_core_channels()
         controller.bind_fabric(self.fabric)
+        controller.retry_policy = retry_policy
         #: optional GBR admission control (repro.epc.admission)
         self.admission = None
         #: in-flight service requests by IMSI (concurrent triggers join)
@@ -165,13 +187,23 @@ class EPCControlPlane:
 
     def _hop(self, result: ProcedureResult, mtype: m.MessageType,
              sender: str, receiver: str, **fields) -> Generator:
-        """Send one control message and suspend until delivery."""
-        message = yield self.fabric.send(mtype, sender, receiver, **fields)
+        """Send one control message and suspend until delivery.
+
+        With a retry policy configured the hop retransmits on timer
+        expiry; exhausting the budget raises
+        :class:`~repro.epc.signalling.SignallingTimeout` into the
+        procedure, which the ``_guarded`` wrapper turns into a
+        terminal ``timeout`` outcome.
+        """
+        message = yield self.fabric.send_reliable(
+            mtype, sender, receiver, policy=self.retry_policy,
+            telemetry=result, **fields)
         result.messages.append(message)
         return message
 
     def _begin(self, name: str, subject) -> ProcedureResult:
-        result = ProcedureResult(name, started_at=self.sim.now)
+        result = ProcedureResult(name, started_at=self.sim.now,
+                                 subject=subject)
         self._signal(ProcedureStarted, name=name, subject=subject,
                      time=self.sim.now)
         return result
@@ -179,8 +211,31 @@ class EPCControlPlane:
     def _complete(self, result: ProcedureResult, subject) -> None:
         result.completed_at = self.sim.now
         result.elapsed = result.completed_at - result.started_at
+        if result.outcome == "ok" and result.retries:
+            result.outcome = "retried-ok"
         self._signal(ProcedureCompleted, name=result.name, subject=subject,
                      result=result)
+
+    def _guarded(self, gen: Generator) -> Generator:
+        """Run a procedure generator to a *terminal* result.
+
+        A hop that exhausts its retransmission budget raises
+        :class:`~repro.epc.signalling.SignallingTimeout`; instead of
+        propagating (which would fail the process and abort
+        ``run_until_complete`` with a deadlock-style error), the
+        procedure completes with ``outcome="timeout"`` and returns its
+        partial result, so callers can always inspect what happened.
+        """
+        try:
+            return (yield from gen)
+        except SignallingTimeout as exc:
+            result = exc.result
+            if not isinstance(result, ProcedureResult):
+                raise
+            result.outcome = "timeout"
+            result.failure = str(exc)
+            self._complete(result, result.subject)
+            return result
 
     def _signal(self, event_type, **fields) -> None:
         """Publish a procedure event, skipping construction if unheard."""
@@ -200,12 +255,14 @@ class EPCControlPlane:
 
     def _flow_add(self, result: ProcedureResult, switch_name: str,
                   rule: FlowRule) -> Generator:
-        message = yield self.controller.install_rule(switch_name, rule)
+        message = yield self.controller.install_rule(switch_name, rule,
+                                                     telemetry=result)
         result.messages.append(message)
 
     def _flow_del(self, result: ProcedureResult, switch_name: str,
                   cookie: str) -> Generator:
-        message = yield self.controller.remove_rules(switch_name, cookie)
+        message = yield self.controller.remove_rules(switch_name, cookie,
+                                                     telemetry=result)
         result.messages.append(message)
 
     def _install_uplink_flows(self, result: ProcedureResult, bearer: Bearer,
@@ -284,7 +341,7 @@ class EPCControlPlane:
     def attach_async(self, ue: "UEDevice", enb: "ENodeB",
                      site_name: str = "central") -> "Process":
         """Start an attach as a process; returns immediately."""
-        return self.sim.spawn(self._attach_proc(ue, enb, site_name),
+        return self.sim.spawn(self._guarded(self._attach_proc(ue, enb, site_name)),
                               name=f"attach:{ue.name}")
 
     def _attach_proc(self, ue: "UEDevice", enb: "ENodeB",
@@ -368,8 +425,9 @@ class EPCControlPlane:
             site_name: str, server_port: Optional[int] = None,
             requested_by: str = "mrs") -> "Process":
         return self.sim.spawn(
-            self._activate_proc(ue, service_id, server_ip, site_name,
-                                server_port, requested_by),
+            self._guarded(
+                self._activate_proc(ue, service_id, server_ip, site_name,
+                                    server_port, requested_by)),
             name=f"activate:{ue.name}:{service_id}")
 
     def _activate_proc(self, ue: "UEDevice", service_id: str, server_ip: str,
@@ -402,6 +460,8 @@ class EPCControlPlane:
                 self.pgwc.pcef_remove(ue.imsi, service_id)
                 yield from self._hop(result, m.AA_ANSWER, "pcrf",
                                      requested_by, outcome="rejected")
+                result.outcome = "rejected"
+                result.failure = "admission rejected"
                 self._complete(result, ue)
                 raise
             for victim in self.admission.drain_preempted():
@@ -460,7 +520,7 @@ class EPCControlPlane:
     def deactivate_dedicated_bearer_async(self, ue: "UEDevice", ebi: int,
                                           requested_by: str = "mrs"
                                           ) -> "Process":
-        return self.sim.spawn(self._deactivate_proc(ue, ebi, requested_by),
+        return self.sim.spawn(self._guarded(self._deactivate_proc(ue, ebi, requested_by)),
                               name=f"deactivate:{ue.name}:ebi{ebi}")
 
     def _deactivate_proc(self, ue: "UEDevice", ebi: int,
@@ -533,7 +593,7 @@ class EPCControlPlane:
         return self.sim.run_until_complete(self.release_to_idle_async(ue))
 
     def release_to_idle_async(self, ue: "UEDevice") -> "Process":
-        return self.sim.spawn(self._release_proc(ue),
+        return self.sim.spawn(self._guarded(self._release_proc(ue)),
                               name=f"release:{ue.name}")
 
     def _release_proc(self, ue: "UEDevice") -> Generator:
@@ -589,7 +649,7 @@ class EPCControlPlane:
         proc = self._service_requests.get(ue.imsi)
         if proc is not None and not proc.finished:
             return proc
-        proc = self.sim.spawn(self._service_request_proc(ue),
+        proc = self.sim.spawn(self._guarded(self._service_request_proc(ue)),
                               name=f"service-request:{ue.name}")
         self._service_requests[ue.imsi] = proc
         return proc
@@ -652,7 +712,7 @@ class EPCControlPlane:
 
     def handover_async(self, ue: "UEDevice", target_enb: "ENodeB",
                        radio_port: str) -> "Process":
-        return self.sim.spawn(self._handover_proc(ue, target_enb, radio_port),
+        return self.sim.spawn(self._guarded(self._handover_proc(ue, target_enb, radio_port)),
                               name=f"handover:{ue.name}")
 
     def _handover_proc(self, ue: "UEDevice", target_enb: "ENodeB",
@@ -730,7 +790,7 @@ class EPCControlPlane:
     def s1_handover_async(self, ue: "UEDevice", target_enb: "ENodeB",
                           radio_port: str) -> "Process":
         return self.sim.spawn(
-            self._s1_handover_proc(ue, target_enb, radio_port),
+            self._guarded(self._s1_handover_proc(ue, target_enb, radio_port)),
             name=f"s1-handover:{ue.name}")
 
     def _s1_handover_proc(self, ue: "UEDevice", target_enb: "ENodeB",

@@ -21,16 +21,30 @@ dependent latency instead of a fixed per-hop constant:
 :meth:`SignallingFabric.send` returns a
 :class:`~repro.sim.engine.Future` that resolves to the delivered
 message; procedure generators yield it to advance hop by hop.
+
+Reliability.  Signalling transports are lossless by default, but the
+fault layer (:mod:`repro.faults`) can perturb channels (probabilistic
+loss / delay spikes) and mark parties down.  :meth:`SignallingFabric.
+send_reliable` layers 3GPP-style retransmission on top of
+:meth:`~SignallingFabric.send`: each attempt arms a per-protocol timer
+(see :class:`RetryPolicy`), expiry retransmits with exponential
+backoff, and exhausting the retry cap rejects the returned future with
+:class:`SignallingTimeout` so the waiting procedure terminates with a
+``timeout`` outcome instead of deadlocking.  Duplicate deliveries
+(a retransmission racing a delayed original) are suppressed, which is
+what makes retried SDN flow-mods idempotent.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Iterable, Optional
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
 
 from repro.epc.messages import ControlMessage, MessageType
 from repro.epc.overhead import ControlLedger
 from repro.sim.engine import Future
+from repro.sim.hooks import PacketDropped
 from repro.sim.link import Link
 from repro.sim.node import Node
 from repro.sim.packet import Packet
@@ -70,6 +84,84 @@ DEFAULT_TRANSPORTS: dict[str, ChannelSpec] = {
 FALLBACK_SPEC = ChannelSpec(delay=0.0015, bandwidth=20e6)
 
 
+@dataclass
+class RetryPolicy:
+    """Per-protocol retransmission timers for reliable signalling.
+
+    Timer values are seconds and map *protocols* (``"RRC"``,
+    ``"GTPv2"``, ...) to their initial retransmission timeout; attempt
+    ``n`` waits ``timer * backoff**(n-1)``.  With ``enabled=False`` a
+    single attempt is made but its timer still arms, so an undelivered
+    message surfaces as a :class:`SignallingTimeout` (a terminal
+    ``timeout`` outcome) rather than a simulator deadlock.
+
+    Build one from :meth:`repro.core.config.ResilienceConfig.policy`.
+    """
+
+    enabled: bool = True
+    timers: dict[str, float] = field(default_factory=dict)
+    default_timer: float = 2.0
+    backoff: float = 2.0
+    max_retries: int = 4
+
+    def timer_for(self, protocol: str) -> float:
+        """Initial retransmission timeout for ``protocol`` (seconds)."""
+        return self.timers.get(protocol, self.default_timer)
+
+    @property
+    def max_attempts(self) -> int:
+        """Total transmission attempts (1 when retries are disabled)."""
+        return (self.max_retries if self.enabled else 0) + 1
+
+
+class SignallingTimeout(Exception):
+    """A reliable transfer exhausted its retransmission attempts.
+
+    Raised into the process waiting on the transfer's future.  Carries
+    the procedure's telemetry object (``result``) when one was supplied
+    to :meth:`SignallingFabric.send_reliable`, so the guard wrapping a
+    procedure can finalise that result with ``outcome="timeout"``.
+    """
+
+    def __init__(self, mtype: MessageType, sender: str, receiver: str,
+                 attempts: int, result: Any = None) -> None:
+        super().__init__(f"{mtype.name} {sender}->{receiver} "
+                         f"undelivered after {attempts} attempt(s)")
+        self.mtype = mtype
+        self.sender = sender
+        self.receiver = receiver
+        self.attempts = attempts
+        self.result = result
+
+
+@dataclass
+class ChannelPerturbation:
+    """An injected impairment applied to deliveries on a channel.
+
+    ``kind`` is ``"loss"`` (drop with probability ``rate``) or
+    ``"delay"`` (add ``extra_delay`` seconds with probability
+    ``probability``).  Draws come from ``rng``, a named
+    :class:`~repro.sim.context.SimContext` stream supplied by the
+    fault injector, so perturbed runs stay deterministic per seed.
+    """
+
+    kind: str
+    rate: float = 0.0
+    probability: float = 0.0
+    extra_delay: float = 0.0
+    rng: Any = None
+
+    def draw(self) -> Optional[str]:
+        """Return ``"drop"``/``"delay"`` when the impairment fires."""
+        if self.kind == "loss":
+            if self.rate > 0 and self.rng.random() < self.rate:
+                return "drop"
+        elif self.kind == "delay":
+            if self.probability > 0 and self.rng.random() < self.probability:
+                return "delay"
+        return None
+
+
 class _ChannelEnd(Node):
     """One endpoint of a signalling channel; hands deliveries back to
     the fabric."""
@@ -102,6 +194,7 @@ class SignallingChannel:
             "b": _ChannelEnd(sim, f"{channel_id}.b", fabric),
         }
         self.parties: dict[str, set[str]] = {"a": set(), "b": set()}
+        self.perturbations: list[ChannelPerturbation] = []
         self.link = Link(sim, f"sig.{channel_id}", bandwidth=spec.bandwidth,
                          delay=spec.delay, queue_bytes=spec.queue_bytes)
         self.ends["a"].attach("peer", self.link)
@@ -136,8 +229,13 @@ class SignallingFabric:
             self.specs.update(specs)
         self.channels: dict[str, SignallingChannel] = {}
         self.messages_sent = 0
+        self.retransmissions = 0
+        self.duplicates = 0
+        self.drops: dict[str, int] = {}
+        self.down_parties: set[str] = set()
         self._routes: dict[tuple[str, str], tuple[SignallingChannel, str]] = {}
         self._handlers: dict[str, Callable[[ControlMessage], None]] = {}
+        self._perturbations: list[tuple[str, ChannelPerturbation]] = []
 
     # -- topology -----------------------------------------------------------
 
@@ -153,6 +251,9 @@ class SignallingFabric:
             channel = SignallingChannel(self.sim, self, channel_id,
                                         protocol, self.spec_for(protocol))
             self.channels[channel_id] = channel
+            for pattern, pert in self._perturbations:
+                if fnmatch(channel_id, pattern):
+                    channel.perturbations.append(pert)
         for name in a_parties:
             self.add_party(channel_id, name, side="a")
         for name in b_parties:
@@ -184,10 +285,45 @@ class SignallingFabric:
         self.open_channel(channel_id, protocol, [lo], [hi])
         return self._routes[(sender, receiver)]
 
+    # -- fault hooks --------------------------------------------------------
+
+    def add_perturbation(self, pattern: str,
+                         pert: ChannelPerturbation) -> tuple:
+        """Attach an impairment to every channel matching ``pattern``.
+
+        ``pattern`` is an :func:`fnmatch.fnmatch` glob over channel ids
+        (``"*"`` hits everything, ``"s11"`` just the S11 path); the
+        impairment also applies to channels opened later.  Returns a
+        handle for :meth:`remove_perturbation`.
+        """
+        handle = (pattern, pert)
+        self._perturbations.append(handle)
+        for channel_id, channel in self.channels.items():
+            if fnmatch(channel_id, pattern):
+                channel.perturbations.append(pert)
+        return handle
+
+    def remove_perturbation(self, handle: tuple) -> None:
+        """Detach an impairment previously added.  Idempotent."""
+        if handle in self._perturbations:
+            self._perturbations.remove(handle)
+        _, pert = handle
+        for channel in self.channels.values():
+            if pert in channel.perturbations:
+                channel.perturbations.remove(pert)
+
+    def set_party_down(self, party: str, down: bool = True) -> None:
+        """Mark a party crashed: messages addressed to it are dropped."""
+        if down:
+            self.down_parties.add(party)
+        else:
+            self.down_parties.discard(party)
+
     # -- the data path ------------------------------------------------------
 
     def send(self, mtype: MessageType, sender: str, receiver: str,
              on_deliver: Optional[Callable[[ControlMessage], None]] = None,
+             _transfer: Optional["_ReliableTransfer"] = None,
              **fields) -> Future:
         """Transmit one control message; resolves at delivery.
 
@@ -196,6 +332,10 @@ class SignallingFabric:
         already recorded in the ledger).  ``on_deliver`` runs at
         delivery before the future resolves -- the SDN controller uses
         it to apply a flow-mod to the switch the moment it arrives.
+
+        Plain ``send`` assumes lossless transports: if the fault layer
+        drops the message the future never resolves.  Use
+        :meth:`send_reliable` when the run may inject faults.
         """
         route = self._routes.get((sender, receiver))
         if route is None:
@@ -207,13 +347,74 @@ class SignallingFabric:
                         protocol=mtype.protocol,
                         created_at=self.sim.now,
                         meta={"message": message, "future": future,
-                              "on_deliver": on_deliver})
+                              "on_deliver": on_deliver,
+                              "channel": channel,
+                              "sender_end": channel.ends[side],
+                              "transfer": _transfer})
         self.messages_sent += 1
         channel.ends[side].send("peer", packet)
         return future
 
+    def send_reliable(self, mtype: MessageType, sender: str, receiver: str,
+                      policy: Optional[RetryPolicy] = None,
+                      on_deliver: Optional[Callable[[ControlMessage],
+                                                    None]] = None,
+                      telemetry: Any = None, **fields) -> Future:
+        """Transmit with retransmission timers; always terminates.
+
+        Resolves to the first delivered copy of the message; rejects
+        with :class:`SignallingTimeout` once ``policy.max_attempts``
+        transmissions have all timed out.  ``telemetry`` (typically a
+        :class:`~repro.epc.procedures.ProcedureResult`) accumulates
+        ``retries`` / ``timer_expiries`` counts and rides along in the
+        timeout exception.  With ``policy=None`` this degrades to the
+        legacy unguarded :meth:`send`.
+        """
+        if policy is None:
+            return self.send(mtype, sender, receiver,
+                             on_deliver=on_deliver, **fields)
+        transfer = _ReliableTransfer(self, mtype, sender, receiver,
+                                     policy, on_deliver, telemetry, fields)
+        transfer.send_attempt()
+        return transfer.future
+
+    def _drop(self, packet: Packet, channel: Optional[SignallingChannel],
+              reason: str) -> None:
+        self.drops[reason] = self.drops.get(reason, 0) + 1
+        hooks = self.sim.hooks
+        if hooks.has(PacketDropped):
+            hooks.emit(PacketDropped(
+                link=channel.link if channel is not None else None,
+                packet=packet, sender=packet.meta.get("sender_end"),
+                reason=reason))
+
     def _deliver(self, packet: Packet) -> None:
+        channel: Optional[SignallingChannel] = packet.meta.get("channel")
+        if (channel is not None and channel.perturbations
+                and not packet.meta.get("perturbed")):
+            for pert in channel.perturbations:
+                outcome = pert.draw()
+                if outcome == "drop":
+                    self._drop(packet, channel, "injected-loss")
+                    return
+                if outcome == "delay":
+                    # re-deliver once after the spike; flagged so the
+                    # delayed copy is not perturbed again
+                    packet.meta["perturbed"] = True
+                    self.sim.schedule(pert.extra_delay, self._deliver,
+                                      packet)
+                    return
         message: ControlMessage = packet.meta["message"]
+        if message.receiver in self.down_parties:
+            self._drop(packet, channel, "entity-down")
+            return
+        transfer: Optional[_ReliableTransfer] = packet.meta.get("transfer")
+        if transfer is not None and transfer.done:
+            # a retransmission raced a delayed original: the logical
+            # message was already processed exactly once
+            transfer.duplicates += 1
+            self.duplicates += 1
+            return
         message.timestamp = self.sim.now
         self.ledger.record(message)
         handler = self._handlers.get(message.receiver)
@@ -223,3 +424,65 @@ class SignallingFabric:
         if on_deliver is not None:
             on_deliver(message)
         packet.meta["future"].resolve(message)
+
+
+class _ReliableTransfer:
+    """One logical message, delivered at most once over >= 1 attempts.
+
+    Each attempt is a fresh :meth:`SignallingFabric.send` plus a timer
+    event; delivery of any copy cancels the pending timer and resolves
+    the outer future, expiry of the last allowed attempt rejects it.
+    """
+
+    def __init__(self, fabric: SignallingFabric, mtype: MessageType,
+                 sender: str, receiver: str, policy: RetryPolicy,
+                 on_deliver: Optional[Callable[[ControlMessage], None]],
+                 telemetry: Any, fields: dict) -> None:
+        self.fabric = fabric
+        self.mtype = mtype
+        self.sender = sender
+        self.receiver = receiver
+        self.policy = policy
+        self.on_deliver = on_deliver
+        self.telemetry = telemetry
+        self.fields = fields
+        self.future = Future(fabric.sim)
+        self.attempts = 0
+        self.duplicates = 0
+        self.done = False
+        self._timer = None
+
+    def send_attempt(self) -> None:
+        self.attempts += 1
+        if self.attempts > 1:
+            self.fabric.retransmissions += 1
+            if self.telemetry is not None:
+                self.telemetry.retries += 1
+        attempt = self.fabric.send(self.mtype, self.sender, self.receiver,
+                                   on_deliver=self.on_deliver,
+                                   _transfer=self, **self.fields)
+        attempt.add_done_callback(self._delivered)
+        timeout = (self.policy.timer_for(self.mtype.protocol)
+                   * self.policy.backoff ** (self.attempts - 1))
+        self._timer = self.fabric.sim.schedule(timeout, self._expired)
+
+    def _delivered(self, attempt: Future) -> None:
+        if self.done:
+            return
+        self.done = True
+        if self._timer is not None:
+            self._timer.cancel()
+        self.future.resolve(attempt.value)
+
+    def _expired(self) -> None:
+        if self.done:
+            return
+        if self.telemetry is not None:
+            self.telemetry.timer_expiries += 1
+        if self.attempts >= self.policy.max_attempts:
+            self.done = True
+            self.future.reject(SignallingTimeout(
+                self.mtype, self.sender, self.receiver, self.attempts,
+                result=self.telemetry))
+        else:
+            self.send_attempt()

@@ -62,6 +62,16 @@ BEARER_SETUP = _preset(ExperimentSpec(
     sweep={"n_ues": (1, 5, 10, 25, 50)},
 ))
 
+#: Resilience under signalling loss: attach/bearer success rates and
+#: added latency vs injected loss rate, with and without retransmission.
+CHAOS = _preset(ExperimentSpec(
+    name="chaos",
+    workload="chaos",
+    seeds=(29,),
+    sweep={"loss": (0.0, 0.02, 0.05, 0.10), "retries": (True, False)},
+    params={"n_ues": 20},
+))
+
 #: Figure 11(a): matching time by scheme/resolution on two machines.
 FIG11A = _preset(ExperimentSpec(
     name="fig11a",

@@ -181,6 +181,103 @@ def run_bearer_setup(trial: TrialSpec) -> dict[str, Any]:
 
 
 # ---------------------------------------------------------------------------
+# chaos: control-plane success rates under injected signalling loss
+# ---------------------------------------------------------------------------
+
+@workload("chaos")
+def run_chaos(trial: TrialSpec) -> dict[str, Any]:
+    """Attach/bearer success and latency under injected signalling loss.
+
+    Builds a network with a MEC site, arms a
+    :class:`~repro.faults.plan.ChannelLoss` fault on *every* signalling
+    channel, then attaches ``n_ues`` UEs concurrently and activates one
+    dedicated MEC bearer per attached UE.  With retries enabled the
+    retransmission timers recover lost messages; with them disabled,
+    losses surface as terminal ``timeout`` outcomes -- either way every
+    procedure terminates, so the workload never deadlocks.
+
+    Parameters (``trial.params``):
+
+    * ``loss`` -- per-delivery drop probability on signalling channels;
+    * ``retries`` -- whether retransmission is enabled
+      (:class:`~repro.core.config.ResilienceConfig` ``enabled``);
+    * ``n_ues`` -- UEs attaching (then activating bearers) concurrently;
+    * ``qci`` -- QCI of the dedicated bearers (default 3).
+    """
+    from repro.core.config import NetworkConfig, ResilienceConfig
+    from repro.core.network import MobileNetwork
+    from repro.epc.entities import ServicePolicy
+    from repro.faults import ChannelLoss, FaultInjector, FaultPlan
+
+    p = trial.param_dict
+    loss = float(p.get("loss", 0.05))
+    retries = bool(p.get("retries", True))
+    n_ues = int(p.get("n_ues", 20))
+    qci = int(p.get("qci", 3))
+
+    config = NetworkConfig(seed=trial.seed,
+                           resilience=ResilienceConfig(enabled=retries))
+    network = MobileNetwork(config)
+    network.add_mec_site("mec")
+    network.add_server("ci", site_name="mec", echo=True)
+    network.pcrf.configure(ServicePolicy(service_id="svc", qci=qci))
+    server_ip = network.servers["ci"].ip
+    cp = network.control_plane
+
+    if loss > 0:
+        FaultInjector(network, FaultPlan((
+            ChannelLoss(channel="*", rate=loss),))).arm()
+
+    attach_procs = [network.add_ue_async() for _ in range(n_ues)]
+    network.sim.run()
+    attach_results = []
+    for proc in attach_procs:
+        assert proc.finished and proc.error is None, proc.error
+        attach_results.append(proc.value.attach_result)
+
+    attached_ues = [proc.value for proc in attach_procs
+                    if proc.value.attached]
+    bearer_procs = [
+        cp.activate_dedicated_bearer_async(ue, "svc", server_ip, "mec")
+        for ue in attached_ues]
+    network.sim.run()
+    bearer_results = []
+    for proc in bearer_procs:
+        assert proc.finished and proc.error is None, proc.error
+        bearer_results.append(proc.value)
+
+    def outcome_histogram(results):
+        histogram: dict[str, int] = {}
+        for result in results:
+            histogram[result.outcome] = histogram.get(result.outcome, 0) + 1
+        return histogram
+
+    def success_stats(results):
+        good = [r for r in results if r.outcome in ("ok", "retried-ok")]
+        rate = len(good) / len(results) if results else 0.0
+        mean_ms = (float(np.mean([r.elapsed for r in good])) * 1e3
+                   if good else 0.0)
+        return rate, mean_ms, good
+
+    attach_rate, attach_mean_ms, _ = success_stats(attach_results)
+    bearer_rate, bearer_mean_ms, _ = success_stats(bearer_results)
+    return {
+        "loss": loss,
+        "retries": retries,
+        "n_ues": n_ues,
+        "attach_success_rate": attach_rate,
+        "attach_outcomes": outcome_histogram(attach_results),
+        "attach_mean_ms": attach_mean_ms,
+        "bearer_success_rate": bearer_rate,
+        "bearer_outcomes": outcome_histogram(bearer_results),
+        "bearer_mean_ms": bearer_mean_ms,
+        "retransmissions": network.fabric.retransmissions,
+        "duplicates": network.fabric.duplicates,
+        "signalling_drops": dict(sorted(network.fabric.drops.items())),
+    }
+
+
+# ---------------------------------------------------------------------------
 # search_space: matching time/accuracy per scheme (Figure 11(a))
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,43 @@
+"""Declarative fault injection for the simulated network.
+
+The fault layer turns the ad-hoc ``link.set_up(False)`` style of
+failure testing into a first-class subsystem: a :class:`FaultPlan` is
+a declarative, seeded list of typed fault specs, and a
+:class:`FaultInjector` arms and disarms them at scheduled simulation
+times, publishing :class:`FaultInjected` / :class:`FaultCleared`
+events on the hook bus so resilience machinery elsewhere (MRS
+degradation, telemetry) can react.
+
+Fault taxonomy:
+
+* :class:`LinkDown` / :class:`LinkFlap` -- one-shot or intermittent
+  outage of a named data-plane link;
+* :class:`ChannelLoss` / :class:`ChannelDelaySpike` -- probabilistic
+  drop / jitter on signalling channels (drawn from a named
+  :class:`~repro.sim.context.SimContext` RNG stream);
+* :class:`EntityCrash` / :class:`EntityRestart` -- a control-plane
+  party (MME, SGW-C/PGW-C, SDN controller, ...) stops answering;
+* :class:`McServerOutage` -- a MEC server's SGi link dies, triggering
+  the MRS's graceful-degradation path.
+"""
+
+from repro.faults.events import FaultCleared, FaultInjected
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (ChannelDelaySpike, ChannelLoss, EntityCrash,
+                               EntityRestart, FaultPlan, FaultSpec, LinkDown,
+                               LinkFlap, McServerOutage)
+
+__all__ = [
+    "ChannelDelaySpike",
+    "ChannelLoss",
+    "EntityCrash",
+    "EntityRestart",
+    "FaultCleared",
+    "FaultInjected",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "LinkDown",
+    "LinkFlap",
+    "McServerOutage",
+]

@@ -1,0 +1,27 @@
+"""Hook-bus events published by the fault injector.
+
+Kept dependency-free so any layer (``core.mrs`` included) can
+subscribe without pulling the injector machinery in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class FaultInjected:
+    """A fault just became active.  ``spec`` is the originating
+    :class:`~repro.faults.plan.FaultSpec`."""
+
+    spec: Any
+    time: float
+
+
+@dataclass(frozen=True)
+class FaultCleared:
+    """A previously injected fault was disarmed / recovered."""
+
+    spec: Any
+    time: float

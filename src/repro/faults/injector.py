@@ -1,0 +1,167 @@
+"""Executes a :class:`~repro.faults.plan.FaultPlan` against a network.
+
+The injector is pure scheduling: :meth:`FaultInjector.arm` translates
+every spec into simulator events that flip the targeted link, channel
+or party at the right times and publish
+:class:`~repro.faults.events.FaultInjected` /
+:class:`~repro.faults.events.FaultCleared` on the hook bus.  It never
+blocks and holds no processes of its own, so arming is O(plan) and the
+faults fire interleaved with whatever workload the experiment runs.
+
+The injector only *uses* the network's public surface (``links``,
+``fabric``, ``ctx``, ``hooks``); resilience to the injected faults
+lives where it belongs -- retransmission in
+:mod:`repro.epc.signalling`, degradation in :mod:`repro.core.mrs`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.epc.signalling import ChannelPerturbation
+from repro.faults.events import FaultCleared, FaultInjected
+from repro.faults.plan import (ChannelDelaySpike, ChannelLoss, EntityCrash,
+                               EntityRestart, FaultPlan, FaultSpec, LinkDown,
+                               LinkFlap, McServerOutage)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.network import MobileNetwork
+    from repro.sim.link import Link
+
+
+class FaultInjector:
+    """Arms a fault plan on a built :class:`MobileNetwork`."""
+
+    def __init__(self, network: "MobileNetwork", plan: FaultPlan) -> None:
+        self.network = network
+        self.plan = plan
+        self.armed = False
+        self.injected = 0
+        self.cleared = 0
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _link(self, name: str) -> "Link":
+        """Resolve a link by name: data-plane links first, then the
+        signalling channels' underlying links (``sig.<channel>``)."""
+        link = self.network.links.get(name)
+        if link is not None:
+            return link
+        if name.startswith("sig."):
+            channel = self.network.fabric.channels.get(name[len("sig."):])
+            if channel is not None:
+                return channel.link
+        raise KeyError(f"no link named {name!r} in the network")
+
+    def _emit(self, event_type, spec: FaultSpec) -> None:
+        if event_type is FaultInjected:
+            self.injected += 1
+        else:
+            self.cleared += 1
+        self.network.hooks.emit(event_type(spec=spec,
+                                           time=self.network.sim.now))
+
+    def _at(self, time: float, fn, *args) -> None:
+        self.network.sim.schedule_at(time, fn, *args)
+
+    # -- arming -----------------------------------------------------------
+
+    def arm(self) -> "FaultInjector":
+        """Schedule every fault in the plan.  Call once, before (or
+        while) the simulation runs; returns ``self`` for chaining."""
+        if self.armed:
+            raise RuntimeError("fault plan is already armed")
+        self.armed = True
+        for spec in self.plan:
+            if isinstance(spec, LinkDown):
+                self._arm_link_down(spec)
+            elif isinstance(spec, LinkFlap):
+                self._arm_link_flap(spec)
+            elif isinstance(spec, (ChannelLoss, ChannelDelaySpike)):
+                self._arm_perturbation(spec)
+            elif isinstance(spec, EntityCrash):
+                self._arm_crash(spec)
+            elif isinstance(spec, EntityRestart):
+                self._at(spec.at, self._restart, spec)
+            elif isinstance(spec, McServerOutage):
+                self._arm_outage(spec)
+            else:  # pragma: no cover - plan validation prevents this
+                raise TypeError(f"unknown fault spec {spec!r}")
+        return self
+
+    # -- link faults ------------------------------------------------------
+
+    def _arm_link_down(self, spec: LinkDown) -> None:
+        link = self._link(spec.link)     # resolve early: fail at arm time
+        self._at(spec.at, self._set_link, link, False, spec, FaultInjected)
+        if spec.duration is not None:
+            self._at(spec.at + spec.duration,
+                     self._set_link, link, True, spec, FaultCleared)
+
+    def _arm_link_flap(self, spec: LinkFlap) -> None:
+        link = self._link(spec.link)
+        t = spec.at
+        while t < spec.until:
+            self._at(t, self._set_link, link, False, spec, FaultInjected)
+            up_at = min(t + spec.period * spec.duty, spec.until)
+            self._at(up_at, self._set_link, link, True, spec, FaultCleared)
+            t += spec.period
+
+    def _set_link(self, link: "Link", up: bool, spec: FaultSpec,
+                  event_type) -> None:
+        link.set_up(up)
+        self._emit(event_type, spec)
+
+    # -- signalling perturbations ----------------------------------------
+
+    def _arm_perturbation(self, spec) -> None:
+        if isinstance(spec, ChannelLoss):
+            pert = ChannelPerturbation(kind="loss", rate=spec.rate,
+                                       rng=self.network.ctx.rng(spec.stream))
+        else:
+            pert = ChannelPerturbation(kind="delay",
+                                       probability=spec.probability,
+                                       extra_delay=spec.extra_delay,
+                                       rng=self.network.ctx.rng(spec.stream))
+        self._at(spec.at, self._add_perturbation, spec, pert)
+        if spec.until is not None:
+            self._at(spec.until, self._remove_perturbation, spec, pert)
+
+    def _add_perturbation(self, spec, pert: ChannelPerturbation) -> None:
+        self.network.fabric.add_perturbation(spec.channel, pert)
+        self._emit(FaultInjected, spec)
+
+    def _remove_perturbation(self, spec, pert: ChannelPerturbation) -> None:
+        self.network.fabric.remove_perturbation((spec.channel, pert))
+        self._emit(FaultCleared, spec)
+
+    # -- entity faults ----------------------------------------------------
+
+    def _arm_crash(self, spec: EntityCrash) -> None:
+        self._at(spec.at, self._crash, spec)
+        if spec.duration is not None:
+            self._at(spec.at + spec.duration, self._restart, spec)
+
+    def _crash(self, spec: EntityCrash) -> None:
+        self.network.fabric.set_party_down(spec.entity, True)
+        self._emit(FaultInjected, spec)
+
+    def _restart(self, spec) -> None:
+        self.network.fabric.set_party_down(spec.entity, False)
+        self._emit(FaultCleared, spec)
+
+    # -- MEC server outage -------------------------------------------------
+
+    def _arm_outage(self, spec: McServerOutage) -> None:
+        link = self._link(f"sgi.{spec.server}")
+        self._at(spec.at, self._outage, link, spec)
+        if spec.duration is not None:
+            self._at(spec.at + spec.duration, self._recover, link, spec)
+
+    def _outage(self, link: "Link", spec: McServerOutage) -> None:
+        link.set_up(False)
+        self._emit(FaultInjected, spec)
+
+    def _recover(self, link: "Link", spec: McServerOutage) -> None:
+        link.set_up(True)
+        self._emit(FaultCleared, spec)

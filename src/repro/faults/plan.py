@@ -1,0 +1,184 @@
+"""Typed, declarative fault specifications.
+
+A :class:`FaultPlan` is an immutable list of fault specs validated at
+construction; the :class:`~repro.faults.injector.FaultInjector`
+executes it against a built network.  Specs carry *when* and *what*,
+never simulator handles, so plans are cheap to construct inside
+experiment workloads and trivially serialisable in spec params.
+
+All probabilistic faults name the :class:`~repro.sim.context.
+SimContext` RNG stream they draw from (``stream``), so a plan is
+deterministic per seed regardless of what else the simulation does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True, kw_only=True)
+class FaultSpec:
+    """Base class: every fault activates at sim time ``at``."""
+
+    at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"{type(self).__name__}.at must be >= 0")
+
+
+@dataclass(frozen=True, kw_only=True)
+class LinkDown(FaultSpec):
+    """Take a named data-plane link down at ``at``.
+
+    ``duration=None`` leaves it down for the rest of the run;
+    otherwise it comes back up after ``duration`` seconds.
+    """
+
+    link: str
+    duration: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError("LinkDown.duration must be positive")
+
+
+@dataclass(frozen=True, kw_only=True)
+class LinkFlap(FaultSpec):
+    """Intermittent outage: the link cycles down/up until ``until``.
+
+    Each ``period`` starts with ``period * duty`` seconds of outage
+    followed by ``period * (1 - duty)`` seconds up.
+    """
+
+    link: str
+    period: float
+    duty: float = 0.5
+    until: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.period <= 0:
+            raise ValueError("LinkFlap.period must be positive")
+        if not 0.0 < self.duty < 1.0:
+            raise ValueError("LinkFlap.duty must be in (0, 1)")
+        if self.until <= self.at:
+            raise ValueError("LinkFlap.until must be after .at")
+
+
+@dataclass(frozen=True, kw_only=True)
+class ChannelLoss(FaultSpec):
+    """Probabilistic drop of signalling messages on matching channels.
+
+    ``channel`` is an fnmatch glob over channel ids (``"*"`` = every
+    channel, ``"rrc.*"`` = all air-interface channels).  Each delivery
+    is dropped with probability ``rate``, drawn from the named RNG
+    stream.  ``until=None`` keeps the loss for the rest of the run.
+    """
+
+    channel: str = "*"
+    rate: float = 0.01
+    until: Optional[float] = None
+    stream: str = "faults.loss"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("ChannelLoss.rate must be in [0, 1]")
+        if self.until is not None and self.until <= self.at:
+            raise ValueError("ChannelLoss.until must be after .at")
+
+
+@dataclass(frozen=True, kw_only=True)
+class ChannelDelaySpike(FaultSpec):
+    """Probabilistic extra delay on matching signalling channels.
+
+    With probability ``probability`` a delivery is held back
+    ``extra_delay`` seconds -- long enough spikes race the sender's
+    retransmission timer, which is exactly the duplicate-suppression
+    case the fabric handles.
+    """
+
+    channel: str = "*"
+    probability: float = 0.01
+    extra_delay: float = 0.05
+    until: Optional[float] = None
+    stream: str = "faults.delay"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                "ChannelDelaySpike.probability must be in [0, 1]")
+        if self.extra_delay <= 0:
+            raise ValueError("ChannelDelaySpike.extra_delay must be positive")
+        if self.until is not None and self.until <= self.at:
+            raise ValueError("ChannelDelaySpike.until must be after .at")
+
+
+@dataclass(frozen=True, kw_only=True)
+class EntityCrash(FaultSpec):
+    """A control-plane party (MME, ``sgw-c``, ``pgw-c``, ``ryu``, an
+    eNodeB, ...) crashes: messages addressed to it are dropped with
+    reason ``"entity-down"`` until it restarts.
+
+    ``duration=None`` means it stays down until an
+    :class:`EntityRestart` (or forever).
+    """
+
+    entity: str
+    duration: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError("EntityCrash.duration must be positive")
+
+
+@dataclass(frozen=True, kw_only=True)
+class EntityRestart(FaultSpec):
+    """Bring a crashed party back at ``at``."""
+
+    entity: str
+
+
+@dataclass(frozen=True, kw_only=True)
+class McServerOutage(FaultSpec):
+    """A MEC server dies: its SGi link goes down and the outage is
+    announced on the bus so the MRS can degrade affected sessions
+    (relocate to a surviving instance or fall back to the central
+    path).  ``duration=None`` = no recovery.
+    """
+
+    server: str
+    duration: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError("McServerOutage.duration must be positive")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, validated sequence of fault specs."""
+
+    faults: tuple = ()
+
+    def __post_init__(self) -> None:
+        for spec in self.faults:
+            if not isinstance(spec, FaultSpec):
+                raise TypeError(
+                    f"FaultPlan entries must be FaultSpec instances, "
+                    f"got {spec!r}")
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)

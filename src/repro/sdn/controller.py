@@ -19,7 +19,7 @@ The controller can run in two modes:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional, Union
+from typing import TYPE_CHECKING, Any, Optional, Union
 
 from repro.epc.messages import ControlMessage, MessageType
 from repro.epc.overhead import ControlLedger
@@ -46,6 +46,11 @@ class SdnController:
         self.switches: dict[str, FlowSwitch] = {}
         self.flow_mods_sent = 0
         self._fabric: Optional["SignallingFabric"] = None
+        #: retransmission policy for fabric-bound flow-mods (set by the
+        #: control plane; None = unguarded sends).  Retried flow-mods
+        #: are idempotent: the fabric suppresses duplicate deliveries,
+        #: so a rule is applied to the switch exactly once.
+        self.retry_policy = None
 
     def bind_fabric(self, fabric: "SignallingFabric") -> None:
         """Route flow-mods over the signalling fabric from now on.
@@ -79,14 +84,16 @@ class SdnController:
         self.flow_mods_sent += 1
 
     def install_rule(self, switch_name: str, rule: FlowRule,
-                     size: int = _FLOW_MOD_ADD_SIZE
-                     ) -> Union[None, "Future"]:
+                     size: int = _FLOW_MOD_ADD_SIZE,
+                     telemetry: Any = None) -> Union[None, "Future"]:
         """Add a flow rule (one OpenFlow flow-mod message).
 
         Fabric-bound, returns a future resolving to the recorded
         message once the flow-mod reaches the switch (which is when the
         rule takes effect); standalone, applies immediately and returns
-        ``None``.
+        ``None``.  Over a lossy channel the flow-mod is retransmitted
+        per :attr:`retry_policy`; ``telemetry`` accumulates the retry
+        counts (typically the owning procedure's result).
         """
         switch = self._switch(switch_name)
         if self._fabric is None:
@@ -99,18 +106,21 @@ class SdnController:
             switch.install(rule)
             self.flow_mods_sent += 1
 
-        return self._fabric.send(mtype, self.name, switch.name,
-                                 on_deliver=apply,
-                                 detail=rule.match.describe())
+        return self._fabric.send_reliable(mtype, self.name, switch.name,
+                                          policy=self.retry_policy,
+                                          on_deliver=apply,
+                                          telemetry=telemetry,
+                                          detail=rule.match.describe())
 
     def remove_rules(self, switch_name: str, cookie: str,
-                     size: int = _FLOW_MOD_DELETE_SIZE
-                     ) -> Union[int, "Future"]:
+                     size: int = _FLOW_MOD_DELETE_SIZE,
+                     telemetry: Any = None) -> Union[int, "Future"]:
         """Delete all rules carrying a cookie (one flow-mod message).
 
         Standalone, returns the number of rules removed; fabric-bound,
         returns a future resolving to the recorded message (the switch
-        drops the rules at delivery).
+        drops the rules at delivery).  Retransmitted like
+        :meth:`install_rule`.
         """
         switch = self._switch(switch_name)
         if self._fabric is None:
@@ -124,8 +134,11 @@ class SdnController:
             switch.remove(cookie)
             self.flow_mods_sent += 1
 
-        return self._fabric.send(mtype, self.name, switch.name,
-                                 on_deliver=apply, detail=f"cookie={cookie}")
+        return self._fabric.send_reliable(mtype, self.name, switch.name,
+                                          policy=self.retry_policy,
+                                          on_deliver=apply,
+                                          telemetry=telemetry,
+                                          detail=f"cookie={cookie}")
 
     def _switch(self, name: str) -> FlowSwitch:
         try:

@@ -134,9 +134,21 @@ class PacketDelivered:
 
 @dataclass(frozen=True)
 class PacketDropped:
-    """A link dropped a packet (queue overflow or link down)."""
+    """A packet was dropped somewhere in the simulated world.
 
-    link: "Link"
+    ``reason`` distinguishes the cause on the bus:
+
+    * ``"link-down"`` -- the carrying link was administratively down;
+    * ``"queue-overflow"`` -- drop-tail at a full link queue;
+    * ``"injected-loss"`` -- a fault-layer channel perturbation;
+    * ``"entity-down"`` -- the addressed control-plane party crashed.
+
+    For fault-layer signalling drops ``link``/``sender`` refer to the
+    signalling channel's link and sending end (``sender`` may be None
+    when the drop happened before any channel was involved).
+    """
+
+    link: Optional["Link"]
     packet: "Packet"
-    sender: "Node"
-    reason: str         # "queue-full" | "link-down"
+    sender: Optional["Node"]
+    reason: str

@@ -130,7 +130,7 @@ class Link:
         self.queue_bytes = queue_bytes
         self.qos_priority = qos_priority
         self.up = True
-        self.dropped_while_down = 0
+        self.drop_counts: dict[str, int] = {}
         self._endpoints: list["Node"] = []
         self._directions: dict[int, _Direction] = {}
         self._qci_priorities: dict[int, int] = {}
@@ -188,17 +188,22 @@ class Link:
             raise ValueError(
                 f"{sender!r} is not attached to link {self.name}")
         if not self.up:
-            self.dropped_while_down += 1
             self._signal_drop(packet, sender, "link-down")
             return
         if not direction.enqueue(packet):
-            self._signal_drop(packet, sender, "queue-full")
+            self._signal_drop(packet, sender, "queue-overflow")
             return  # drop-tail
         if not direction.busy:
             self._start_transmission(sender, direction)
 
+    @property
+    def dropped_while_down(self) -> int:
+        """Packets dropped because the link was administratively down."""
+        return self.drop_counts.get("link-down", 0)
+
     def _signal_drop(self, packet: Packet, sender: "Node",
                      reason: str) -> None:
+        self.drop_counts[reason] = self.drop_counts.get(reason, 0) + 1
         hooks = self.sim.hooks
         if hooks.has(PacketDropped):
             hooks.emit(PacketDropped(link=self, packet=packet,

@@ -7,7 +7,7 @@ from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
-from repro.sim.hooks import PacketDelivered, Subscription
+from repro.sim.hooks import PacketDelivered, PacketDropped, Subscription
 from repro.sim.packet import Packet
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -58,12 +58,18 @@ class FlowStats:
 
     packets: int = 0
     bytes: int = 0
+    drops: int = 0
     latencies: list[float] = field(default_factory=list)
 
     def record(self, packet: Packet, now: float) -> None:
         self.packets += 1
         self.bytes += packet.wire_size
         self.latencies.append(now - packet.created_at)
+
+    @property
+    def loss_rate(self) -> float:
+        total = self.packets + self.drops
+        return self.drops / total if total else 0.0
 
     @property
     def mean_latency(self) -> float:
@@ -84,16 +90,48 @@ class LatencyProbe(_BusProbe):
     or observe the whole simulation through the hook bus:
 
     >>> probe = LatencyProbe(sim).subscribe(node=sink)    # doctest: +SKIP
+
+    Packets dropped mid-flight never reach the sink, so latency
+    samples alone under-report: call :meth:`watch_drops` to also count
+    per-flow ``drops`` (and per-reason totals in ``lost_reasons``) off
+    the bus's :class:`~repro.sim.hooks.PacketDropped` events.
     """
 
     def __init__(self, sim) -> None:
         super().__init__()
         self.sim = sim
         self.flows: dict[str, FlowStats] = {}
+        self.lost = 0
+        self.lost_reasons: dict[str, int] = {}
+        self._drop_subscription: Optional[Subscription] = None
 
     def __call__(self, packet: Packet) -> None:
         stats = self.flows.setdefault(packet.flow_id, FlowStats())
         stats.record(packet, self.sim.now)
+
+    def watch_drops(self):
+        """Also count :class:`PacketDropped` events, keyed by flow.
+
+        Returns ``self`` so it chains with :meth:`subscribe`.
+        """
+        if self._drop_subscription is not None:
+            raise RuntimeError(f"{type(self).__name__} already watches drops")
+        self._drop_subscription = self.sim.hooks.on(PacketDropped,
+                                                    self._on_dropped)
+        return self
+
+    def _on_dropped(self, event: PacketDropped) -> None:
+        stats = self.flows.setdefault(event.packet.flow_id, FlowStats())
+        stats.drops += 1
+        self.lost += 1
+        self.lost_reasons[event.reason] = \
+            self.lost_reasons.get(event.reason, 0) + 1
+
+    def close(self) -> None:
+        super().close()
+        if self._drop_subscription is not None:
+            self._drop_subscription.close()
+            self._drop_subscription = None
 
     def all_latencies(self) -> list[float]:
         samples: list[float] = []

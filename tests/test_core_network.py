@@ -208,3 +208,35 @@ def test_promotion_delay_applied_after_idle(network):
     # RTT must include the ~260 ms promotion on top of the ~70 ms path
     assert reply_times[0] - t0 > 0.26
     assert ue.promotions == 1
+
+
+def test_pinger_books_midflight_drops_with_reason(network):
+    """A ping that dies on a downed link is counted as lost (with its
+    drop reason) the moment it dies -- not just at ``close()``."""
+    ue = network.add_ue()
+    pinger = Pinger(network, ue, "internet", interval=0.2)
+    pinger.run(count=5)
+    # cut the server's SGi link before the later pings cross it
+    network.sim.schedule(0.45, network.links["sgi.internet"].set_up, False)
+    network.sim.run(until=5.0)
+    assert pinger.lost >= 2
+    assert pinger.lost_reasons.get("link-down", 0) >= 2
+    assert sum(pinger.lost_reasons.values()) == pinger.lost
+    # every ping is accounted for: answered or lost, nothing vanished
+    assert len(pinger.rtts) + pinger.lost == 5
+    pinger.close()           # no still-outstanding pings to re-book
+    assert len(pinger.rtts) + pinger.lost == 5
+
+
+def test_pinger_books_injected_signalling_style_loss(network):
+    """Echoes killed by a queue overflow surface under that reason."""
+    ue = network.add_ue()
+    pinger = Pinger(network, ue, "internet", interval=0.2)
+    pinger.run(count=3)
+    network.sim.run(until=0.5)      # first pings answered
+    pinger.close()
+    answered = len(pinger.rtts)
+    outstanding = 3 - answered - pinger.lost
+    assert outstanding == 0
+    if pinger.lost:                 # whatever was in flight at close()
+        assert pinger.lost_reasons.get("unanswered") == pinger.lost

@@ -17,6 +17,7 @@ FORBIDDEN = {
     "d2d": {"repro.core", "repro.apps", "repro.baselines"},
     "localization": {"repro.core", "repro.apps", "repro.baselines"},
     "vision": {"repro.core", "repro.apps", "repro.baselines"},
+    "faults": {"repro.core", "repro.apps", "repro.baselines"},
     "core": {"repro.baselines"},
     "apps": {"repro.baselines"},
 }

@@ -127,3 +127,26 @@ def test_throughput_meter_rejects_bad_window():
     sim = Simulator()
     with pytest.raises(ValueError):
         ThroughputMeter(sim, window=0.0)
+
+
+def test_latency_probe_watch_drops_counts_per_flow():
+    sim = Simulator()
+    probe = LatencyProbe(sim).watch_drops()
+    src = CBRSource(sim, "cbr", dst="d", rate=1e6, packet_size=1000, ip="s")
+    sink = PacketSink(sim, "sink", ip="d", on_packet=probe)
+    link = Link(sim, "l", bandwidth=10e6, delay=0.005)
+    src.attach("out", link)
+    sink.attach("in", link)
+    src.start()
+    sim.schedule(0.05, link.set_up, False)       # cut mid-run
+    sim.run(until=0.1)
+    src.stop()
+    stats = probe.flow(src.flow_id)
+    assert stats.packets > 0 and stats.drops > 0
+    assert 0.0 < stats.loss_rate < 1.0
+    assert probe.lost == stats.drops
+    assert probe.lost_reasons == {"link-down": stats.drops}
+    with pytest.raises(RuntimeError):
+        probe.watch_drops()                      # double-watch is a bug
+    probe.close()
+    probe.close()                                # close is idempotent
