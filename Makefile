@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test lint bench bench-matcher bench-resilience examples quick exp-smoke all clean-results
+.PHONY: test lint bench bench-matcher bench-resilience bench-sim bench-sim-smoke examples quick exp-smoke all clean-results
 
 test:
 	$(PYTHON) -m pytest tests/ -q
@@ -21,6 +21,12 @@ bench-matcher:   ## engine comparison on the Fig 11a workload -> BENCH_matcher.j
 
 bench-resilience:   ## chaos sweep: control-plane success under signalling loss
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_resilience_chaos.py --benchmark-only -q
+
+bench-sim:   ## scheduler comparison (fast vs reference) -> BENCH_sim.json
+	PYTHONPATH=src $(PYTHON) tools/bench_sim.py
+
+bench-sim-smoke:   ## quick drift + determinism gate, no committed output
+	PYTHONPATH=src $(PYTHON) tools/bench_sim.py --smoke --out /tmp/BENCH_sim_smoke.json
 
 quick:   ## tests + the sub-second benchmarks only
 	$(PYTHON) -m pytest tests/ -q

@@ -58,6 +58,9 @@ class NetworkConfig:
     resilience: "ResilienceConfig" = field(
         default_factory=lambda: ResilienceConfig())
 
+    # discrete-event engine
+    sim: "SimConfig" = field(default_factory=lambda: SimConfig())
+
     def cloud_one_way_delay(self) -> float:
         """Nominal UE -> cloud one-way propagation (no queueing/jitter)."""
         return (self.radio_delay + self.backhaul_delay + self.core_delay
@@ -165,6 +168,37 @@ class ResilienceConfig:
             backoff=self.backoff,
             max_retries=self.max_retries,
         )
+
+
+@dataclass
+class SimConfig:
+    """Selects and parameterises the discrete-event scheduler.
+
+    ``scheduler=None`` (the default) defers to the
+    ``REPRO_SIM_SCHEDULER`` environment variable and then to the fast
+    two-lane/timer-wheel scheduler; ``"reference"`` forces the original
+    single binary heap.  Both implement the identical
+    ``(time, priority, seq)`` total order, so switching schedulers
+    changes wall-clock only, never event order or results.
+    """
+
+    scheduler: str | None = None
+    wheel_granularity: float = 1e-4
+    wheel_slots: int = 1024
+    pool_size: int = 1024
+
+    def build_simulator(self):
+        """Construct a :class:`~repro.sim.engine.Simulator`.
+
+        Imports lazily so the config layer stays importable without
+        pulling the sim stack in at module scope.
+        """
+        from repro.sim.engine import Simulator
+
+        return Simulator(scheduler=self.scheduler,
+                         wheel_granularity=self.wheel_granularity,
+                         wheel_slots=self.wheel_slots,
+                         pool_size=self.pool_size)
 
 
 #: Available object-matching engines (see :mod:`repro.vision.batch`).

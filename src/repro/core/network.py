@@ -49,7 +49,9 @@ class MobileNetwork:
     def __init__(self, config: Optional[NetworkConfig] = None,
                  ctx: Optional[SimContext] = None) -> None:
         self.config = config or NetworkConfig()
-        self.ctx = ctx if ctx is not None else SimContext(self.config.seed)
+        self.ctx = (ctx if ctx is not None
+                    else SimContext(self.config.seed,
+                                    sim=self.config.sim.build_simulator()))
         self.sim = self.ctx.sim
         self.hooks = self.ctx.hooks
         self.rng = self.ctx.rng("net.jitter")

@@ -72,6 +72,16 @@ CHAOS = _preset(ExperimentSpec(
     params={"n_ues": 20},
 ))
 
+#: Attach-storm scale sweep: whole-network behaviour (and simulator
+#: event counts) as the UE population grows.
+SCALE = _preset(ExperimentSpec(
+    name="scale",
+    workload="scale",
+    seeds=(37,),
+    sweep={"n_ues": (10, 50, 100, 200)},
+    params={"pings": 5, "bg_mbps": 10},
+))
+
 #: Figure 11(a): matching time by scheme/resolution on two machines.
 FIG11A = _preset(ExperimentSpec(
     name="fig11a",

@@ -278,6 +278,77 @@ def run_chaos(trial: TrialSpec) -> dict[str, Any]:
 
 
 # ---------------------------------------------------------------------------
+# scale: attach storm + data plane at growing UE counts
+# ---------------------------------------------------------------------------
+
+@workload("scale")
+def run_scale(trial: TrialSpec) -> dict[str, Any]:
+    """Whole-network behaviour as the UE population grows.
+
+    Attaches ``n_ues`` UEs *concurrently* (an attach storm contending
+    on the shared signalling channels), then exercises the data plane:
+    optional background CBR load plus a short ping train from the
+    first attached UE to a MEC server.  Reports attach success/latency
+    statistics, the ping median RTT, and the simulator's event count
+    -- the event count is scheduler-invariant, so it doubles as a
+    determinism probe for the throughput benchmarks.
+
+    Parameters (``trial.params``):
+
+    * ``n_ues`` -- UEs attaching concurrently;
+    * ``bg_mbps`` -- background offered load in Mbit/s (default 0);
+    * ``pings`` -- ping-train length (default 5; 0 disables).
+    """
+    from repro.core.config import NetworkConfig
+    from repro.core.network import MobileNetwork, Pinger
+
+    p = trial.param_dict
+    n_ues = int(p.get("n_ues", 100))
+    bg_mbps = float(p.get("bg_mbps", 0))
+    pings = int(p.get("pings", 5))
+
+    network = MobileNetwork(NetworkConfig(seed=trial.seed))
+    network.add_mec_site("mec")
+    network.add_server("ci", site_name="mec", echo=True)
+
+    attach_procs = [network.add_ue_async() for _ in range(n_ues)]
+    network.sim.run()
+    attach_results = []
+    attached = []
+    for proc in attach_procs:
+        assert proc.finished and proc.error is None, proc.error
+        attach_results.append(proc.value.attach_result)
+        if proc.value.attached:
+            attached.append(proc.value)
+
+    good = [r for r in attach_results if r.outcome in ("ok", "retried-ok")]
+    latencies = [r.elapsed for r in good]
+
+    median_rtt_ms = None
+    if pings > 0 and attached:
+        if bg_mbps > 0:
+            network.add_background_load(rate=bg_mbps * 1e6).start()
+        start = network.sim.now
+        pinger = Pinger(network, attached[0], "ci", size=256, interval=0.1)
+        pinger.run(count=pings, start=1.0)
+        network.sim.run(until=start + 1.0 + pings * 0.1 + 2.0)
+        pinger.close()
+        if pinger.rtts:
+            median_rtt_ms = float(np.median(pinger.rtts)) * 1e3
+
+    return {
+        "n_ues": n_ues,
+        "attach_success_rate": len(good) / n_ues if n_ues else 0.0,
+        "attach_mean_ms": (float(np.mean(latencies)) * 1e3
+                           if latencies else 0.0),
+        "attach_p95_ms": (float(np.percentile(latencies, 95)) * 1e3
+                          if latencies else 0.0),
+        "median_rtt_ms": median_rtt_ms,
+        "events_run": network.sim.events_run,
+    }
+
+
+# ---------------------------------------------------------------------------
 # search_space: matching time/accuracy per scheme (Figure 11(a))
 # ---------------------------------------------------------------------------
 

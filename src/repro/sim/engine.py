@@ -1,9 +1,16 @@
 """Deterministic discrete-event engine.
 
-The simulator keeps a binary heap of :class:`Event` records ordered by
-``(time, priority, sequence)``.  Ties are broken by insertion order, which
-makes runs bit-for-bit reproducible.  Two programming styles are
-supported:
+The simulator executes :class:`Event` records in ``(time, priority,
+sequence)`` order -- ties break by insertion order, which makes runs
+bit-for-bit reproducible.  *How* that order is maintained is delegated
+to a pluggable scheduler (:mod:`repro.sim.scheduler`): the default
+:class:`~repro.sim.scheduler.FastScheduler` routes zero-delay events
+through a FIFO now-lane and timers through a hierarchical timer wheel,
+while :class:`~repro.sim.scheduler.ReferenceScheduler` keeps the
+original single binary heap.  Both produce the exact same execution
+order; the differential tests replay workloads on each and assert it.
+
+Two programming styles are supported:
 
 * callback style -- ``sim.schedule(delay, fn, *args)``;
 * process style -- ``sim.spawn(generator)`` where the generator yields
@@ -11,19 +18,25 @@ supported:
   :class:`Future` to await.
 
 :meth:`Simulator.run_until_complete` bridges the two worlds: it drives
-the shared event heap until one process finishes, which lets ordinary
+the shared event queue until one process finishes, which lets ordinary
 synchronous code (including code already running inside an event
 callback) block on a signalling procedure that is itself modelled as
 simulated traffic.
+
+Internal continuations (process steps, future settlement) recycle their
+:class:`Event` records through a free pool: those handles never escape
+the engine, so reuse is safe, and a signalling storm allocates almost
+no event objects in steady state.  Periodic sources get the same
+benefit explicitly via :meth:`Event.reschedule`.
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
-from typing import Any, Callable, Generator, Iterable, Optional
+from typing import Any, Callable, Generator, Iterable, Optional, Union
 
 from repro.sim.hooks import HookBus
+from repro.sim.scheduler import SchedulerBase, build_scheduler
 
 
 class SimulationError(RuntimeError):
@@ -34,12 +47,12 @@ class Event:
     """A scheduled callback.
 
     Events are returned by :meth:`Simulator.schedule` and can be
-    cancelled.  Cancelled events stay in the heap but are skipped when
-    popped, which keeps cancellation O(1).
+    cancelled.  Cancelled events stay in their scheduler lane but are
+    skipped (and discarded) when reached, which keeps cancellation O(1).
     """
 
     __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled",
-                 "_sim", "_popped")
+                 "_sim", "_popped", "_recyclable")
 
     def __init__(self, time: float, priority: int, seq: int,
                  fn: Callable[..., Any], args: tuple,
@@ -52,6 +65,7 @@ class Event:
         self.cancelled = False
         self._sim = sim
         self._popped = False
+        self._recyclable = False
 
     def cancel(self) -> None:
         """Prevent this event's callback from running."""
@@ -59,10 +73,36 @@ class Event:
             return
         self.cancelled = True
         # keep the owning simulator's live-event counter exact: an
-        # event still in the heap leaves the pending count when
-        # cancelled; one that already ran was counted off at pop time
+        # event still queued leaves the pending count when cancelled;
+        # one that already ran was counted off at pop time
         if self._sim is not None and not self._popped:
             self._sim._live -= 1
+
+    def reschedule(self, delay: float) -> "Event":
+        """Re-arm this event ``delay`` seconds from now, reusing the slot.
+
+        Only valid once the event has left the scheduler (it ran, or it
+        was cancelled and then skipped) -- re-arming an event that is
+        still queued would enqueue it twice.  Periodic sources use this
+        to tick without allocating a fresh :class:`Event` per period.
+        Returns ``self`` so call sites can keep ``timer =
+        timer.reschedule(dt)`` shaped like the allocating form.
+        """
+        sim = self._sim
+        if sim is None:
+            raise SimulationError("event has no owning simulator")
+        if not self._popped:
+            raise SimulationError(
+                "cannot reschedule an event that is still queued")
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self.time = sim.now + delay
+        self.seq = next(sim._seq)
+        self.cancelled = False
+        self._popped = False
+        sim._scheduler.push(self, zero_delay=delay == 0.0)
+        sim._live += 1
+        return self
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.priority, self.seq) < (
@@ -96,9 +136,9 @@ class Future:
         callbacks, self._callbacks = self._callbacks, []
         for waiter in waiters:
             if self.error is not None:
-                self._sim.schedule(0.0, waiter._step, None, self.error)
+                self._sim._schedule_step(waiter._step, None, self.error)
             else:
-                self._sim.schedule(0.0, waiter._step, self.value)
+                self._sim._schedule_step(waiter._step, self.value)
         for fn in callbacks:
             fn(self)
 
@@ -170,7 +210,7 @@ class Process:
             self.finished = True
             self.value = stop.value
             for waiter in self._waiters:
-                self._sim.schedule(0.0, waiter._step, self.value)
+                self._sim._schedule_step(waiter._step, self.value)
             self._waiters.clear()
             return
         except Exception as exc:
@@ -180,24 +220,24 @@ class Process:
             if not waiters:
                 raise
             for waiter in waiters:
-                self._sim.schedule(0.0, waiter._step, None, exc)
+                self._sim._schedule_step(waiter._step, None, exc)
             return
         if yielded is None:
-            self._sim.schedule(0.0, self._step)
+            self._sim._schedule_step(self._step)
         elif isinstance(yielded, Process):
             if yielded.finished:
                 if yielded.error is not None:
-                    self._sim.schedule(0.0, self._step, None, yielded.error)
+                    self._sim._schedule_step(self._step, None, yielded.error)
                 else:
-                    self._sim.schedule(0.0, self._step, yielded.value)
+                    self._sim._schedule_step(self._step, yielded.value)
             else:
                 yielded._waiters.append(self)
         elif isinstance(yielded, Future):
             if yielded.done:
                 if yielded.error is not None:
-                    self._sim.schedule(0.0, self._step, None, yielded.error)
+                    self._sim._schedule_step(self._step, None, yielded.error)
                 else:
-                    self._sim.schedule(0.0, self._step, yielded.value)
+                    self._sim._schedule_step(self._step, yielded.value)
             else:
                 yielded._waiters.append(self)
         else:
@@ -205,7 +245,7 @@ class Process:
             if delay < 0:
                 raise SimulationError(
                     f"process {self.name!r} yielded negative delay {delay}")
-            self._sim.schedule(delay, self._step)
+            self._sim._schedule_internal(delay, self._step)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "finished" if self.finished else "running"
@@ -214,6 +254,20 @@ class Process:
 
 class Simulator:
     """Single-threaded discrete-event simulator.
+
+    Parameters
+    ----------
+    scheduler:
+        A scheduler name (``"fast"`` | ``"reference"``), a ready
+        instance, or ``None`` to defer to the ``REPRO_SIM_SCHEDULER``
+        environment variable (default ``"fast"``).  See
+        :mod:`repro.sim.scheduler` and
+        :class:`repro.core.config.SimConfig`.
+    wheel_granularity / wheel_slots:
+        Timer-wheel geometry for the fast scheduler (ignored by the
+        reference one).
+    pool_size:
+        Upper bound on the free pool of recycled internal events.
 
     Attributes
     ----------
@@ -225,13 +279,23 @@ class Simulator:
         each other's methods.
     """
 
-    def __init__(self) -> None:
+    def __init__(self,
+                 scheduler: Union[str, SchedulerBase, None] = None,
+                 wheel_granularity: float = 1e-4,
+                 wheel_slots: int = 1024,
+                 pool_size: int = 1024) -> None:
         self.now: float = 0.0
         self.hooks = HookBus()
-        self._heap: list[Event] = []
+        self._scheduler = build_scheduler(scheduler,
+                                          granularity=wheel_granularity,
+                                          slots=wheel_slots)
         self._seq = itertools.count()
         self._events_run = 0
         self._live = 0          # not-yet-cancelled, not-yet-run events
+        self._pool: list[Event] = []
+        self._pool_size = pool_size
+        self._pool_hits = 0
+        self._pool_misses = 0
 
     # -- scheduling -----------------------------------------------------
 
@@ -242,9 +306,35 @@ class Simulator:
             raise SimulationError(f"negative delay {delay}")
         event = Event(self.now + delay, priority, next(self._seq), fn, args,
                       sim=self)
-        heapq.heappush(self._heap, event)
+        self._scheduler.push(event, zero_delay=delay == 0.0)
         self._live += 1
         return event
+
+    def _schedule_internal(self, delay: float, fn: Callable[..., Any],
+                           *args: Any) -> None:
+        """Engine-internal scheduling: the handle never escapes, so the
+        event is recycled through the free pool after it runs."""
+        pool = self._pool
+        if pool:
+            event = pool.pop()
+            self._pool_hits += 1
+            event.time = self.now + delay
+            event.seq = next(self._seq)
+            event.fn = fn
+            event.args = args
+            event.cancelled = False
+            event._popped = False
+        else:
+            self._pool_misses += 1
+            event = Event(self.now + delay, 0, next(self._seq), fn, args,
+                          sim=self)
+            event._recyclable = True
+        self._scheduler.push(event, zero_delay=delay == 0.0)
+        self._live += 1
+
+    def _schedule_step(self, fn: Callable[..., Any], *args: Any) -> None:
+        """Zero-delay internal continuation (the dominant event kind)."""
+        self._schedule_internal(0.0, fn, *args)
 
     def schedule_at(self, time: float, fn: Callable[..., Any],
                     *args: Any, priority: int = 0) -> Event:
@@ -257,7 +347,7 @@ class Simulator:
     def spawn(self, gen: Generator, name: str = "") -> Process:
         """Start a generator as a process; its first step runs at ``now``."""
         proc = Process(self, gen, name)
-        self.schedule(0.0, proc._step)
+        self._schedule_step(proc._step)
         return proc
 
     def future(self) -> Future:
@@ -268,36 +358,59 @@ class Simulator:
 
     def run(self, until: Optional[float] = None,
             max_events: Optional[int] = None) -> None:
-        """Run events until the heap drains, ``until`` passes, or
+        """Run events until the queue drains, ``until`` passes, or
         ``max_events`` callbacks have executed."""
-        count = 0
-        while self._heap:
-            event = self._heap[0]
-            if until is not None and event.time > until:
-                break
-            heapq.heappop(self._heap)
-            event._popped = True
-            if event.cancelled:
-                continue
-            self._live -= 1
-            self.now = event.time
-            event.fn(*event.args)
-            self._events_run += 1
-            count += 1
-            if max_events is not None and count >= max_events:
-                break
+        pop = self._scheduler.pop_due
+        pool = self._pool
+        pool_cap = self._pool_size
+        # the executed-event count is accumulated locally and folded
+        # into the counters on exit (nothing reads them mid-run: the
+        # only readers are workloads/tests between run() calls)
+        ran = 0
+        try:
+            if max_events is None:
+                # the common case gets a tight loop: no event budget to
+                # track, one bound-method call per event
+                while True:
+                    event = pop(until)
+                    if event is None:
+                        break
+                    ran += 1
+                    self.now = event.time
+                    event.fn(*event.args)
+                    if (event._recyclable and event._popped
+                            and len(pool) < pool_cap):
+                        event.fn = None
+                        event.args = ()
+                        pool.append(event)
+            else:
+                while ran < max_events:
+                    event = pop(until)
+                    if event is None:
+                        break
+                    ran += 1
+                    self.now = event.time
+                    event.fn(*event.args)
+                    if (event._recyclable and event._popped
+                            and len(pool) < pool_cap):
+                        event.fn = None
+                        event.args = ()
+                        pool.append(event)
+        finally:
+            self._live -= ran
+            self._events_run += ran
         if until is not None and self.now < until:
             self.now = until
 
     def run_until_complete(self, proc: Process) -> Any:
-        """Drive the event heap until ``proc`` finishes; return its value.
+        """Drive the event queue until ``proc`` finishes; return its value.
 
         This is the synchronous facade over process-style procedures:
-        it pops events off the *shared* heap, so it is reentrant --
+        it pops events off the *shared* scheduler, so it is reentrant --
         an event callback may call it, and the whole world (other
         procedures, data-plane traffic, timers) keeps advancing while
         the caller blocks.  Raises the process's own exception if it
-        fails, and :class:`SimulationError` if the heap drains before
+        fails, and :class:`SimulationError` if the queue drains before
         the process can finish (a deadlocked wait).
         """
         while not proc.finished:
@@ -311,31 +424,63 @@ class Simulator:
 
     def step(self) -> bool:
         """Run exactly one pending event.  Returns False if none remain."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            event._popped = True
-            if event.cancelled:
-                continue
-            self._live -= 1
-            self.now = event.time
-            event.fn(*event.args)
-            self._events_run += 1
-            return True
-        return False
+        event = self._scheduler.pop_due(None)
+        if event is None:
+            return False
+        self._live -= 1
+        self.now = event.time
+        event.fn(*event.args)
+        self._events_run += 1
+        if (event._recyclable and event._popped
+                and len(self._pool) < self._pool_size):
+            event.fn = None
+            event.args = ()
+            self._pool.append(event)
+        return True
 
     @property
     def pending(self) -> int:
         """Number of not-yet-cancelled events still queued.
 
         O(1): maintained as a live-event counter on push/pop/cancel
-        (monitoring loops call this per tick; scanning the heap made it
-        O(heap) per call)."""
+        (monitoring loops call this per tick; scanning the queue made
+        it O(queue) per call)."""
         return self._live
 
     @property
     def events_run(self) -> int:
         """Total callbacks executed so far."""
         return self._events_run
+
+    @property
+    def scheduler_name(self) -> str:
+        """Which scheduler implementation this simulator runs on."""
+        return self._scheduler.name
+
+    def profile(self) -> dict:
+        """Execution counters: events by lane, pool hit rate, peaks.
+
+        The shape is scheduler-dependent (the fast scheduler reports
+        wheel statistics, the reference one only its heap) but always
+        includes ``scheduler``, ``events_run``, ``pending`` and
+        ``pool``.  Counters are diagnostics only -- nothing in the
+        simulation may read them back into behaviour.
+        """
+        requests = self._pool_hits + self._pool_misses
+        data = {
+            "scheduler": self._scheduler.name,
+            "events_run": self._events_run,
+            "pending": self._live,
+            "pool": {
+                "hits": self._pool_hits,
+                "misses": self._pool_misses,
+                "hit_rate": self._pool_hits / requests if requests else 0.0,
+                "free": len(self._pool),
+                "capacity": self._pool_size,
+            },
+        }
+        data.update(self._scheduler.profile())
+        return data
 
     def drain(self, events: Iterable[Event]) -> None:
         """Cancel a collection of events."""

@@ -61,6 +61,9 @@ class HookBus:
     def __init__(self) -> None:
         self._handlers: dict[type, list[Subscription]] = {}
         self.emitted = 0
+        #: bumped on every subscribe/unsubscribe; hot paths cache their
+        #: ``has()`` verdict against it instead of probing per emit
+        self.generation = 0
 
     # -- subscription management -----------------------------------------
 
@@ -71,6 +74,7 @@ class HookBus:
             raise TypeError(f"event type must be a class, got {event_type!r}")
         sub = Subscription(self, event_type, fn)
         self._handlers.setdefault(event_type, []).append(sub)
+        self.generation += 1
         return sub
 
     def off(self, subscription: Subscription) -> None:
@@ -86,6 +90,7 @@ class HookBus:
                 pass
             if not subs:
                 del self._handlers[subscription.event_type]
+        self.generation += 1
 
     def has(self, event_type: type) -> bool:
         """True if anyone listens for ``event_type`` (hot-path guard)."""

@@ -41,6 +41,7 @@ class _Direction:
     def __init__(self, link: "Link") -> None:
         self.link = link
         self.bandwidth = link.bandwidth     # overridden per direction
+        self.peer: Optional["Node"] = None  # set when both ends register
         self.busy = False
         self.queued_bytes = 0
         self.drops = 0
@@ -134,6 +135,14 @@ class Link:
         self._endpoints: list["Node"] = []
         self._directions: dict[int, _Direction] = {}
         self._qci_priorities: dict[int, int] = {}
+        # pre-bound propagation sampler: the jitter branch is decided
+        # once at construction, not once per transmitted packet
+        self._propagation = (self._propagation_jittered if jitter > 0
+                             else self._propagation_fixed)
+        # drop-hook verdict cached against the bus subscription
+        # generation (a dict probe per drop became one int compare)
+        self._drop_hook_gen = -1
+        self._drop_hook_hot = False
 
     # -- failure injection --------------------------------------------------
 
@@ -160,6 +169,10 @@ class Link:
         direction.bandwidth = (self.bandwidth if len(self._endpoints) == 1
                                else self.bandwidth_reverse)
         self._directions[id(node)] = direction
+        if len(self._endpoints) == 2:
+            first, second = self._endpoints
+            self._directions[id(first)].peer = second
+            self._directions[id(second)].peer = first
 
     def other_end(self, node: "Node") -> "Node":
         if len(self._endpoints) != 2:
@@ -190,11 +203,21 @@ class Link:
         if not self.up:
             self._signal_drop(packet, sender, "link-down")
             return
+        if not direction.busy and direction.queued_bytes == 0:
+            # idle direction, empty queue: enqueue-then-dequeue would
+            # hand back this same packet, so transmit it directly
+            wire_size = packet.wire_size
+            if wire_size > self.queue_bytes:
+                direction.drops += 1
+                self._signal_drop(packet, sender, "queue-overflow")
+                return
+            self._transmit_packet(direction, packet, wire_size)
+            return
         if not direction.enqueue(packet):
             self._signal_drop(packet, sender, "queue-overflow")
             return  # drop-tail
         if not direction.busy:
-            self._start_transmission(sender, direction)
+            self._start_transmission(direction)
 
     @property
     def dropped_while_down(self) -> int:
@@ -205,28 +228,41 @@ class Link:
                      reason: str) -> None:
         self.drop_counts[reason] = self.drop_counts.get(reason, 0) + 1
         hooks = self.sim.hooks
-        if hooks.has(PacketDropped):
+        if hooks.generation != self._drop_hook_gen:
+            self._drop_hook_gen = hooks.generation
+            self._drop_hook_hot = hooks.has(PacketDropped)
+        if self._drop_hook_hot:
             hooks.emit(PacketDropped(link=self, packet=packet,
                                      sender=sender, reason=reason))
 
-    def _start_transmission(self, sender: "Node",
-                            direction: _Direction) -> None:
+    def _propagation_fixed(self) -> float:
+        return self.delay
+
+    def _propagation_jittered(self) -> float:
+        return self.delay + float(self.rng.uniform(0.0, self.jitter))
+
+    def _start_transmission(self, direction: _Direction) -> None:
         packet = direction.dequeue()
         if packet is None:
             direction.busy = False
             return
+        self._transmit_packet(direction, packet, packet.wire_size)
+
+    def _transmit_packet(self, direction: _Direction, packet: Packet,
+                         wire_size: int) -> None:
+        receiver = direction.peer
+        if receiver is None:
+            raise ValueError(f"link {self.name} is not fully wired")
         direction.busy = True
-        tx_time = packet.wire_size * 8 / direction.bandwidth
+        tx_time = wire_size * 8 / direction.bandwidth
         direction.tx_packets += 1
-        direction.tx_bytes += packet.wire_size
-        receiver = self.other_end(sender)
-        propagation = self.delay
-        if self.jitter > 0:
-            propagation += float(self.rng.uniform(0.0, self.jitter))
-        self.sim.schedule(tx_time + propagation,
-                          receiver.receive, packet, self)
-        self.sim.schedule(tx_time, self._start_transmission,
-                          sender, direction)
+        direction.tx_bytes += wire_size
+        # internal pooled scheduling: neither handle escapes the link,
+        # so a saturated link allocates no Event objects in steady state
+        sim = self.sim
+        sim._schedule_internal(tx_time + self._propagation(),
+                               receiver.receive, packet, self)
+        sim._schedule_internal(tx_time, self._start_transmission, direction)
 
     # -- stats ------------------------------------------------------------
 

@@ -8,10 +8,11 @@ from typing import TYPE_CHECKING, Optional
 import numpy as np
 
 from repro.sim.hooks import PacketDelivered, PacketDropped, Subscription
-from repro.sim.packet import Packet
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Event
     from repro.sim.node import Node
+    from repro.sim.packet import Packet
 
 
 class _BusProbe:
@@ -21,11 +22,19 @@ class _BusProbe:
     ``on_packet`` callback) or by subscribing it to the simulation's
     hook bus with :meth:`subscribe`, optionally filtered to one node.
     ``close()`` detaches the subscription either way.
+
+    Probes can also self-sample on a period: :meth:`start_polling` arms
+    a repeating timer (the timer event is re-armed in place each poll,
+    so it rides the scheduler's timer wheel without allocating) and
+    appends one :meth:`snapshot` dict to :attr:`polls` per interval.
     """
 
     def __init__(self) -> None:
         self._subscription: Optional[Subscription] = None
         self._node_filter: Optional["Node"] = None
+        self.poll_interval: Optional[float] = None
+        self.polls: list[dict] = []
+        self._poll_event: Optional["Event"] = None
 
     def subscribe(self, node: Optional["Node"] = None):
         """Observe :class:`PacketDelivered` events on the sim's bus.
@@ -45,11 +54,37 @@ class _BusProbe:
             return
         self(event.packet)
 
+    # -- periodic self-sampling -------------------------------------------
+
+    def start_polling(self, interval: float):
+        """Record a :meth:`snapshot` every ``interval`` simulated seconds.
+
+        Returns ``self`` so it chains with :meth:`subscribe`.
+        """
+        if interval <= 0:
+            raise ValueError("poll interval must be positive")
+        if self._poll_event is not None:
+            raise RuntimeError(f"{type(self).__name__} is already polling")
+        self.poll_interval = interval
+        self._poll_event = self.sim.schedule(interval, self._poll)
+        return self
+
+    def _poll(self) -> None:
+        self.polls.append(self.snapshot())
+        self._poll_event = self._poll_event.reschedule(self.poll_interval)
+
+    def snapshot(self) -> dict:
+        """One poll sample; subclasses override with their counters."""
+        return {"t": self.sim.now}
+
     def close(self) -> None:
         """Stop observing.  Idempotent; direct callers are unaffected."""
         if self._subscription is not None:
             self._subscription.close()
             self._subscription = None
+        if self._poll_event is not None:
+            self._poll_event.cancel()
+            self._poll_event = None
 
 
 @dataclass
@@ -61,7 +96,7 @@ class FlowStats:
     drops: int = 0
     latencies: list[float] = field(default_factory=list)
 
-    def record(self, packet: Packet, now: float) -> None:
+    def record(self, packet: "Packet", now: float) -> None:
         self.packets += 1
         self.bytes += packet.wire_size
         self.latencies.append(now - packet.created_at)
@@ -101,13 +136,15 @@ class LatencyProbe(_BusProbe):
         super().__init__()
         self.sim = sim
         self.flows: dict[str, FlowStats] = {}
+        self.samples = 0
         self.lost = 0
         self.lost_reasons: dict[str, int] = {}
         self._drop_subscription: Optional[Subscription] = None
 
-    def __call__(self, packet: Packet) -> None:
+    def __call__(self, packet: "Packet") -> None:
         stats = self.flows.setdefault(packet.flow_id, FlowStats())
         stats.record(packet, self.sim.now)
+        self.samples += 1
 
     def watch_drops(self):
         """Also count :class:`PacketDropped` events, keyed by flow.
@@ -126,6 +163,11 @@ class LatencyProbe(_BusProbe):
         self.lost += 1
         self.lost_reasons[event.reason] = \
             self.lost_reasons.get(event.reason, 0) + 1
+
+    def snapshot(self) -> dict:
+        """Per-poll counters (cheap: no per-flow scan)."""
+        return {"t": self.sim.now, "samples": self.samples,
+                "lost": self.lost}
 
     def close(self) -> None:
         super().close()
@@ -150,6 +192,11 @@ class ThroughputMeter(_BusProbe):
     :meth:`subscribe`); :meth:`series` returns
     `(window_start_times, bits_per_second)` arrays, the exact shape
     plotted in Figure 8.
+
+    All statistics are maintained incrementally -- one dict update and
+    two counter adds per packet, never a scan over the recorded series
+    -- so the meter stays O(1) per packet at flood rates, and
+    :meth:`mean_throughput` only touches the skipped warm-up windows.
     """
 
     def __init__(self, sim, window: float = 1.0) -> None:
@@ -158,27 +205,50 @@ class ThroughputMeter(_BusProbe):
             raise ValueError("window must be positive")
         self.sim = sim
         self.window = window
+        self.total_bytes = 0
+        self.total_packets = 0
         self._buckets: dict[int, int] = {}
+        self._last_bucket = -1
 
-    def observe(self, packet: Packet) -> None:
+    def observe(self, packet: "Packet") -> None:
         bucket = int(self.sim.now / self.window)
-        self._buckets[bucket] = self._buckets.get(bucket, 0) + packet.size
+        buckets = self._buckets
+        buckets[bucket] = buckets.get(bucket, 0) + packet.size
+        if bucket > self._last_bucket:
+            self._last_bucket = bucket
+        self.total_bytes += packet.size
+        self.total_packets += 1
 
-    def __call__(self, packet: Packet) -> None:
+    def __call__(self, packet: "Packet") -> None:
         self.observe(packet)
 
     def series(self) -> tuple[np.ndarray, np.ndarray]:
-        if not self._buckets:
+        if self._last_bucket < 0:
             return np.array([]), np.array([])
-        last = max(self._buckets)
+        last = self._last_bucket
         times = np.arange(0, last + 1) * self.window
         bps = np.array([self._buckets.get(i, 0) * 8 / self.window
                         for i in range(last + 1)], dtype=float)
         return times, bps
 
+    def snapshot(self) -> dict:
+        """Per-poll totals (incremental counters, no series rebuild)."""
+        return {"t": self.sim.now, "bytes": self.total_bytes,
+                "packets": self.total_packets}
+
     def mean_throughput(self, skip_first: int = 1) -> float:
-        """Mean bits/sec over the series, skipping warm-up windows."""
-        _, bps = self.series()
-        if len(bps) <= skip_first:
-            return float(np.mean(bps)) if len(bps) else 0.0
-        return float(np.mean(bps[skip_first:]))
+        """Mean bits/sec over the series, skipping warm-up windows.
+
+        Computed from the running totals minus the skipped windows:
+        O(``skip_first``), not O(series length).
+        """
+        last = self._last_bucket
+        if last < 0:
+            return 0.0
+        windows = last + 1
+        if windows <= skip_first:
+            return self.total_bytes * 8 / self.window / windows
+        buckets = self._buckets
+        skipped = sum(buckets.get(i, 0) for i in range(skip_first))
+        return ((self.total_bytes - skipped) * 8 / self.window
+                / (windows - skip_first))

@@ -77,13 +77,20 @@ class PacketSink(Node):
         self.received: list[Packet] = []
         self.bytes_received = 0
         self.arrival_times: list[float] = []
+        # delivered-hook verdict cached against the bus subscription
+        # generation -- this runs once per delivered packet
+        self._delivered_hook_gen = -1
+        self._delivered_hook_hot = False
 
     def on_receive(self, packet: Packet, link: "Link") -> None:
         self.received.append(packet)
         self.bytes_received += packet.wire_size
         self.arrival_times.append(self.sim.now)
         hooks = self.sim.hooks
-        if hooks.has(PacketDelivered):
+        if hooks.generation != self._delivered_hook_gen:
+            self._delivered_hook_gen = hooks.generation
+            self._delivered_hook_hot = hooks.has(PacketDelivered)
+        if self._delivered_hook_hot:
             hooks.emit(PacketDelivered(node=self, packet=packet, link=link))
         if self.on_packet is not None:
             self.on_packet(packet)

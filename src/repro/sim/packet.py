@@ -5,18 +5,23 @@ A :class:`Packet` carries an application payload size plus a stack of
 pushes headers; the wire size used for serialization delay is the payload
 plus every header currently on the stack, which is how the simulator
 charges tunnelling overhead.
+
+Both classes are slotted and construct lazily: a packet-flood's packets
+never touch metadata or encapsulation, so ``meta`` and ``headers`` only
+materialise their dict/list on first access.  This is the hot
+allocation path of every figure-scale experiment -- millions of packets
+per run -- which is why the classes are hand-rolled rather than
+dataclasses.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Optional
 
 _packet_ids = itertools.count(1)
 
 
-@dataclass
 class Header:
     """A protocol header pushed onto a packet.
 
@@ -30,9 +35,13 @@ class Header:
         Protocol-specific key/value fields (e.g. ``{"teid": 0x1001}``).
     """
 
-    protocol: str
-    size: int
-    fields: dict = field(default_factory=dict)
+    __slots__ = ("protocol", "size", "fields")
+
+    def __init__(self, protocol: str, size: int,
+                 fields: Optional[dict] = None) -> None:
+        self.protocol = protocol
+        self.size = size
+        self.fields = {} if fields is None else fields
 
     def __getitem__(self, key: str) -> Any:
         return self.fields[key]
@@ -40,8 +49,16 @@ class Header:
     def get(self, key: str, default: Any = None) -> Any:
         return self.fields.get(key, default)
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Header):
+            return NotImplemented
+        return (self.protocol == other.protocol and self.size == other.size
+                and self.fields == other.fields)
 
-@dataclass
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Header(protocol={self.protocol!r}, size={self.size!r})"
+
+
 class Packet:
     """A simulated packet.
 
@@ -49,23 +66,63 @@ class Packet:
     ``dst_port`` complete the classic five-tuple together with ``protocol``.
     """
 
-    src: str
-    dst: str
-    size: int                      # payload bytes (headers add on top)
-    protocol: str = "UDP"
-    src_port: int = 0
-    dst_port: int = 0
-    flow_id: str = ""
-    qci: Optional[int] = None      # QoS class set once mapped to a bearer
-    created_at: float = 0.0
-    meta: dict = field(default_factory=dict)
-    headers: list[Header] = field(default_factory=list)
-    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    __slots__ = ("src", "dst", "size", "protocol", "src_port", "dst_port",
+                 "flow_id", "qci", "created_at", "packet_id",
+                 "_meta", "_headers")
+
+    def __init__(self, src: str, dst: str, size: int,
+                 protocol: str = "UDP", src_port: int = 0, dst_port: int = 0,
+                 flow_id: str = "", qci: Optional[int] = None,
+                 created_at: float = 0.0,
+                 meta: Optional[dict] = None,
+                 headers: Optional[list] = None,
+                 packet_id: Optional[int] = None) -> None:
+        self.src = src
+        self.dst = dst
+        self.size = size                # payload bytes (headers add on top)
+        self.protocol = protocol
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.flow_id = flow_id
+        self.qci = qci                  # QoS class set once mapped to a bearer
+        self.created_at = created_at
+        self._meta = meta
+        self._headers = headers
+        self.packet_id = (next(_packet_ids) if packet_id is None
+                          else packet_id)
+
+    # meta and headers materialise on first touch; most packets need
+    # neither, and the empty containers dominated construction cost
+
+    @property
+    def meta(self) -> dict:
+        meta = self._meta
+        if meta is None:
+            meta = self._meta = {}
+        return meta
+
+    @meta.setter
+    def meta(self, value: dict) -> None:
+        self._meta = value
+
+    @property
+    def headers(self) -> list:
+        headers = self._headers
+        if headers is None:
+            headers = self._headers = []
+        return headers
+
+    @headers.setter
+    def headers(self, value: list) -> None:
+        self._headers = value
 
     @property
     def wire_size(self) -> int:
         """Bytes on the wire: payload plus all pushed headers."""
-        return self.size + sum(h.size for h in self.headers)
+        headers = self._headers
+        if not headers:
+            return self.size
+        return self.size + sum(h.size for h in headers)
 
     @property
     def five_tuple(self) -> tuple[str, str, str, int, int]:
@@ -84,23 +141,25 @@ class Packet:
         If ``protocol`` is given, it must match the outermost header's
         protocol; a mismatch raises ``ValueError`` (mis-wired tunnel).
         """
-        if not self.headers:
+        if not self._headers:
             raise ValueError("no headers to pop")
-        header = self.headers[-1]
+        header = self._headers[-1]
         if protocol is not None and header.protocol != protocol:
             raise ValueError(
                 f"expected outer header {protocol!r}, found {header.protocol!r}")
-        return self.headers.pop()
+        return self._headers.pop()
 
     def outer_header(self) -> Optional[Header]:
         """The outermost header, or None for a bare packet."""
-        return self.headers[-1] if self.headers else None
+        headers = self._headers
+        return headers[-1] if headers else None
 
     def find_header(self, protocol: str) -> Optional[Header]:
         """Innermost-first search for a header by protocol name."""
-        for header in self.headers:
-            if header.protocol == protocol:
-                return header
+        if self._headers:
+            for header in self._headers:
+                if header.protocol == protocol:
+                    return header
         return None
 
     def copy(self) -> "Packet":
@@ -109,9 +168,10 @@ class Packet:
             src=self.src, dst=self.dst, size=self.size,
             protocol=self.protocol, src_port=self.src_port,
             dst_port=self.dst_port, flow_id=self.flow_id, qci=self.qci,
-            created_at=self.created_at, meta=dict(self.meta),
-            headers=[Header(h.protocol, h.size, dict(h.fields))
-                     for h in self.headers],
+            created_at=self.created_at,
+            meta=dict(self._meta) if self._meta else None,
+            headers=([Header(h.protocol, h.size, dict(h.fields))
+                      for h in self._headers] if self._headers else None),
         )
         return clone
 

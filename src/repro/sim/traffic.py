@@ -67,7 +67,9 @@ class CBRSource(Node):
                         qci=self.qci, created_at=self.sim.now)
         self.send(self.out_port, packet)
         self.packets_sent += 1
-        self._timer = self.sim.schedule(self._interval, self._tick)
+        # re-arm the just-fired timer event in place: a CBR flood then
+        # allocates zero Event objects in steady state
+        self._timer = self._timer.reschedule(self._interval)
 
 
 class PoissonSource(Node):
@@ -108,7 +110,7 @@ class PoissonSource(Node):
         self.send(self.out_port, packet)
         self.packets_sent += 1
         gap = self.rng.exponential(self._mean_interval)
-        self._timer = self.sim.schedule(gap, self._tick)
+        self._timer = self._timer.reschedule(gap)
 
 
 class GreedySource(Node):

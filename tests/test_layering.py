@@ -102,3 +102,37 @@ def test_sim_is_fully_self_contained():
             if imported.startswith("repro."):
                 assert imported.startswith(allowed_prefixes), \
                     f"{path.name} imports {imported}"
+
+
+#: Scheduler/engine internals: the now lane, timer-wheel slots, the
+#: fallback heap and the event pool are private to ``repro.sim``.
+#: Everything else must go through ``Simulator.schedule()`` /
+#: ``SimConfig.build_simulator()`` / ``Simulator.profile()``.
+SCHEDULER_INTERNALS = {"_heap", "_now_lane", "_runlist", "_wheel",
+                       "_wheel_heap", "_coarse", "_coarse_heap",
+                       "_scheduler", "_schedule_internal"}
+
+
+def test_no_scheduler_internals_outside_sim():
+    """Nothing outside ``repro.sim`` touches scheduler internals.
+
+    ``self.<name>`` is allowed (a class may own an unrelated attribute
+    of the same shape, e.g. a vision-layer ``_pool``); any other
+    receiver means code is reaching into the engine's guts and would
+    silently break when the scheduler implementation changes.
+    """
+    violations = []
+    for path in SRC.rglob("*.py"):
+        if (SRC / "sim") in path.parents:
+            continue
+        for node in ast.walk(ast.parse(path.read_text())):
+            if (isinstance(node, ast.Attribute)
+                    and node.attr in SCHEDULER_INTERNALS
+                    and not (isinstance(node.value, ast.Name)
+                             and node.value.id == "self")):
+                violations.append(
+                    f"{path.relative_to(SRC)}:{node.lineno}: "
+                    f"touches .{node.attr}")
+    assert violations == [], (
+        "scheduler internals leaked outside repro.sim; use the public "
+        f"Simulator API instead: {violations}")

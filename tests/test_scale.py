@@ -41,6 +41,30 @@ def test_twenty_ues_ping_concurrently():
         assert float(np.median(pinger.rtts)) < 0.12
 
 
+def test_five_hundred_ue_attach_storm_completes_quickly():
+    """500 concurrent attaches finish with unique resources, and the
+    fast scheduler keeps the whole storm well inside a generous
+    wall-clock budget (measures ~1 s on the CI baseline; the 30 s
+    ceiling only catches pathological regressions)."""
+    import time
+
+    t0 = time.perf_counter()
+    network = MobileNetwork()
+    procs = [network.add_ue_async() for _ in range(500)]
+    network.sim.run()
+    wall = time.perf_counter() - t0
+
+    assert network.mme.connected_count() == 500
+    ues = []
+    for proc in procs:
+        assert proc.finished and proc.error is None, proc.error
+        assert proc.value.attached
+        ues.append(proc.value)
+    assert len({ue.ip for ue in ues}) == 500
+    assert len({ue.imsi for ue in ues}) == 500
+    assert wall < 30.0
+
+
 def test_multiple_mec_bearers_share_local_gateways():
     network = MobileNetwork()
     network.pcrf.configure(ServicePolicy("ar-retail", qci=7))

@@ -224,22 +224,31 @@ def test_pending_tracks_cancel_after_run():
     assert sim.pending == 0
 
 
-def test_pending_matches_heap_scan_randomized():
+@pytest.mark.parametrize("scheduler", ["fast", "reference"])
+def test_pending_matches_external_count_randomized(scheduler):
     import random
 
     rnd = random.Random(1234)
-    sim = Simulator()
+    sim = Simulator(scheduler=scheduler)
+    ran = set()
     events = []
+    expected = 0
     for step in range(300):
         action = rnd.random()
         if action < 0.5 or not events:
-            events.append(sim.schedule(rnd.uniform(0, 10), lambda: None))
+            key = ("ev", step)
+            events.append((key, sim.schedule(rnd.uniform(0, 10),
+                                             ran.add, key)))
+            expected += 1
         elif action < 0.8:
-            events.pop(rnd.randrange(len(events))).cancel()
+            key, event = events.pop(rnd.randrange(len(events)))
+            if not event.cancelled and key not in ran:
+                expected -= 1
+            event.cancel()
         else:
+            before = len(ran)
             sim.run(max_events=rnd.randrange(1, 4))
-        expected = sum(1 for e in sim._heap
-                       if not e.cancelled and not e._popped)
+            expected -= len(ran) - before
         assert sim.pending == expected
     sim.run()
     assert sim.pending == 0
