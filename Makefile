@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test lint bench bench-matcher bench-resilience bench-sim bench-sim-smoke examples quick exp-smoke all clean-results
+.PHONY: test lint bench bench-matcher bench-resilience bench-sim bench-sim-smoke bench-scale bench-scale-smoke examples quick exp-smoke all clean-results
 
 test:
 	$(PYTHON) -m pytest tests/ -q
@@ -27,6 +27,12 @@ bench-sim:   ## scheduler comparison (fast vs reference) -> BENCH_sim.json
 
 bench-sim-smoke:   ## quick drift + determinism gate, no committed output
 	PYTHONPATH=src $(PYTHON) tools/bench_sim.py --smoke --out /tmp/BENCH_sim_smoke.json
+
+bench-scale:   ## fluid vs packet data plane + 100k-UE scenario -> BENCH_scale.json
+	PYTHONPATH=src $(PYTHON) tools/bench_scale.py
+
+bench-scale-smoke:   ## quick fluid-plane gates, no committed output
+	PYTHONPATH=src $(PYTHON) tools/bench_scale.py --smoke --out /tmp/BENCH_scale_smoke.json
 
 quick:   ## tests + the sub-second benchmarks only
 	$(PYTHON) -m pytest tests/ -q

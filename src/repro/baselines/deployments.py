@@ -26,7 +26,7 @@ from repro.apps.retail import (RETAIL_SERVICE, RetailCustomerApp,
                                RetailStore, landmark_map_for)
 from repro.apps.scenario import StoreScenario
 from repro.core.config import (MatcherConfig, NetworkConfig,
-                               SignallingConfig)
+                               SignallingConfig, SimConfig)
 from repro.core.device_manager import AcaciaDeviceManager
 from repro.core.localization_manager import LocalizationManager
 from repro.core.mrs import MecRegistrationServer
@@ -77,11 +77,12 @@ class Deployment:
 
 def _mec_colocated_config(
         seed: int,
-        signalling: Optional[SignallingConfig] = None) -> NetworkConfig:
+        signalling: Optional[SignallingConfig] = None,
+        data_plane: str = "packet") -> NetworkConfig:
     """Conventional (shared, non-split) gateways moved next to the eNB."""
     config = NetworkConfig(
         backhaul_delay=0.0006, core_delay=0.0004, internet_delay=0.0002,
-        seed=seed)
+        seed=seed, sim=SimConfig(data_plane=data_plane))
     if signalling is not None:
         config.signalling = signalling
     return config
@@ -89,8 +90,10 @@ def _mec_colocated_config(
 
 def _network_config(
         seed: int,
-        signalling: Optional[SignallingConfig] = None) -> NetworkConfig:
-    config = NetworkConfig(seed=seed)
+        signalling: Optional[SignallingConfig] = None,
+        data_plane: str = "packet") -> NetworkConfig:
+    config = NetworkConfig(seed=seed,
+                           sim=SimConfig(data_plane=data_plane))
     if signalling is not None:
         config.signalling = signalling
     return config
@@ -102,13 +105,16 @@ def build_deployment(kind: str, db: ObjectDatabase,
                      user_position: Optional[tuple[float, float]] = None,
                      matcher_config: Optional[MatcherConfig] = None,
                      signalling_config: Optional[SignallingConfig] = None,
+                     data_plane: str = "packet",
                      ) -> Deployment:
     """Build one of the three comparison deployments.
 
     ``matcher_config`` selects the server's matching engine (default:
     the batched engine; decision-equivalent to the reference);
     ``signalling_config`` parameterises the control-plane signalling
-    fabric (default transports when omitted)."""
+    fabric (default transports when omitted); ``data_plane`` selects
+    the per-packet or fluid-background data plane
+    (:mod:`repro.sim.fluid`)."""
     if kind not in DEPLOYMENT_KINDS:
         raise ValueError(f"unknown deployment kind {kind!r}; "
                          f"expected one of {DEPLOYMENT_KINDS}")
@@ -123,8 +129,8 @@ def build_deployment(kind: str, db: ObjectDatabase,
                         matcher_config=matcher_config)
 
     if kind == "cloud":
-        network = MobileNetwork(_network_config(seed, signalling_config),
-                                ctx=ctx)
+        network = MobileNetwork(
+            _network_config(seed, signalling_config, data_plane), ctx=ctx)
         server_node = ARServerNode(network.sim, AR_SERVER_NAME, backend,
                                    scheme="naive")
         network.add_server(AR_SERVER_NAME, site_name="central",
@@ -137,7 +143,8 @@ def build_deployment(kind: str, db: ObjectDatabase,
 
     if kind == "mec":
         network = MobileNetwork(
-            _mec_colocated_config(seed, signalling_config), ctx=ctx)
+            _mec_colocated_config(seed, signalling_config, data_plane),
+            ctx=ctx)
         server_node = ARServerNode(network.sim, AR_SERVER_NAME, backend,
                                    scheme="naive")
         network.add_server(AR_SERVER_NAME, site_name="central",
@@ -149,8 +156,8 @@ def build_deployment(kind: str, db: ObjectDatabase,
                           ue=ue, scheme="naive", localization=localization)
 
     # -- the full ACACIA system ------------------------------------------
-    network = MobileNetwork(_network_config(seed, signalling_config),
-                            ctx=ctx)
+    network = MobileNetwork(
+        _network_config(seed, signalling_config, data_plane), ctx=ctx)
     network.add_mec_site("mec")
     server_node = ARServerNode(network.sim, AR_SERVER_NAME, backend,
                                scheme="acacia")

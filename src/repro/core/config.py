@@ -170,6 +170,10 @@ class ResilienceConfig:
         )
 
 
+#: Available data-plane models (see :mod:`repro.sim.fluid`).
+DATA_PLANES = ("packet", "fluid-bg")
+
+
 @dataclass
 class SimConfig:
     """Selects and parameterises the discrete-event scheduler.
@@ -180,12 +184,25 @@ class SimConfig:
     single binary heap.  Both implement the identical
     ``(time, priority, seq)`` total order, so switching schedulers
     changes wall-clock only, never event order or results.
+
+    ``data_plane`` selects how background load traverses the network:
+    ``"packet"`` (the default) simulates every background packet;
+    ``"fluid-bg"`` aggregates background flows into piecewise-constant
+    fluid rates (:mod:`repro.sim.fluid`) while foreground CI/AR and
+    signalling traffic stays per-packet.  ``"packet"`` mode is
+    byte-identical to a build without the fluid subsystem.
     """
 
     scheduler: str | None = None
     wheel_granularity: float = 1e-4
     wheel_slots: int = 1024
     pool_size: int = 1024
+    data_plane: str = "packet"
+
+    def __post_init__(self) -> None:
+        if self.data_plane not in DATA_PLANES:
+            raise ValueError(f"unknown data plane {self.data_plane!r}; "
+                             f"expected one of {DATA_PLANES}")
 
     def build_simulator(self):
         """Construct a :class:`~repro.sim.engine.Simulator`.

@@ -31,6 +31,7 @@ from repro.sdn.dataplane import DataPlaneProfile
 from repro.sdn.openflow import FlowMatch, FlowRule, GtpDecap, Output
 from repro.sdn.switch import FlowSwitch
 from repro.sim.context import SimContext
+from repro.sim.fluid import FluidDomain, FluidFlow, FluidLink
 from repro.sim.link import Link
 from repro.sim.node import Node, PacketSink
 from repro.sim.packet import Packet
@@ -55,6 +56,12 @@ class MobileNetwork:
         self.sim = self.ctx.sim
         self.hooks = self.ctx.hooks
         self.rng = self.ctx.rng("net.jitter")
+        #: fluid-flow domain; present only in the "fluid-bg" data plane
+        #: (see :mod:`repro.sim.fluid`), where background load becomes
+        #: aggregated rates instead of per-packet traffic
+        self.fluid: Optional[FluidDomain] = (
+            FluidDomain(self.ctx.sim)
+            if self.config.sim.data_plane == "fluid-bg" else None)
         self.ledger = ControlLedger()
         self.controller = SdnController(ledger=self.ledger)
         self.mme = MME()
@@ -85,7 +92,8 @@ class MobileNetwork:
         self._enb_count = itertools.count(0)
         self._server_ips = itertools.count(10)
         self._bg_count = itertools.count(1)
-        self._bg_loads: dict[str, tuple[PoissonSource, str, str]] = {}
+        # name -> (source-or-flow, site name, flow-rule cookie or None)
+        self._bg_loads: dict[str, tuple[object, str, Optional[str]]] = {}
         self.enb = self.add_enb("enb0")     # the default base station
         self._build_central_site()
 
@@ -96,11 +104,12 @@ class MobileNetwork:
                    qos: bool = True) -> Link:
         # each jittered link draws from its own named stream, so one
         # link's traffic volume cannot perturb another link's jitter
-        link = Link(self.sim, name, bandwidth=bandwidth, delay=delay,
-                    queue_bytes=queue_bytes, qos_priority=qos,
-                    jitter=jitter,
-                    rng=self.ctx.rng(f"net.link.{name}") if jitter > 0
-                    else None)
+        link_cls = Link if self.fluid is None else FluidLink
+        link = link_cls(self.sim, name, bandwidth=bandwidth, delay=delay,
+                        queue_bytes=queue_bytes, qos_priority=qos,
+                        jitter=jitter,
+                        rng=self.ctx.rng(f"net.link.{name}") if jitter > 0
+                        else None)
         if qos:
             apply_qci_priorities(link)
         self.links[name] = link
@@ -337,23 +346,31 @@ class MobileNetwork:
             priority=150, cookie=f"sgi-route:{ue.imsi}:{server_name}"))
 
     def add_background_load(self, rate: float, site_name: str = "central",
-                            sink_server: str = "internet",
-                            ) -> PoissonSource:
-        """Inject Poisson background traffic through a site's GW-Us.
+                            sink_server: str = "internet"):
+        """Inject background traffic through a site's GW-Us.
 
         Models the competing traffic of other users sharing the central
-        gateways (Figures 3(g) and 10(b)).  Each source draws from its
-        own named RNG stream and installs rules under its own cookie, so
-        individual loads can be torn down independently with
-        :meth:`remove_background_load`.
+        gateways (Figures 3(g) and 10(b)).  In the default ``"packet"``
+        data plane this builds a per-packet :class:`PoissonSource`; in
+        ``"fluid-bg"`` mode it builds an equivalent
+        :class:`~repro.sim.fluid.FluidFlow` along the same path.  Both
+        expose ``start()``/``stop()``/``name`` and can be torn down
+        independently with :meth:`remove_background_load`.
+
+        Each packet source draws from its own named RNG stream and
+        installs rules under its own cookie.
         """
         site = self.sgwc.site(site_name)
         sink = self.servers[sink_server]
         index = next(self._bg_count)
         cfg = self.config
+        if self.fluid is not None:
+            return self._add_fluid_background(rate, site, sink,
+                                              site_name, sink_server, index)
         cookie = f"bg:{index}"
         source = PoissonSource(self.sim, f"bg{index}", dst=sink.ip,
-                               rate=rate, rng=self.ctx.rng(f"net.bg.{index}"),
+                               rate=rate, ctx=self.ctx,
+                               stream=f"net.bg.{index}",
                                ip=f"198.18.0.{index}", qci=9)
         # fast ingress so the offered load fully reaches the shared GW-Us
         link = self._make_link(f"bg{index}", 10 * cfg.core_bandwidth, 0.001,
@@ -369,6 +386,45 @@ class MobileNetwork:
         self._bg_loads[source.name] = (source, site_name, cookie)
         return source
 
+    def _fluid_cpu(self, switch) -> object:
+        """The fluid CPU server for a gateway switch, wired on first use
+        so per-packet arrivals at that switch wait behind it."""
+        queue = self.fluid.cpu_queue(switch.name)
+        switch.set_fluid_cpu(queue)
+        return queue
+
+    def _add_fluid_background(self, rate: float, site, sink: Node,
+                              site_name: str, sink_server: str,
+                              index: int) -> FluidFlow:
+        """Fluid-mode twin of the packet background source: the same
+        GW-U path, as an aggregated rate (no per-packet events).
+
+        The hops mirror what every packet of the Poisson source pays in
+        packet mode: the SGW-U CPU, the S5 link, the PGW-U CPU and the
+        SGi link; when the sink echoes (the ``internet`` sink does),
+        the replies load the SGi reverse direction too, then die at the
+        PGW-U table miss -- which in packet mode costs no CPU, so the
+        echo leg ends there.  Steady-state CPU cost per packet is the
+        cached (fast-path) cost, since a long-lived flow's first packet
+        is the only slow-path hit.
+        """
+        flow = FluidFlow(self.fluid, f"bg{index}", src_ip=f"198.18.0.{index}",
+                         dst_ip=sink.ip, rate=rate, qci=9)
+        sgw_cost = site.sgw_u.profile.cost_for(cached=True)
+        if sgw_cost > 0.0:
+            flow.add_server(self._fluid_cpu(site.sgw_u), sgw_cost)
+        s5 = self.links[f"s5.{site_name}"]
+        flow.add_link(s5, site.sgw_u)
+        pgw_cost = site.pgw_u.profile.cost_for(cached=True)
+        if pgw_cost > 0.0:
+            flow.add_server(self._fluid_cpu(site.pgw_u), pgw_cost)
+        sgi = self.links[f"sgi.{sink_server}"]
+        flow.add_link(sgi, site.pgw_u)
+        if getattr(sink, "echo", False):
+            flow.add_link(sgi, sink)
+        self._bg_loads[flow.name] = (flow, site_name, None)
+        return flow
+
     def remove_background_load(self, source) -> None:
         """Tear down one background load (by source or name): stop its
         arrivals and remove its flow rules from the site's GW-Us."""
@@ -378,9 +434,10 @@ class MobileNetwork:
             raise KeyError(f"no background load named {name!r}")
         bg, site_name, cookie = entry
         bg.stop()
-        site = self.sgwc.site(site_name)
-        site.sgw_u.remove(cookie)
-        site.pgw_u.remove(cookie)
+        if cookie is not None:
+            site = self.sgwc.site(site_name)
+            site.sgw_u.remove(cookie)
+            site.pgw_u.remove(cookie)
 
     def background_loads(self) -> tuple[str, ...]:
         """Names of the currently-installed background loads."""

@@ -68,16 +68,19 @@ def run_ping(trial: TrialSpec) -> dict[str, Any]:
     * ``rtt_ms`` -- optional nominal server RTT selecting a delay
       profile from :data:`RTT_PROFILES` (conventional only);
     * ``bg_mbps`` -- background offered load in Mbit/s;
+    * ``data_plane`` -- ``packet`` (default) or ``fluid-bg``
+      (aggregated background, see :mod:`repro.sim.fluid`);
     * ``count`` / ``interval`` / ``size`` / ``warmup`` / ``tail`` --
       ping train shape.
     """
-    from repro.core.config import NetworkConfig
+    from repro.core.config import NetworkConfig, SimConfig
     from repro.core.network import MobileNetwork, Pinger
     from repro.epc.entities import ServicePolicy
 
     p = trial.param_dict
     system = p.get("system", "conventional")
     bg_mbps = float(p.get("bg_mbps", 0))
+    data_plane = p.get("data_plane", "packet")
     count = int(p.get("count", 8))
     interval = float(p.get("interval", 0.4))
     size = int(p.get("size", 1000))
@@ -92,7 +95,8 @@ def run_ping(trial: TrialSpec) -> dict[str, Any]:
     elif system == "mec-shared":
         delays = dict(backhaul_delay=0.0006, core_delay=0.0004,
                       internet_delay=0.0002)
-    config = NetworkConfig(seed=trial.seed, **delays)
+    config = NetworkConfig(seed=trial.seed,
+                           sim=SimConfig(data_plane=data_plane), **delays)
     network = MobileNetwork(config)
 
     if system == "acacia":
@@ -297,17 +301,20 @@ def run_scale(trial: TrialSpec) -> dict[str, Any]:
 
     * ``n_ues`` -- UEs attaching concurrently;
     * ``bg_mbps`` -- background offered load in Mbit/s (default 0);
+    * ``data_plane`` -- ``packet`` (default) or ``fluid-bg``;
     * ``pings`` -- ping-train length (default 5; 0 disables).
     """
-    from repro.core.config import NetworkConfig
+    from repro.core.config import NetworkConfig, SimConfig
     from repro.core.network import MobileNetwork, Pinger
 
     p = trial.param_dict
     n_ues = int(p.get("n_ues", 100))
     bg_mbps = float(p.get("bg_mbps", 0))
+    data_plane = p.get("data_plane", "packet")
     pings = int(p.get("pings", 5))
 
-    network = MobileNetwork(NetworkConfig(seed=trial.seed))
+    network = MobileNetwork(NetworkConfig(
+        seed=trial.seed, sim=SimConfig(data_plane=data_plane)))
     network.add_mec_site("mec")
     network.add_server("ci", site_name="mec", echo=True)
 
@@ -458,7 +465,9 @@ def run_end_to_end(trial: TrialSpec) -> dict[str, Any]:
 
     scenario = store_scenario()
     db = build_retail_database(scenario, n_features=n_features)
-    deployment = build_deployment(kind, db, scenario, seed=trial.seed)
+    deployment = build_deployment(
+        kind, db, scenario, seed=trial.seed,
+        data_plane=p.get("data_plane", "packet"))
     checkpoint = scenario.checkpoints[checkpoint_index]
     workload_ = CheckpointWorkload(scenario, db, seed=trial.seed,
                                    frames_per_object=frames,

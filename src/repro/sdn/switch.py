@@ -44,9 +44,18 @@ class FlowSwitch(Node):
         self.table: list[FlowRule] = []
         self._cache: dict[tuple, FlowRule] = {}
         self._cpu_free_at = 0.0
+        self._fluid_cpu = None
         self.table_misses = 0
         self.fast_path_hits = 0
         self.slow_path_hits = 0
+
+    def set_fluid_cpu(self, queue) -> None:
+        """Attach the fluid server modelling aggregated background load
+        on this switch's CPU (a :class:`repro.sim.fluid.FluidQueue`
+        with ``capacity=1.0`` in CPU-seconds per second).  Per-packet
+        arrivals then wait behind the fluid CPU backlog in addition to
+        the per-packet busy-until clock."""
+        self._fluid_cpu = queue
 
     # -- table management (driven by the controller) ---------------------
 
@@ -96,9 +105,16 @@ class FlowSwitch(Node):
             self.slow_path_hits += 1
         cost = self.profile.cost_for(cached)
         start = max(self.sim.now, self._cpu_free_at)
+        self._cpu_free_at = start + cost
+        fluid = self._fluid_cpu
+        if fluid is not None:
+            # aggregated background occupies the same serial CPU: the
+            # packet waits behind the instantaneous fluid backlog, but
+            # the wait is *not* chained into the busy-until clock (the
+            # backlog itself already carries that state forward)
+            start += fluid.packet_wait(self.sim.now)
         done = start + cost
-        self._cpu_free_at = done
-        if cost == 0.0 and start <= self.sim.now:
+        if done <= self.sim.now:
             self._forward(packet, rule)
         else:
             self.sim.schedule(done - self.sim.now, self._forward,

@@ -18,6 +18,7 @@ seed.
 
 from repro.sim.context import SimContext, derive_seed
 from repro.sim.engine import Event, Process, Simulator
+from repro.sim.fluid import FluidDomain, FluidFlow, FluidLink, FluidQueue
 from repro.sim.hooks import (HookBus, PacketDelivered, PacketDropped,
                              Subscription)
 from repro.sim.link import Link
@@ -32,6 +33,10 @@ __all__ = [
     "CBRSource",
     "Event",
     "FlowStats",
+    "FluidDomain",
+    "FluidFlow",
+    "FluidLink",
+    "FluidQueue",
     "GreedySource",
     "Header",
     "HookBus",

@@ -140,6 +140,8 @@ class LatencyProbe(_BusProbe):
         self.lost = 0
         self.lost_reasons: dict[str, int] = {}
         self._drop_subscription: Optional[Subscription] = None
+        # flow_id -> (packets folded, bytes folded) for fluid flows
+        self._fluid_marks: dict[str, tuple[int, int]] = {}
 
     def __call__(self, packet: "Packet") -> None:
         stats = self.flows.setdefault(packet.flow_id, FlowStats())
@@ -158,11 +160,36 @@ class LatencyProbe(_BusProbe):
         return self
 
     def _on_dropped(self, event: PacketDropped) -> None:
+        # a synthesized aggregate drop (fluid data plane) stands in for
+        # many packets; its weight rides in the packet metadata
+        count = event.packet.meta.get("fluid_packets", 1)
         stats = self.flows.setdefault(event.packet.flow_id, FlowStats())
-        stats.drops += 1
-        self.lost += 1
+        stats.drops += count
+        self.lost += count
         self.lost_reasons[event.reason] = \
-            self.lost_reasons.get(event.reason, 0) + 1
+            self.lost_reasons.get(event.reason, 0) + count
+
+    def fold_fluid(self, flow) -> None:
+        """Fold a :class:`~repro.sim.fluid.FluidFlow`'s byte counters
+        into its :class:`FlowStats`.
+
+        Incremental and idempotent: each call adds only the packets and
+        bytes delivered since the previous fold.  Fluid flows carry no
+        per-packet timestamps, so they contribute no latency samples;
+        their drops arrive as aggregate
+        :class:`~repro.sim.hooks.PacketDropped` events and are counted
+        by :meth:`watch_drops` like any other drop.
+        """
+        flow.sync()
+        stats = self.flows.setdefault(flow.flow_id, FlowStats())
+        prev_packets, prev_bytes = self._fluid_marks.get(flow.flow_id,
+                                                         (0, 0))
+        packets = flow.packets_delivered
+        delivered = int(flow.bytes_delivered)
+        stats.packets += packets - prev_packets
+        stats.bytes += delivered - prev_bytes
+        self.samples += packets - prev_packets
+        self._fluid_marks[flow.flow_id] = (packets, delivered)
 
     def snapshot(self) -> dict:
         """Per-poll counters (cheap: no per-flow scan)."""
@@ -207,8 +234,10 @@ class ThroughputMeter(_BusProbe):
         self.window = window
         self.total_bytes = 0
         self.total_packets = 0
-        self._buckets: dict[int, int] = {}
+        self._buckets: dict[int, float] = {}
         self._last_bucket = -1
+        # flow_id -> (checkpoints consumed, packets folded) per flow
+        self._fluid_marks: dict[str, tuple[int, int]] = {}
 
     def observe(self, packet: "Packet") -> None:
         bucket = int(self.sim.now / self.window)
@@ -230,6 +259,42 @@ class ThroughputMeter(_BusProbe):
         bps = np.array([self._buckets.get(i, 0) * 8 / self.window
                         for i in range(last + 1)], dtype=float)
         return times, bps
+
+    def fold_fluid(self, flow) -> None:
+        """Fold a :class:`~repro.sim.fluid.FluidFlow`'s deliveries into
+        the windowed series.
+
+        A fluid flow's delivery is piecewise linear between its solve
+        checkpoints; each segment's bytes are spread across the windows
+        it overlaps, so :meth:`series` and :meth:`mean_throughput` show
+        the same curve a per-packet sink would have produced (bucket
+        totals become floats).  Incremental and idempotent: each call
+        consumes only checkpoints recorded since the previous fold.
+        """
+        flow.sync()
+        points = flow.delivery_checkpoints()
+        idx, folded_packets = self._fluid_marks.get(flow.flow_id, (1, 0))
+        window = self.window
+        buckets = self._buckets
+        for i in range(max(idx, 1), len(points)):
+            t0, b0 = points[i - 1]
+            t1, b1 = points[i]
+            seg_bytes = b1 - b0
+            if seg_bytes <= 0.0 or t1 <= t0:
+                continue
+            for w in range(int(t0 / window), int(t1 / window) + 1):
+                lo = max(t0, w * window)
+                hi = min(t1, (w + 1) * window)
+                if hi <= lo:
+                    continue
+                buckets[w] = (buckets.get(w, 0)
+                              + seg_bytes * (hi - lo) / (t1 - t0))
+                if w > self._last_bucket:
+                    self._last_bucket = w
+            self.total_bytes += seg_bytes
+        packets = flow.packets_delivered
+        self.total_packets += packets - folded_packets
+        self._fluid_marks[flow.flow_id] = (max(len(points), 1), packets)
 
     def snapshot(self) -> dict:
         """Per-poll totals (incremental counters, no series rebuild)."""

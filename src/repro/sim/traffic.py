@@ -21,6 +21,7 @@ from repro.sim.node import Node
 from repro.sim.packet import Packet
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.context import SimContext
     from repro.sim.engine import Simulator
     from repro.sim.link import Link
 
@@ -28,6 +29,31 @@ _flow_ids = itertools.count(1)
 
 #: Default simulated MTU-sized payload (bytes).
 DEFAULT_PACKET_SIZE = 1400
+
+
+def _resolve_rng(name: str, rng: Optional[np.random.Generator],
+                 ctx: Optional["SimContext"],
+                 stream: Optional[str]) -> Optional[np.random.Generator]:
+    """Resolve a source's generator from a named context stream.
+
+    The preferred spelling is ``ctx=...`` (plus an optional ``stream``
+    name, defaulting to ``traffic.<source name>``), which draws from
+    the :class:`~repro.sim.context.SimContext`'s seed-derived stream
+    tree like the rest of the stack -- two sources can then never
+    perturb each other's randomness.  A bare ``rng=...`` generator is
+    still accepted for self-contained unit use.
+    """
+    if rng is not None:
+        if ctx is not None:
+            raise ValueError("pass either rng or ctx, not both")
+        if stream is not None:
+            raise ValueError("stream requires a ctx")
+        return rng
+    if ctx is not None:
+        return ctx.rng(stream if stream is not None else f"traffic.{name}")
+    if stream is not None:
+        raise ValueError("stream requires a ctx")
+    return None
 
 
 class CBRSource(Node):
@@ -73,16 +99,26 @@ class CBRSource(Node):
 
 
 class PoissonSource(Node):
-    """Poisson arrivals at a mean rate (bits/sec)."""
+    """Poisson arrivals at a mean rate (bits/sec).
+
+    Randomness comes from a named :class:`~repro.sim.context.SimContext`
+    stream (``ctx=..., stream="traffic.<id>"`` by default) or, for
+    self-contained use, an explicit ``rng`` generator.
+    """
 
     def __init__(self, sim: "Simulator", name: str, dst: str,
-                 rate: float, rng: np.random.Generator,
+                 rate: float, rng: Optional[np.random.Generator] = None,
                  packet_size: int = DEFAULT_PACKET_SIZE,
                  port: str = "out", ip: Optional[str] = None,
-                 qci: Optional[int] = None) -> None:
+                 qci: Optional[int] = None,
+                 ctx: Optional["SimContext"] = None,
+                 stream: Optional[str] = None) -> None:
         super().__init__(sim, name, ip)
         if rate <= 0:
             raise ValueError("rate must be positive bits/sec")
+        rng = _resolve_rng(name, rng, ctx, stream)
+        if rng is None:
+            raise ValueError("PoissonSource needs a ctx (preferred) or rng")
         self.dst = dst
         self.rate = rate
         self.rng = rng
@@ -126,13 +162,26 @@ class GreedySource(Node):
     def __init__(self, sim: "Simulator", name: str, dst: str,
                  packet_size: int = DEFAULT_PACKET_SIZE, window: int = 64,
                  port: str = "out", ip: Optional[str] = None,
-                 qci: Optional[int] = None) -> None:
+                 qci: Optional[int] = None,
+                 rng: Optional[np.random.Generator] = None,
+                 ctx: Optional["SimContext"] = None,
+                 stream: Optional[str] = None,
+                 ack_jitter: float = 0.0) -> None:
         super().__init__(sim, name, ip)
+        if ack_jitter < 0:
+            raise ValueError("ack_jitter must be non-negative")
         self.dst = dst
         self.packet_size = packet_size
         self.window = window
         self.out_port = port
         self.qci = qci
+        # optional sender-side pacing jitter (models host scheduling
+        # noise); with ack_jitter == 0 the source is fully deterministic
+        # and never touches the stream
+        self.rng = _resolve_rng(name, rng, ctx, stream)
+        self.ack_jitter = ack_jitter
+        if ack_jitter > 0 and self.rng is None:
+            raise ValueError("ack_jitter requires a ctx or rng")
         self.flow_id = f"greedy-{next(_flow_ids)}"
         self.packets_sent = 0
         self.acks_received = 0
@@ -158,7 +207,11 @@ class GreedySource(Node):
     def on_receive(self, packet: Packet, link: "Link") -> None:
         self.acks_received += 1
         self.bytes_acked += packet.size
-        self._send_one()
+        if self.ack_jitter > 0:
+            self.sim.schedule(float(self.rng.uniform(0.0, self.ack_jitter)),
+                              self._send_one)
+        else:
+            self._send_one()
 
     def goodput(self, now: Optional[float] = None) -> float:
         """Acknowledged payload rate in bits/sec since start."""

@@ -113,6 +113,59 @@ SCHEDULER_INTERNALS = {"_heap", "_now_lane", "_runlist", "_wheel",
                        "_scheduler", "_schedule_internal"}
 
 
+#: Fluid data-plane internals: entry tables, per-direction queue maps
+#: and the rate solver are private to ``repro.sim.fluid``.  Other layers
+#: compose fluid traffic only through the public ``FluidDomain`` /
+#: ``FluidFlow`` / ``FluidLink`` surface (``attach`` is called by
+#: ``FluidFlow`` itself).  ``core/network.py`` is the single sanctioned
+#: wiring point outside ``repro.sim``.
+FLUID_INTERNALS = {"_attach_fluid", "_entries", "_fluid_by_dir",
+                   "_fluid_domain", "_solve_rates", "_accrue_drops",
+                   "_rearm_flush", "_hops"}
+
+FLUID_WIRING_FILES = {"core/network.py"}
+
+
+def test_fluid_importable_only_from_sanctioned_layers():
+    """Only ``repro.sim`` and ``core/network.py`` import the fluid module.
+
+    Everything else selects the data plane declaratively through
+    ``SimConfig.data_plane`` and never names ``repro.sim.fluid``.
+    """
+    violations = []
+    for path in SRC.rglob("*.py"):
+        rel = path.relative_to(SRC).as_posix()
+        if (SRC / "sim") in path.parents or rel in FLUID_WIRING_FILES:
+            continue
+        for imported in module_scope_imports(path):
+            if imported == "repro.sim.fluid":
+                violations.append(f"{rel}: imports {imported}")
+    assert violations == [], (
+        "repro.sim.fluid imported outside its sanctioned layers; select "
+        f"the data plane via SimConfig.data_plane instead: {violations}")
+
+
+def test_no_fluid_internals_outside_sim():
+    """Nothing outside ``repro.sim`` (plus the network wiring point)
+    touches fluid data-plane internals.  ``self.<name>`` is allowed for
+    the same reason as the scheduler gate below."""
+    violations = []
+    for path in SRC.rglob("*.py"):
+        rel = path.relative_to(SRC).as_posix()
+        if (SRC / "sim") in path.parents or rel in FLUID_WIRING_FILES:
+            continue
+        for node in ast.walk(ast.parse(path.read_text())):
+            if (isinstance(node, ast.Attribute)
+                    and node.attr in FLUID_INTERNALS
+                    and not (isinstance(node.value, ast.Name)
+                             and node.value.id == "self")):
+                violations.append(f"{rel}:{node.lineno}: "
+                                  f"touches .{node.attr}")
+    assert violations == [], (
+        "fluid data-plane internals leaked; use the FluidDomain/"
+        f"FluidFlow/FluidLink public surface instead: {violations}")
+
+
 def test_no_scheduler_internals_outside_sim():
     """Nothing outside ``repro.sim`` touches scheduler internals.
 
