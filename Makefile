@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test lint bench bench-matcher bench-resilience bench-sim bench-sim-smoke bench-scale bench-scale-smoke examples quick exp-smoke all clean-results
+.PHONY: test lint bench bench-matcher bench-resilience bench-sim bench-sim-smoke bench-scale bench-scale-smoke bench-continuity bench-continuity-smoke examples quick exp-smoke all clean-results
 
 test:
 	$(PYTHON) -m pytest tests/ -q
@@ -33,6 +33,12 @@ bench-scale:   ## fluid vs packet data plane + 100k-UE scenario -> BENCH_scale.j
 
 bench-scale-smoke:   ## quick fluid-plane gates, no committed output
 	PYTHONPATH=src $(PYTHON) tools/bench_scale.py --smoke --out /tmp/BENCH_scale_smoke.json
+
+bench-continuity:   ## relocation policies across the edge fabric -> BENCH_continuity.json
+	PYTHONPATH=src $(PYTHON) tools/bench_continuity.py
+
+bench-continuity-smoke:   ## quick continuity + determinism gates, no committed output
+	PYTHONPATH=src $(PYTHON) tools/bench_continuity.py --smoke --out /tmp/BENCH_continuity_smoke.json
 
 quick:   ## tests + the sub-second benchmarks only
 	$(PYTHON) -m pytest tests/ -q

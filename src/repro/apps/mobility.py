@@ -10,6 +10,7 @@ localisation) moves along automatically when a customer app is bound.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
@@ -47,19 +48,36 @@ class MobilityManager:
     def __init__(self, network: "MobileNetwork",
                  enb_positions: dict[str, Position],
                  update_interval: float = 1.0,
-                 hysteresis: float = 3.0) -> None:
+                 hysteresis: float = 3.0,
+                 hysteresis_db: float = 0.0,
+                 path_loss_exponent: float = 3.0) -> None:
         """``hysteresis`` is the metres by which a neighbour cell must
-        be closer before a handover is triggered (A3-offset analog)."""
+        be closer before a handover is triggered (A3-offset analog).
+
+        ``hysteresis_db`` expresses the same A3 offset in received-power
+        terms: under a log-distance path-loss model with exponent
+        ``path_loss_exponent``, the neighbour must look
+        ``10 * n * log10(d_serving / d_neighbour)`` dB stronger before
+        the handover fires.  Both margins must be met.  The default of
+        ``0.0`` dB disables the power criterion, preserving the
+        distance-only behaviour.
+        """
         unknown = set(enb_positions) - set(network.enbs)
         if unknown:
             raise ValueError(f"positions given for unknown eNodeBs: "
                              f"{sorted(unknown)}")
         if update_interval <= 0:
             raise ValueError("update interval must be positive")
+        if hysteresis_db < 0:
+            raise ValueError("hysteresis_db must be >= 0")
+        if path_loss_exponent <= 0:
+            raise ValueError("path_loss_exponent must be positive")
         self.network = network
         self.enb_positions = dict(enb_positions)
         self.update_interval = update_interval
         self.hysteresis = hysteresis
+        self.hysteresis_db = hysteresis_db
+        self.path_loss_exponent = path_loss_exponent
         self.users: dict[str, MobileUser] = {}
 
     # -- registration ---------------------------------------------------------
@@ -112,15 +130,28 @@ class MobilityManager:
         best = self.best_cell(position)
         if best == current:
             return
-        gain = (self._distance_to(current, position)
-                - self._distance_to(best, position))
-        if gain < self.hysteresis:
+        d_current = self._distance_to(current, position)
+        d_best = self._distance_to(best, position)
+        if d_current - d_best < self.hysteresis:
             return
+        if self.hysteresis_db > 0.0:
+            gain_db = self._gain_db(d_current, d_best)
+            if gain_db < self.hysteresis_db:
+                return
         # run the handover as a process: the tick loop (and every other
         # user's signalling) keeps going while this one's is in flight
         user.handover_in_flight = True
         self.network.sim.spawn(self._handover_proc(user, current, best),
                                name=f"mobility-ho:{ue.name}")
+
+    def _gain_db(self, d_current: float, d_best: float) -> float:
+        """Neighbour-over-serving received-power advantage in dB under
+        log-distance path loss (zero-distance clamps avoid a log blowup
+        when the UE stands on an antenna)."""
+        d_current = max(d_current, 1e-3)
+        d_best = max(d_best, 1e-3)
+        return (10.0 * self.path_loss_exponent
+                * math.log10(d_current / d_best))
 
     def _handover_proc(self, user: MobileUser, current: str, best: str):
         try:

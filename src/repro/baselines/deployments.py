@@ -45,6 +45,8 @@ DEPLOYMENT_KINDS = ("cloud", "mec", "acacia")
 AR_SERVER_NAME = "ar-server"
 AR_SERVICE_ID = "ar-retail"
 
+CI_ECHO_SERVICE_ID = "ci-echo"
+
 
 @dataclass
 class Deployment:
@@ -186,3 +188,88 @@ def build_deployment(kind: str, db: ObjectDatabase,
                       ue=ue, scheme="acacia", channel=channel, store=store,
                       mrs=mrs, device_manager=device_manager,
                       customer=customer, localization=localization)
+
+
+# -- multi-site edge fabric ------------------------------------------------
+
+
+@dataclass
+class EdgeFabric:
+    """A multi-site continuity deployment, ready for mobile UEs.
+
+    ``enb_positions`` lays the cells on a line (``cell_spacing`` metres
+    apart) for a :class:`~repro.apps.mobility.MobilityManager`;
+    ``site_of_enb`` / ``server_of_site`` record the home-site mapping
+    and each site's CI echo server.
+    """
+
+    network: MobileNetwork
+    mrs: MecRegistrationServer
+    service_id: str
+    enb_positions: dict[str, tuple[float, float]]
+    site_of_enb: dict[str, str]
+    server_of_site: dict[str, str]
+
+    @property
+    def site_names(self) -> list[str]:
+        return list(self.server_of_site)
+
+
+def build_edge_fabric(n_sites: int = 3, enbs_per_site: int = 2,
+                      seed: int = 0,
+                      continuity=None,
+                      signalling_config: Optional[SignallingConfig] = None,
+                      data_plane: str = "packet",
+                      cell_spacing: float = 100.0) -> EdgeFabric:
+    """Build an N-site edge fabric with one CI echo server per site.
+
+    The cells sit on a line, ``enbs_per_site`` consecutive cells homed
+    on each edge site, so a UE walking the line sweeps every site and
+    crosses ``n_sites - 1`` site boundaries.  Each site runs one
+    instance of a CI echo service registered with the MRS; handing
+    over across a boundary triggers application-context relocation
+    under ``continuity`` (a
+    :class:`~repro.core.config.ContinuityConfig`; the network default
+    when omitted).
+    """
+    if n_sites < 2:
+        raise ValueError("an edge fabric needs at least 2 sites")
+    if enbs_per_site < 1:
+        raise ValueError("each site needs at least one cell")
+    if cell_spacing <= 0:
+        raise ValueError("cell_spacing must be positive")
+    config = _network_config(seed, signalling_config, data_plane)
+    if continuity is not None:
+        config.continuity = continuity
+    network = MobileNetwork(config)
+
+    enb_positions: dict[str, tuple[float, float]] = {
+        "enb0": (0.0, 0.0)}     # the constructor's default cell
+    for i in range(1, n_sites * enbs_per_site):
+        network.add_enb(f"enb{i}")
+        enb_positions[f"enb{i}"] = (cell_spacing * i, 0.0)
+
+    site_of_enb: dict[str, str] = {}
+    server_of_site: dict[str, str] = {}
+    mrs = MecRegistrationServer(network)
+    mrs.register_service(CIService(
+        service_id=CI_ECHO_SERVICE_ID,
+        lte_direct_service="ci-echo-discovery"))
+    for s in range(n_sites):
+        site_name = f"edge{s}"
+        home = tuple(f"enb{s * enbs_per_site + k}"
+                     for k in range(enbs_per_site))
+        network.add_edge_site(site_name, home_enbs=home)
+        for enb_name in home:
+            site_of_enb[enb_name] = site_name
+        server_name = f"ci-{site_name}"
+        network.add_server(server_name, site_name=site_name, echo=True)
+        server_of_site[site_name] = server_name
+        mrs.deploy_instance(CI_ECHO_SERVICE_ID, server_name, site_name,
+                            serves_enbs=set(home))
+
+    return EdgeFabric(network=network, mrs=mrs,
+                      service_id=CI_ECHO_SERVICE_ID,
+                      enb_positions=enb_positions,
+                      site_of_enb=site_of_enb,
+                      server_of_site=server_of_site)

@@ -58,6 +58,10 @@ class NetworkConfig:
     resilience: "ResilienceConfig" = field(
         default_factory=lambda: ResilienceConfig())
 
+    # multi-site edge fabric / session continuity
+    continuity: "ContinuityConfig" = field(
+        default_factory=lambda: ContinuityConfig())
+
     # discrete-event engine
     sim: "SimConfig" = field(default_factory=lambda: SimConfig())
 
@@ -168,6 +172,57 @@ class ResilienceConfig:
             backoff=self.backoff,
             max_retries=self.max_retries,
         )
+
+
+#: Application-context relocation policies (see :mod:`repro.core.mrs`).
+CONTINUITY_POLICIES = ("make-before-break", "break-before-make")
+
+
+@dataclass
+class ContinuityConfig:
+    """Parameters of the multi-site edge fabric and session continuity.
+
+    Governs the inter-site WAN links created between
+    :class:`~repro.core.network.EdgeSite` deployments and the
+    application-context relocation the MRS performs when a handover
+    carries a UE across a site boundary:
+
+    * ``policy`` -- ``"make-before-break"`` pre-copies the CI
+      application context to the target site while the old path keeps
+      serving, switches the bearer, then delta-syncs what changed
+      during the copy; ``"break-before-make"`` withdraws the old path
+      first and transfers the full context during the outage.
+    * ``context_size_bytes`` -- size of one session's application
+      context (the state-transfer cost model is context size x
+      inter-site link throughput, transferred as simulated traffic).
+    * ``delta_fraction`` -- fraction of the context re-sent by the
+      make-before-break delta-sync step.
+    * ``wan_delay`` / ``wan_bandwidth`` / ``wan_queue_bytes`` -- the
+      inter-site WAN link parameters (one duplex link per site pair).
+    """
+
+    policy: str = "make-before-break"
+    context_size_bytes: int = 2_000_000       # ~2 MB of session state
+    chunk_bytes: int = 64_000                 # transfer segment size
+    delta_fraction: float = 0.05              # MBB delta-sync share
+    wan_delay: float = 0.002                  # one-way inter-site hop
+    wan_bandwidth: float = 1e9                # metro fibre between sites
+    wan_queue_bytes: int = 4_000_000          # deep enough for a burst
+
+    def __post_init__(self) -> None:
+        if self.policy not in CONTINUITY_POLICIES:
+            raise ValueError(f"unknown continuity policy {self.policy!r}; "
+                             f"expected one of {CONTINUITY_POLICIES}")
+        if self.context_size_bytes < 0:
+            raise ValueError("context size must be non-negative")
+        if self.chunk_bytes <= 0:
+            raise ValueError("chunk size must be positive")
+        if not (0.0 <= self.delta_fraction <= 1.0):
+            raise ValueError("delta fraction must be in [0, 1]")
+        if self.wan_bandwidth <= 0:
+            raise ValueError("WAN bandwidth must be positive")
+        if self.wan_delay < 0:
+            raise ValueError("WAN delay must be non-negative")
 
 
 #: Available data-plane models (see :mod:`repro.sim.fluid`).

@@ -33,3 +33,46 @@ class SessionRestored:
     imsi: str
     service_id: str
     time: float
+
+
+@dataclass(frozen=True)
+class SessionRelocating:
+    """A CI session started moving to another edge site.
+
+    Emitted by the MRS when a handover carries the UE across a site
+    boundary (or relocation is requested explicitly) and the
+    application-context transfer begins.  ``policy`` is the
+    :class:`~repro.core.config.ContinuityConfig` relocation policy in
+    force (``"make-before-break"`` / ``"break-before-make"``).
+    """
+
+    imsi: str
+    service_id: str
+    from_site: str
+    to_site: str
+    policy: str
+    time: float
+
+
+@dataclass(frozen=True)
+class SessionRelocated:
+    """A CI session finished moving to another edge site.
+
+    ``interruption`` is the measured CI-session interruption in
+    simulated seconds: for make-before-break, the bearer switchover
+    plus the delta-sync; for break-before-make, the whole
+    withdraw-transfer-reinstall window.  ``transferred_bytes`` is the
+    application context actually moved over the inter-site WAN and
+    ``duration`` the end-to-end relocation time including any
+    pre-copy.
+    """
+
+    imsi: str
+    service_id: str
+    from_site: str
+    to_site: str
+    policy: str
+    interruption: float
+    transferred_bytes: int
+    duration: float
+    time: float

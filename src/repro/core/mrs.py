@@ -18,6 +18,17 @@ the central gateway path (default bearer only), emitting
 :class:`~repro.core.events.SessionDegraded`; when the fault clears,
 degraded sessions get their dedicated MEC path rebuilt and
 :class:`~repro.core.events.SessionRestored` fires.
+
+Session continuity: on an edge fabric (multiple
+:meth:`~repro.core.network.MobileNetwork.add_edge_site` sites) the MRS
+also watches :class:`~repro.epc.events.HandoverCompleted`.  A handover
+into a cell homed on a different site triggers application-context
+relocation -- the context is shipped over the inter-site WAN and the
+dedicated bearer re-steered to the target site's gateways -- under the
+make-before-break or break-before-make policy selected by
+:class:`~repro.core.config.ContinuityConfig`, emitting
+``SessionRelocating`` / ``SessionRelocated`` with the measured
+CI-session interruption.
 """
 
 from __future__ import annotations
@@ -25,9 +36,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
-from repro.core.events import SessionDegraded, SessionRestored
+from repro.core.events import (SessionDegraded, SessionRelocated,
+                               SessionRelocating, SessionRestored)
 from repro.core.service import CIServerInstance, CIService, ServiceRegistry
 from repro.epc.entities import ServicePolicy
+from repro.epc.events import HandoverCompleted
 from repro.epc.procedures import ProcedureResult
 from repro.faults.events import FaultCleared, FaultInjected
 from repro.faults.plan import LinkDown, McServerOutage
@@ -70,8 +83,14 @@ class MecRegistrationServer:
         self.degraded: dict[tuple[str, str], DegradedSession] = {}
         self._down_servers: set[str] = set()
         self._down_sites: set[str] = set()
+        #: sessions with an application-context relocation in flight
+        self._relocating: set[tuple[str, str]] = set()
+        self.relocations_started = 0
+        self.relocations_completed = 0
+        self.relocations_skipped_fault = 0
         network.hooks.on(FaultInjected, self._on_fault)
         network.hooks.on(FaultCleared, self._on_fault_cleared)
+        network.hooks.on(HandoverCompleted, self._on_handover)
 
     # -- service management (operator-facing) ------------------------------
 
@@ -156,6 +175,110 @@ class MecRegistrationServer:
             return session
         self.release_connectivity(ue, service_id)
         return self.request_connectivity(ue, service_id)
+
+    # -- application-context relocation (edge-fabric mobility) -------------
+
+    def _on_handover(self, event: HandoverCompleted) -> None:
+        """Follow the UE across a site boundary.
+
+        When the target cell's home edge site differs from the site
+        anchoring a live session, start an application-context
+        relocation per the configured
+        :class:`~repro.core.config.ContinuityConfig` policy.  Cells
+        without a home site (single-site deployments) never trigger
+        this, so existing topologies behave exactly as before.
+        """
+        to_site = self.network.home_site_of(event.target.name)
+        if to_site is None:
+            return
+        for session in list(self.sessions.values()):
+            if session.imsi == event.ue.imsi:
+                self._maybe_relocate(event.ue, session, to_site)
+
+    def _maybe_relocate(self, ue: "UEDevice", session: ActiveSession,
+                        to_site: str) -> None:
+        key = (session.imsi, session.service_id)
+        if key in self._relocating:
+            return          # a relocation for this session is in flight
+        from_site = session.instance.site_name
+        if from_site == to_site:
+            return
+        service = self.registry.get(session.service_id)
+        target = next(
+            (i for i in service.instances
+             if i.site_name == to_site
+             and i.server_name not in self._down_servers
+             and i.site_name not in self._down_sites), None)
+        if target is None:
+            # the target site has no healthy instance: stay anchored at
+            # the current site (the SGW keeps the old bearer working)
+            # rather than stranding the session mid-move
+            self.relocations_skipped_fault += 1
+            return
+        self._relocating.add(key)
+        self.relocations_started += 1
+        self.network.sim.spawn(
+            self._relocate_proc(ue, session, target),
+            name=f"relocate:{session.imsi}:{session.service_id}")
+
+    def _relocate_proc(self, ue: "UEDevice", session: ActiveSession,
+                       target: CIServerInstance):
+        """Move a session's application context between edge sites.
+
+        *make-before-break*: pre-copy the bulk of the context while the
+        old path still serves traffic, re-steer the bearer, then
+        delta-sync what changed during the pre-copy -- the session is
+        only interrupted for the re-steer plus the delta.
+
+        *break-before-make*: withdraw the bearer's flow rules first,
+        transfer the whole context, then re-steer -- simpler, but the
+        session is down for the entire transfer.
+
+        The measured interruption (and the bytes actually moved over
+        the inter-site WAN) are published on
+        :class:`~repro.core.events.SessionRelocated`.
+        """
+        key = (session.imsi, session.service_id)
+        net = self.network
+        cfg = net.config.continuity
+        cp = net.control_plane
+        from_site = session.instance.site_name
+        started_at = net.sim.now
+        self._emit(SessionRelocating, imsi=session.imsi,
+                   service_id=session.service_id, from_site=from_site,
+                   to_site=target.site_name, policy=cfg.policy,
+                   time=started_at)
+        try:
+            if cfg.policy == "make-before-break":
+                delta = int(cfg.context_size_bytes * cfg.delta_fraction)
+                precopy = cfg.context_size_bytes - delta
+                yield net.context_transfer_async(from_site, target.site_name,
+                                                 precopy)
+                break_at = net.sim.now
+                yield cp.resteer_bearer_async(ue, session.ebi,
+                                              target.site_name,
+                                              target.server_ip)
+                yield net.context_transfer_async(from_site, target.site_name,
+                                                 delta)
+            else:   # break-before-make
+                break_at = net.sim.now
+                yield cp.suspend_bearer_flows_async(ue, session.ebi)
+                yield net.context_transfer_async(from_site, target.site_name,
+                                                 cfg.context_size_bytes)
+                yield cp.resteer_bearer_async(ue, session.ebi,
+                                              target.site_name,
+                                              target.server_ip)
+            session.instance = target
+            self.relocations_completed += 1
+            self._emit(SessionRelocated, imsi=session.imsi,
+                       service_id=session.service_id, from_site=from_site,
+                       to_site=target.site_name, policy=cfg.policy,
+                       interruption=net.sim.now - break_at,
+                       transferred_bytes=cfg.context_size_bytes,
+                       duration=net.sim.now - started_at,
+                       time=net.sim.now)
+        finally:
+            self._relocating.discard(key)
 
     # -- graceful degradation (fault-layer driven) -------------------------
 

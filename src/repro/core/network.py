@@ -11,6 +11,7 @@ load, and use :class:`Pinger` for RTT measurements.
 from __future__ import annotations
 
 import itertools
+from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.core.config import NetworkConfig
@@ -31,11 +32,40 @@ from repro.sdn.dataplane import DataPlaneProfile
 from repro.sdn.openflow import FlowMatch, FlowRule, GtpDecap, Output
 from repro.sdn.switch import FlowSwitch
 from repro.sim.context import SimContext
+from repro.sim.engine import Future
 from repro.sim.fluid import FluidDomain, FluidFlow, FluidLink
 from repro.sim.link import Link
 from repro.sim.node import Node, PacketSink
 from repro.sim.packet import Packet
 from repro.sim.traffic import PoissonSource
+
+
+def wan_link_name(site_a: str, site_b: str) -> str:
+    """Canonical (order-independent) name of an inter-site WAN link."""
+    first, second = sorted((site_a, site_b))
+    return f"wan.{first}.{second}"
+
+
+@dataclass
+class EdgeSite:
+    """One deployment site of the multi-site edge fabric.
+
+    Wraps the :class:`~repro.epc.entities.GatewaySite` (local split
+    SGW-U/PGW-U pair plus MEC server pods behind the shared SDN
+    controller) with the fabric-level state the continuity machinery
+    needs: which eNodeBs call this site *home* (drive auto-relocation
+    on handover), the site's MEC I/O endpoint for application-context
+    transfer, and its ports onto the inter-site WAN mesh.
+    """
+
+    name: str
+    site: GatewaySite
+    #: eNodeBs whose UEs are served from this site by default
+    home_enbs: set[str] = field(default_factory=set)
+    #: context-transfer endpoint (one per site, on the WAN mesh)
+    transfer: Optional[PacketSink] = None
+    #: peer site name -> this site's transfer-node port toward it
+    wan_ports: dict[str, str] = field(default_factory=dict)
 
 
 class MobileNetwork:
@@ -84,6 +114,11 @@ class MobileNetwork:
         self.ues: dict[str, UEDevice] = {}
         self.servers: dict[str, Node] = {}
         self.sites: dict[str, GatewaySite] = {}
+        #: first-class edge-fabric sites by name (see :meth:`add_edge_site`)
+        self.edge_sites: dict[str, EdgeSite] = {}
+        #: eNodeB name -> its home edge site (drives auto-relocation)
+        self._enb_home: dict[str, str] = {}
+        self._edge_site_count = itertools.count(0)
         #: every data-plane link by name (the fault layer targets these)
         self.links: dict[str, Link] = {}
         #: per-site S1 wiring parameters, for attaching later eNodeBs
@@ -179,6 +214,114 @@ class MobileNetwork:
             name, cfg.mec_backhaul_delay, cfg.mec_core_delay,
             cfg.mec_bandwidth, cfg.mec_queue_bytes,
             profile or cfg.mec_profile)
+
+    # -- edge fabric (multi-site session continuity) -----------------------
+
+    def add_edge_site(self, name: str,
+                      home_enbs: tuple[str, ...] = (),
+                      profile: Optional[DataPlaneProfile] = None,
+                      ) -> EdgeSite:
+        """Deploy a first-class edge-fabric site.
+
+        Builds the local split GW-Us (exactly like :meth:`add_mec_site`)
+        plus the continuity machinery: a MEC I/O endpoint for
+        application-context transfer and one inter-site WAN link to
+        every existing edge site (a full mesh, parameters from
+        ``config.continuity``).  ``home_enbs`` maps eNodeBs to this
+        site; a handover onto one of them makes the MRS consider this
+        site the session's natural anchor.
+        """
+        if name in self.edge_sites:
+            raise ValueError(f"edge site {name!r} already exists")
+        site = self.add_mec_site(name, profile=profile)
+        cfg = self.config.continuity
+        index = next(self._edge_site_count)
+        transfer = PacketSink(self.sim, f"mecio.{name}",
+                              ip=f"10.200.{index}.1",
+                              on_packet=self._on_context_chunk)
+        edge = EdgeSite(name=name, site=site, transfer=transfer)
+        for peer_name, peer in self.edge_sites.items():
+            wan = self._make_link(wan_link_name(name, peer_name),
+                                  cfg.wan_bandwidth, cfg.wan_delay,
+                                  cfg.wan_queue_bytes)
+            transfer.attach(f"wan:{peer_name}", wan)
+            peer.transfer.attach(f"wan:{name}", wan)
+            edge.wan_ports[peer_name] = f"wan:{peer_name}"
+            peer.wan_ports[name] = f"wan:{name}"
+        self.edge_sites[name] = edge
+        for enb_name in home_enbs:
+            self.set_home_site(enb_name, name)
+        return edge
+
+    def set_home_site(self, enb_name: str, site_name: str) -> None:
+        """Declare an eNodeB's home edge site (re-homing is allowed)."""
+        if enb_name not in self.enbs:
+            raise ValueError(f"unknown eNodeB {enb_name!r}; known: "
+                             f"{sorted(self.enbs)}")
+        if site_name not in self.edge_sites:
+            raise ValueError(f"unknown edge site {site_name!r}; known: "
+                             f"{sorted(self.edge_sites)}")
+        previous = self._enb_home.get(enb_name)
+        if previous is not None:
+            self.edge_sites[previous].home_enbs.discard(enb_name)
+        self._enb_home[enb_name] = site_name
+        self.edge_sites[site_name].home_enbs.add(enb_name)
+
+    def home_site_of(self, enb_name: str) -> Optional[str]:
+        """The edge site an eNodeB is homed to (None outside the fabric)."""
+        return self._enb_home.get(enb_name)
+
+    def context_transfer_async(self, src_site: str, dst_site: str,
+                               nbytes: int,
+                               chunk_bytes: Optional[int] = None) -> Future:
+        """Move application context between edge sites as real traffic.
+
+        The state-transfer cost model: ``nbytes`` of context cross the
+        inter-site WAN link as chunked packets paced at the link rate,
+        so the transfer takes (roughly) ``size / throughput`` plus the
+        propagation delay -- and genuinely contends with anything else
+        riding the same link.  Returns a
+        :class:`~repro.sim.engine.Future` resolving to the transferred
+        byte count when the last chunk arrives at the target site.
+        """
+        for site_name in (src_site, dst_site):
+            if site_name not in self.edge_sites:
+                raise ValueError(f"unknown edge site {site_name!r}; known: "
+                                 f"{sorted(self.edge_sites)}")
+        src = self.edge_sites[src_site]
+        dst = self.edge_sites[dst_site]
+        future = Future(self.sim)
+        if nbytes <= 0:
+            future.resolve(0)
+            return future
+        port = src.wan_ports.get(dst_site)
+        if port is None:
+            raise ValueError(f"no WAN link between {src_site!r} and "
+                             f"{dst_site!r}")
+        wan = self.links[wan_link_name(src_site, dst_site)]
+        chunk = chunk_bytes or self.config.continuity.chunk_bytes
+        remaining = int(nbytes)
+        offset = 0.0
+        while remaining > 0:
+            size = min(chunk, remaining)
+            remaining -= size
+            packet = Packet(src=src.transfer.ip, dst=dst.transfer.ip,
+                            size=size, protocol="MECIO",
+                            created_at=self.sim.now)
+            if remaining <= 0:
+                packet.meta["transfer_future"] = future
+                packet.meta["transfer_bytes"] = int(nbytes)
+            # source-paced at the link rate: the queue never builds
+            # beyond a chunk, so deep bursts cannot overflow the WAN
+            self.sim.schedule(offset, src.transfer.send, port, packet)
+            offset += packet.wire_size * 8.0 / wan.bandwidth
+        return future
+
+    @staticmethod
+    def _on_context_chunk(packet: Packet) -> None:
+        future = packet.meta.get("transfer_future")
+        if future is not None:
+            future.resolve(packet.meta.get("transfer_bytes", 0))
 
     def add_server(self, name: str, site_name: str = "central",
                    delay: Optional[float] = None, echo: bool = False,
@@ -301,17 +444,26 @@ class MobileNetwork:
         return self.sim.run_until_complete(
             self.handover_async(ue, target_enb_name))
 
+    def _target_enb(self, target_enb_name: str) -> ENodeB:
+        """Resolve a handover target, failing loudly on unknown names."""
+        enb = self.enbs.get(target_enb_name)
+        if enb is None:
+            raise ValueError(
+                f"unknown target eNodeB {target_enb_name!r}; known "
+                f"eNodeBs: {sorted(self.enbs)}")
+        return enb
+
     def handover_async(self, ue: UEDevice, target_enb_name: str):
         """Wire the target-cell radio and start the X2 handover as a
         process (its value is the :class:`ProcedureResult`)."""
-        target = self.enbs[target_enb_name]
+        target = self._target_enb(target_enb_name)
         port = self._wire_radio(ue, target)
         return self.control_plane.handover_async(ue, target, radio_port=port)
 
     def s1_handover(self, ue: UEDevice, target_enb_name: str
                     ) -> ProcedureResult:
         """MME-coordinated handover variant (no X2 between the cells)."""
-        target = self.enbs[target_enb_name]
+        target = self._target_enb(target_enb_name)
         port = self._wire_radio(ue, target)
         return self.control_plane.s1_handover(ue, target, radio_port=port)
 

@@ -29,7 +29,7 @@ callbacks while the simulation is running.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from repro.epc import messages as m
@@ -265,6 +265,46 @@ class EPCControlPlane:
                                                      telemetry=result)
         result.messages.append(message)
 
+    def _sgw_ul_rule(self, bearer: Bearer, site: GatewaySite) -> FlowRule:
+        return FlowRule(
+            FlowMatch(teid=bearer.sgw_s1_fteid.teid),
+            [GtpDecap(),
+             GtpEncap(bearer.pgw_fteid.teid, site.sgw_u.ip, site.pgw_u.ip),
+             Output(site.sgw_ul_port)],
+            priority=PRIORITY_DEFAULT, cookie=self._ul_cookie(bearer))
+
+    def _pgw_ul_rule(self, bearer: Bearer, site: GatewaySite) -> FlowRule:
+        return FlowRule(
+            FlowMatch(teid=bearer.pgw_fteid.teid),
+            [GtpDecap(), Output(site.pgw_ul_port)],
+            priority=PRIORITY_DEFAULT, cookie=self._ul_cookie(bearer))
+
+    def _pgw_dl_rule(self, bearer: Bearer, site: GatewaySite,
+                     server_ip: Optional[str] = None) -> FlowRule:
+        if server_ip is None:
+            match = FlowMatch(dst_ip=bearer.ue_ip)
+            priority = PRIORITY_DEFAULT
+        else:
+            match = FlowMatch(src_ip=server_ip, dst_ip=bearer.ue_ip)
+            priority = PRIORITY_DEDICATED
+        return FlowRule(
+            match,
+            [GtpEncap(bearer.sgw_s5_fteid.teid, site.pgw_u.ip, site.sgw_u.ip),
+             Output(site.pgw_dl_port)],
+            priority=priority, cookie=self._dl_cookie(bearer))
+
+    def _sgw_dl_rule(self, bearer: Bearer, site: GatewaySite,
+                     enb: "ENodeB") -> FlowRule:
+        priority = (PRIORITY_DEFAULT if bearer.default
+                    else PRIORITY_DEDICATED)
+        return FlowRule(
+            FlowMatch(teid=bearer.sgw_s5_fteid.teid),
+            [GtpDecap(),
+             GtpEncap(bearer.enb_fteid.teid, site.sgw_u.ip,
+                      bearer.enb_fteid.address),
+             Output(site.sgw_dl_port(enb.name))],
+            priority=priority, cookie=self._dl_cookie(bearer))
+
     def _install_uplink_flows(self, result: ProcedureResult, bearer: Bearer,
                               site: GatewaySite) -> Generator:
         if not site.pgw_ul_port:
@@ -272,19 +312,13 @@ class EPCControlPlane:
                 f"site {site.name!r} has no SGi destination; attach a "
                 f"server to it before establishing bearers")
         yield from self._install_sgw_ul_rule(result, bearer, site)
-        yield from self._flow_add(result, site.pgw_u.name, FlowRule(
-            FlowMatch(teid=bearer.pgw_fteid.teid),
-            [GtpDecap(), Output(site.pgw_ul_port)],
-            priority=PRIORITY_DEFAULT, cookie=self._ul_cookie(bearer)))
+        yield from self._flow_add(result, site.pgw_u.name,
+                                  self._pgw_ul_rule(bearer, site))
 
     def _install_sgw_ul_rule(self, result: ProcedureResult, bearer: Bearer,
                              site: GatewaySite) -> Generator:
-        yield from self._flow_add(result, site.sgw_u.name, FlowRule(
-            FlowMatch(teid=bearer.sgw_s1_fteid.teid),
-            [GtpDecap(),
-             GtpEncap(bearer.pgw_fteid.teid, site.sgw_u.ip, site.pgw_u.ip),
-             Output(site.sgw_ul_port)],
-            priority=PRIORITY_DEFAULT, cookie=self._ul_cookie(bearer)))
+        yield from self._flow_add(result, site.sgw_u.name,
+                                  self._sgw_ul_rule(bearer, site))
 
     def _install_downlink_flows(self, result: ProcedureResult, bearer: Bearer,
                                 site: GatewaySite, enb: "ENodeB",
@@ -295,30 +329,13 @@ class EPCControlPlane:
     def _install_pgw_dl_rule(self, result: ProcedureResult, bearer: Bearer,
                              site: GatewaySite,
                              server_ip: Optional[str] = None) -> Generator:
-        cookie = self._dl_cookie(bearer)
-        if server_ip is None:
-            match = FlowMatch(dst_ip=bearer.ue_ip)
-            priority = PRIORITY_DEFAULT
-        else:
-            match = FlowMatch(src_ip=server_ip, dst_ip=bearer.ue_ip)
-            priority = PRIORITY_DEDICATED
-        yield from self._flow_add(result, site.pgw_u.name, FlowRule(
-            match,
-            [GtpEncap(bearer.sgw_s5_fteid.teid, site.pgw_u.ip, site.sgw_u.ip),
-             Output(site.pgw_dl_port)],
-            priority=priority, cookie=cookie))
+        yield from self._flow_add(result, site.pgw_u.name,
+                                  self._pgw_dl_rule(bearer, site, server_ip))
 
     def _install_sgw_dl_rule(self, result: ProcedureResult, bearer: Bearer,
                              site: GatewaySite, enb: "ENodeB") -> Generator:
-        priority = (PRIORITY_DEFAULT if bearer.default
-                    else PRIORITY_DEDICATED)
-        yield from self._flow_add(result, site.sgw_u.name, FlowRule(
-            FlowMatch(teid=bearer.sgw_s5_fteid.teid),
-            [GtpDecap(),
-             GtpEncap(bearer.enb_fteid.teid, site.sgw_u.ip,
-                      bearer.enb_fteid.address),
-             Output(site.sgw_dl_port(enb.name))],
-            priority=priority, cookie=self._dl_cookie(bearer)))
+        yield from self._flow_add(result, site.sgw_u.name,
+                                  self._sgw_dl_rule(bearer, site, enb))
 
     def _allocate_tunnel_endpoints(self, bearer: Bearer, site: GatewaySite,
                                    enb: "ENodeB") -> None:
@@ -773,6 +790,151 @@ class EPCControlPlane:
         self._complete(result, ue)
         self._signal(HandoverCompleted, ue=ue, source=source,
                      target=target_enb, result=result)
+        return result
+
+    def resteer_bearer(self, ue: "UEDevice", ebi: int,
+                       target_site_name: str,
+                       server_ip: Optional[str] = None) -> ProcedureResult:
+        """Move a dedicated bearer's gateway anchor to another site."""
+        return self.sim.run_until_complete(
+            self.resteer_bearer_async(ue, ebi, target_site_name, server_ip))
+
+    def resteer_bearer_async(self, ue: "UEDevice", ebi: int,
+                             target_site_name: str,
+                             server_ip: Optional[str] = None) -> "Process":
+        return self.sim.spawn(
+            self._guarded(self._resteer_proc(ue, ebi, target_site_name,
+                                             server_ip)),
+            name=f"resteer:{ue.name}:ebi{ebi}")
+
+    def _resteer_proc(self, ue: "UEDevice", ebi: int, target_site_name: str,
+                      server_ip: Optional[str] = None) -> Generator:
+        """Re-anchor a dedicated bearer at the gateway set of another
+        edge site (the SDN half of MEC application-context relocation).
+
+        The GW-Cs allocate fresh tunnel endpoints on the target site,
+        the eNodeB's S1 leg is re-pointed and the controller programs
+        the target-site switches while withdrawing the source-site
+        rules -- all eight flow-mods issued as one concurrent batch, so
+        the programming window is the slowest OpenFlow channel rather
+        than the sum.  ``server_ip`` (when given) rewrites the bearer's
+        UL TFT and the PGW-U downlink classifier at the new server
+        instance; omitted, the existing TFT remote address is kept.
+        Idempotent under retries: duplicate flow-mod deliveries are
+        suppressed, re-installs replace in place and deletes of absent
+        cookies are no-ops.
+        """
+        context = self.mme.context(ue.imsi)
+        enb = context.enb
+        bearer = ue.bearers.bearers.get(ebi)
+        if bearer is None or bearer.default:
+            raise ValueError(f"EBI {ebi} is not a dedicated bearer of "
+                             f"{ue.name}")
+        old_site_name = bearer.gateway_site
+        if old_site_name == target_site_name:
+            return ProcedureResult("resteer-bearer(noop)", bearer=bearer)
+        old_site = self.sgwc.site(old_site_name)
+        new_site = self.sgwc.site(target_site_name)
+        if server_ip is None:
+            for pf in bearer.tft.filters:
+                if pf.remote_address is not None:
+                    server_ip = pf.remote_address
+                    break
+        result = self._begin("resteer-bearer", ue)
+
+        # GW-C coordination: the anchor move is a bearer modification
+        yield from self._hop(result, m.MODIFY_BEARER_REQUEST, self.mme.name,
+                             self.sgwc.name, imsi=ue.imsi, ebi=ebi,
+                             target_site=target_site_name)
+        yield from self._hop(result, m.MODIFY_BEARER_REQUEST, self.sgwc.name,
+                             self.pgwc.name, imsi=ue.imsi, ebi=ebi,
+                             target_site=target_site_name)
+
+        old_sgw_s1 = bearer.sgw_s1_fteid
+        old_sgw_s5 = bearer.sgw_s5_fteid
+        old_pgw = bearer.pgw_fteid
+
+        # repoint the S1 leg and rewrite the UL TFT synchronously --
+        # from here until the target-site flow-mods land, uplink CI
+        # packets miss in the target switches (counted, dropped); the
+        # paging manager ignores misses for a connected UE, so this
+        # window is pure measured interruption, not spurious paging.
+        enb.release_bearer(ue.ip, ebi)
+        self._allocate_tunnel_endpoints(bearer, new_site, enb)
+        if server_ip is not None and bearer.tft.filters:
+            bearer.tft = TrafficFlowTemplate(
+                [replace(pf, remote_address=server_ip)
+                 for pf in bearer.tft.filters])
+
+        ops = [
+            ("add", new_site.sgw_u.name, self._sgw_ul_rule(bearer, new_site)),
+            ("add", new_site.pgw_u.name, self._pgw_ul_rule(bearer, new_site)),
+            ("add", new_site.pgw_u.name,
+             self._pgw_dl_rule(bearer, new_site, server_ip)),
+            ("add", new_site.sgw_u.name,
+             self._sgw_dl_rule(bearer, new_site, enb)),
+            ("delete", old_site.sgw_u.name, self._ul_cookie(bearer)),
+            ("delete", old_site.pgw_u.name, self._ul_cookie(bearer)),
+            ("delete", old_site.pgw_u.name, self._dl_cookie(bearer)),
+            ("delete", old_site.sgw_u.name, self._dl_cookie(bearer)),
+        ]
+        for future in self.controller.apply_batch(ops, telemetry=result):
+            message = yield future
+            result.messages.append(message)
+        bearer.active = True
+
+        yield from self._hop(result, m.MODIFY_BEARER_RESPONSE,
+                             self.pgwc.name, self.sgwc.name)
+        yield from self._hop(result, m.MODIFY_BEARER_RESPONSE,
+                             self.sgwc.name, self.mme.name)
+
+        old_site.sgw_teids.release(old_sgw_s1.teid)
+        old_site.sgw_teids.release(old_sgw_s5.teid)
+        old_site.pgw_teids.release(old_pgw.teid)
+
+        result.bearer = bearer
+        self._complete(result, ue)
+        return result
+
+    def suspend_bearer_flows(self, ue: "UEDevice",
+                             ebi: int) -> ProcedureResult:
+        """Withdraw a dedicated bearer's flow rules without tearing it
+        down (the break half of break-before-make relocation)."""
+        return self.sim.run_until_complete(
+            self.suspend_bearer_flows_async(ue, ebi))
+
+    def suspend_bearer_flows_async(self, ue: "UEDevice",
+                                   ebi: int) -> "Process":
+        return self.sim.spawn(
+            self._guarded(self._suspend_proc(ue, ebi)),
+            name=f"suspend:{ue.name}:ebi{ebi}")
+
+    def _suspend_proc(self, ue: "UEDevice", ebi: int) -> Generator:
+        """Delete a dedicated bearer's four flow rules at its current
+        site and deactivate its UL TFT, leaving the bearer context and
+        tunnel endpoints intact.  Traffic falls back to the default
+        bearer until a subsequent :meth:`resteer_bearer` reinstalls a
+        path; the bearer records keep their site so the re-steer knows
+        where the stale state lives.
+        """
+        bearer = ue.bearers.bearers.get(ebi)
+        if bearer is None or bearer.default:
+            raise ValueError(f"EBI {ebi} is not a dedicated bearer of "
+                             f"{ue.name}")
+        site = self.sgwc.site(bearer.gateway_site)
+        result = self._begin("suspend-bearer-flows", ue)
+        bearer.active = False
+        ops = [
+            ("delete", site.sgw_u.name, self._ul_cookie(bearer)),
+            ("delete", site.pgw_u.name, self._ul_cookie(bearer)),
+            ("delete", site.pgw_u.name, self._dl_cookie(bearer)),
+            ("delete", site.sgw_u.name, self._dl_cookie(bearer)),
+        ]
+        for future in self.controller.apply_batch(ops, telemetry=result):
+            message = yield future
+            result.messages.append(message)
+        result.bearer = bearer
+        self._complete(result, ue)
         return result
 
     def s1_handover(self, ue: "UEDevice", target_enb: "ENodeB",

@@ -82,6 +82,17 @@ SCALE = _preset(ExperimentSpec(
     params={"pings": 5, "bg_mbps": 10},
 ))
 
+#: Session continuity across a three-site edge fabric: relocation
+#: interruption and overhead per policy as walkers sweep every site.
+CONTINUITY = _preset(ExperimentSpec(
+    name="continuity",
+    workload="continuity",
+    seeds=(43,),
+    sweep={"policy": ("make-before-break", "break-before-make"),
+           "n_ues": (8, 32)},
+    params={"n_sites": 3, "enbs_per_site": 2, "tail": 4.0},
+))
+
 #: Figure 11(a): matching time by scheme/resolution on two machines.
 FIG11A = _preset(ExperimentSpec(
     name="fig11a",

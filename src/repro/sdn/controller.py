@@ -140,6 +140,36 @@ class SdnController:
                                           telemetry=telemetry,
                                           detail=f"cookie={cookie}")
 
+    def apply_batch(self, ops: list[tuple], telemetry: Any = None) -> list:
+        """Issue several flow-mods concurrently (one transaction).
+
+        ``ops`` is a list of ``("add", switch_name, FlowRule)`` /
+        ``("delete", switch_name, cookie)`` tuples.  Fabric-bound, all
+        flow-mods are sent at once -- they contend on their per-switch
+        OpenFlow channels in parallel, which is what makes a cross-site
+        re-steer's programming window as short as the slowest channel
+        rather than the sum of all of them -- and the returned futures
+        (in ``ops`` order) resolve as each one reaches its switch.
+        Standalone, every op applies immediately and ``[]`` is
+        returned.  Each op is idempotent under PR-4 retries: duplicate
+        deliveries are suppressed by the fabric, installs replace
+        identical rules, and deletes of absent cookies are no-ops.
+        """
+        futures = []
+        for op in ops:
+            kind, switch_name, payload = op
+            if kind == "add":
+                outcome = self.install_rule(switch_name, payload,
+                                            telemetry=telemetry)
+            elif kind == "delete":
+                outcome = self.remove_rules(switch_name, payload,
+                                            telemetry=telemetry)
+            else:
+                raise ValueError(f"unknown flow-mod batch op {kind!r}")
+            if self._fabric is not None:
+                futures.append(outcome)
+        return futures
+
     def _switch(self, name: str) -> FlowSwitch:
         try:
             return self.switches[name]

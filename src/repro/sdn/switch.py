@@ -60,12 +60,24 @@ class FlowSwitch(Node):
     # -- table management (driven by the controller) ---------------------
 
     def install(self, rule: FlowRule) -> None:
+        """Add a rule; idempotent for an identical (cookie, priority,
+        match) triple -- re-installing replaces the previous rule in
+        place instead of duplicating it, so a retried FlowMod (or a
+        re-steer replayed over a lossy channel) leaves exactly one
+        rule in the table."""
+        key = (rule.cookie, rule.priority, rule.match.describe())
+        self.table = [r for r in self.table
+                      if (r.cookie, r.priority, r.match.describe()) != key]
         self.table.append(rule)
         self.table.sort(key=lambda r: -r.priority)
         self._cache.clear()     # conservatively invalidate the fast path
         hooks = self.sim.hooks
         if hooks.has(FlowRuleInstalled):
             hooks.emit(FlowRuleInstalled(switch=self, rule=rule))
+
+    def rules_for_cookie(self, cookie: str) -> list[FlowRule]:
+        """The installed rules carrying a cookie (table order)."""
+        return [r for r in self.table if r.cookie == cookie]
 
     def remove(self, cookie: str) -> list[FlowRule]:
         removed = [r for r in self.table if r.cookie == cookie]

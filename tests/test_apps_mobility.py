@@ -55,6 +55,59 @@ def test_no_pingpong_at_cell_edge(setup):
     assert len(user.handovers) <= 1
 
 
+def test_db_hysteresis_blocks_marginal_handover(setup):
+    """A dB margin stricter than the distance margin delays handover.
+
+    Just past the midpoint the neighbour is barely closer, so its
+    log-distance power advantage is well under 10 dB; a walker that
+    stops there must stay on the serving cell.
+    """
+    network, _, ue = setup
+    manager = MobilityManager(network, ENB_POSITIONS,
+                              update_interval=1.0, hysteresis=3.0,
+                              hysteresis_db=10.0)
+    stop_short = WalkPath([(0.0, 0.0), (56.0, 0.0)], speed=5.0)
+    user = manager.add_mobile(ue, stop_short)
+    network.sim.run(until=stop_short.duration + 5.0)
+    assert user.handovers == []
+    assert network.mme.context(ue.imsi).enb.name == "enb0"
+
+
+def test_db_hysteresis_allows_clear_winner(setup):
+    network, _, ue = setup
+    manager = MobilityManager(network, ENB_POSITIONS,
+                              update_interval=1.0, hysteresis=3.0,
+                              hysteresis_db=10.0)
+    user = manager.add_mobile(ue, walk_across(speed=5.0))
+    network.sim.run(until=30.0)
+    assert len(user.handovers) == 1
+    ho_time = user.handovers[0][0]
+    position = user.position_at(ho_time)
+    # 10 dB at exponent 3 needs d_serving/d_neighbour > 10**(1/3) ~ 2.15:
+    # later than the distance-only midpoint crossing
+    assert position[0] > 60.0
+
+
+def test_db_hysteresis_default_preserves_distance_only(setup):
+    network, _, ue = setup
+    manager = MobilityManager(network, ENB_POSITIONS,
+                              update_interval=1.0, hysteresis=3.0)
+    assert manager.hysteresis_db == 0.0
+    user = manager.add_mobile(ue, walk_across(speed=5.0))
+    network.sim.run(until=25.0)
+    position = user.position_at(user.handovers[0][0])
+    assert 50.0 <= position[0] <= 60.0
+
+
+def test_db_hysteresis_validation():
+    network = MobileNetwork()
+    with pytest.raises(ValueError, match="hysteresis_db"):
+        MobilityManager(network, {"enb0": (0.0, 0.0)}, hysteresis_db=-1.0)
+    with pytest.raises(ValueError, match="path_loss_exponent"):
+        MobilityManager(network, {"enb0": (0.0, 0.0)},
+                        path_loss_exponent=0.0)
+
+
 def test_idle_ue_not_handed_over(setup):
     network, manager, ue = setup
     network.control_plane.release_to_idle(ue)

@@ -63,6 +63,23 @@ class TestHandover:
         with pytest.raises(RuntimeError, match="idle"):
             network.handover(ue, "enb1")
 
+    def test_unknown_target_enb_names_the_cell(self, network):
+        ue = network.add_ue()
+        with pytest.raises(ValueError,
+                           match=r"unknown target eNodeB 'enb9'"):
+            network.handover(ue, "enb9")
+
+    def test_unknown_target_lists_known_cells(self, network):
+        ue = network.add_ue()
+        with pytest.raises(ValueError, match=r"enb0.*enb1"):
+            network.handover(ue, "enb7")
+
+    def test_s1_handover_unknown_target_raises(self, network):
+        ue = network.add_ue()
+        with pytest.raises(ValueError,
+                           match=r"unknown target eNodeB 'enb9'"):
+            network.s1_handover(ue, "enb9")
+
     def test_handover_message_mix(self, network):
         ue = network.add_ue()
         result = network.handover(ue, "enb1")

@@ -306,6 +306,37 @@ class TestMrsDegradation:
         assert session.instance.server_name == "srv-b"
         assert mrs.degraded          # still degraded: no recovery scheduled
 
+    def test_relocate_session_during_target_outage_falls_back(self):
+        """relocate_session with the target's server down must pick a
+        healthy instance instead of stranding the session."""
+        network, mrs, ue, events = self.build_mrs(two_sites=True)
+        network.add_enb("enb1")
+        FaultInjector(network, FaultPlan((
+            McServerOutage(server="srv-b", at=0.5),))).arm()
+        network.sim.run()
+        # the UE moves to enb1, whose closest instance (srv-b) is dead
+        network.handover(ue, "enb1")
+        session = mrs.relocate_session(ue, "svc")
+        assert session is not None
+        assert session is mrs.session_for(ue, "svc")
+        assert session.instance.server_name == "srv-a"
+        bearer = ue.bearers.bearers[session.ebi]
+        assert bearer.active and bearer.gateway_site == "mec-a"
+
+    def test_relocate_session_all_instances_down_keeps_session(self):
+        network, mrs, ue, events = self.build_mrs(two_sites=True)
+        network.add_enb("enb1")
+        FaultInjector(network, FaultPlan((
+            McServerOutage(server="srv-a", at=0.5),
+            McServerOutage(server="srv-b", at=0.5),))).arm()
+        network.sim.run()
+        # both instances dead: the degradation path has already moved
+        # the session to central fallback; relocate_session must not
+        # crash or strand what remains
+        network.handover(ue, "enb1")
+        mrs.relocate_session(ue, "svc")
+        assert (ue.imsi, "svc") in mrs.degraded
+
     def test_relocated_session_returns_home_on_recovery(self):
         network, mrs, ue, events = self.build_mrs(two_sites=True)
         FaultInjector(network, FaultPlan((

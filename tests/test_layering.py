@@ -166,6 +166,44 @@ def test_no_fluid_internals_outside_sim():
         f"FluidFlow/FluidLink public surface instead: {violations}")
 
 
+#: Session-relocation internals: the bearer re-steer/suspend machinery
+#: and the raw context-transfer primitive belong to the control plane
+#: (``repro.epc``) and its orchestrator (``core/mrs.py`` /
+#: ``core/network.py``).  Application and experiment layers observe
+#: relocation only through the hook-bus events
+#: (``SessionRelocating`` / ``SessionRelocated``) and the MRS surface.
+RELOCATION_INTERNALS = {"resteer_bearer", "resteer_bearer_async",
+                        "_resteer_proc", "suspend_bearer_flows",
+                        "suspend_bearer_flows_async", "_suspend_proc",
+                        "context_transfer_async", "_relocate_proc",
+                        "_maybe_relocate"}
+
+RELOCATION_LAYERS = ("apps", "exp", "baselines")
+
+
+@pytest.mark.parametrize("package", RELOCATION_LAYERS)
+def test_no_relocation_internals_in_high_layers(package):
+    """``apps``/``exp``/``baselines`` never drive relocation directly.
+
+    They build fabrics and watch ``SessionRelocating``/``SessionRelocated``;
+    the MRS decides when to move a session and the EPC control plane
+    knows how.  ``self.<name>`` is allowed as in the gates above.
+    """
+    violations = []
+    for path in (SRC / package).rglob("*.py"):
+        rel = path.relative_to(SRC).as_posix()
+        for node in ast.walk(ast.parse(path.read_text())):
+            if (isinstance(node, ast.Attribute)
+                    and node.attr in RELOCATION_INTERNALS
+                    and not (isinstance(node.value, ast.Name)
+                             and node.value.id == "self")):
+                violations.append(f"{rel}:{node.lineno}: "
+                                  f"touches .{node.attr}")
+    assert violations == [], (
+        "relocation internals leaked into a high layer; observe the "
+        f"SessionRelocating/SessionRelocated events instead: {violations}")
+
+
 def test_no_scheduler_internals_outside_sim():
     """Nothing outside ``repro.sim`` touches scheduler internals.
 

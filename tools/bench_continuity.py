@@ -1,0 +1,184 @@
+#!/usr/bin/env python
+"""Session-continuity benchmark: relocation policies across an edge fabric.
+
+Runs the ``continuity`` workload -- a population of UEs sweeping across
+a 3-site edge fabric while each keeps a live CI ping session -- under
+both application-context relocation policies, and reports to
+``BENCH_continuity.json``:
+
+* ``policies`` -- one entry per relocation policy
+  (``make-before-break`` / ``break-before-make``): handover and
+  relocation counts, measured session-interruption statistics, context
+  bytes moved over the inter-site WAN, and ping delivery.
+
+Gates:
+
+* **Determinism** -- every repeated pass of the same trial must return
+  a byte-identical result (the workload is a pure function of the
+  seed).
+* **Continuity** -- every UE attaches, every session is alive at the
+  end, and every session finished anchored on the *last* site, having
+  relocated across each of the two site boundaries.
+* **Make-before-break wins** -- MBB's mean interruption is strictly
+  below BBM's: pre-copying the bulk of the context before the switch
+  must beat moving all of it during the outage.
+
+Protocol: alternating timed passes over the two policies with the
+cyclic garbage collector disabled (pyperf-style, as in
+``tools/bench_scale.py``); reported times are medians.  ``--smoke``
+shrinks the UE population for CI; the gates still apply.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_continuity.py [--repeats N]
+                                                    [--smoke] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.exp.spec import TrialSpec                             # noqa: E402
+from repro.exp.workloads import get                              # noqa: E402
+
+POLICIES = ("make-before-break", "break-before-make")
+
+#: Scenario shape per mode.  Both modes sweep the same 3-site fabric
+#: (two cells per site -> two cross-site boundaries per walk); smoke
+#: only shrinks the walker population.
+SHAPES = {
+    "full": dict(n_ues=96, n_sites=3, enbs_per_site=2, context_kb=2000,
+                 speed=25.0, stagger=0.05, tail=5.0),
+    "smoke": dict(n_ues=12, n_sites=3, enbs_per_site=2, context_kb=2000,
+                  speed=25.0, stagger=0.05, tail=5.0),
+}
+
+SEED = 43
+
+#: Acceptance gate: minimum fraction of ping probes answered.
+PINGS_GATE = 0.99
+
+
+def run_policy(policy: str, shape: dict) -> dict:
+    params = dict(shape)
+    params["policy"] = policy
+    trial = TrialSpec(experiment="bench-continuity", index=0,
+                      workload="continuity", base_seed=SEED, seed=SEED,
+                      params=tuple(sorted(params.items())))
+    return get("continuity")(trial)
+
+
+def run_policies(shape: dict, repeats: int) -> dict:
+    """Both policies, timed alternating passes, determinism-checked."""
+    results: dict[str, dict] = {}
+    times: dict[str, list[float]] = {policy: [] for policy in POLICIES}
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            for policy in POLICIES:
+                start = time.perf_counter()
+                out = run_policy(policy, shape)
+                times[policy].append(time.perf_counter() - start)
+                previous = results.setdefault(policy, out)
+                assert out == previous, \
+                    f"non-deterministic continuity run under {policy}"
+            gc.collect()
+    finally:
+        gc.enable()
+    for policy in POLICIES:
+        results[policy]["median_wall_s"] = statistics.median(times[policy])
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed alternating passes per policy")
+    parser.add_argument("--smoke", action="store_true",
+                        help="shrunken UE population (CI); gates still apply")
+    parser.add_argument("--out", type=Path,
+                        default=REPO_ROOT / "BENCH_continuity.json")
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+
+    mode = "smoke" if args.smoke else "full"
+    shape = SHAPES[mode]
+    boundaries = shape["n_sites"] - 1
+
+    results = run_policies(shape, args.repeats)
+    report = {"mode": mode,
+              "seed": SEED,
+              "shape": shape,
+              "protocol": {"repeats": args.repeats,
+                           "statistic": "median of alternating passes",
+                           "gc": "disabled during timed passes"},
+              "gates": {"determinism": "byte-identical repeated passes",
+                        "pings_answered_min_fraction": PINGS_GATE,
+                        "continuity": "all sessions alive on the last site",
+                        "policy_order":
+                            "MBB mean interruption < BBM mean interruption"},
+              "policies": results,
+              }
+
+    failures = []
+    for policy in POLICIES:
+        out = results[policy]
+        n_ues = shape["n_ues"]
+        print(f"{policy:>17}  {out['attached']:>3d} UEs  "
+              f"{out['handovers']:>3d} handovers  "
+              f"{out['relocations_completed']:>3d} relocations  "
+              f"interruption mean {out['interruption_ms']['mean']:6.2f} ms "
+              f"p95 {out['interruption_ms']['p95']:6.2f} ms  "
+              f"pings {out['pings_answered']}/{out['pings_answered'] + out['pings_lost']}  "
+              f"wall {out['median_wall_s']:.1f}s")
+        if out["attached"] != n_ues:
+            failures.append(f"{policy}: only {out['attached']}/{n_ues} "
+                            "UEs attached")
+        if out["sessions_alive"] != n_ues:
+            failures.append(f"{policy}: sessions alive "
+                            f"{out['sessions_alive']}/{n_ues}")
+        if out["sessions_on_last_site"] != n_ues:
+            failures.append(f"{policy}: sessions on last site "
+                            f"{out['sessions_on_last_site']}/{n_ues}")
+        expected_relocations = boundaries * n_ues
+        if out["relocations_completed"] != expected_relocations:
+            failures.append(
+                f"{policy}: relocations {out['relocations_completed']} "
+                f"!= {expected_relocations} "
+                f"({boundaries} boundaries x {n_ues} UEs)")
+        offered = out["pings_answered"] + out["pings_lost"]
+        if offered and out["pings_answered"] < PINGS_GATE * offered:
+            failures.append(f"{policy}: pings answered "
+                            f"{out['pings_answered']} < "
+                            f"{PINGS_GATE:.0%} of {offered}")
+
+    mbb = results["make-before-break"]["interruption_ms"]["mean"]
+    bbm = results["break-before-make"]["interruption_ms"]["mean"]
+    print(f"interruption: make-before-break {mbb:.2f} ms vs "
+          f"break-before-make {bbm:.2f} ms "
+          f"({bbm / mbb:.1f}x)" if mbb else "")
+    if not mbb < bbm:
+        failures.append(f"MBB mean interruption {mbb:.2f} ms not < "
+                        f"BBM {bbm:.2f} ms")
+
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    for failure in failures:
+        print(f"GATE FAILED: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
