@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test lint bench bench-matcher bench-resilience bench-sim bench-sim-smoke bench-scale bench-scale-smoke bench-continuity bench-continuity-smoke examples quick exp-smoke all clean-results
+.PHONY: test lint bench bench-matcher bench-resilience bench-sim bench-sim-smoke bench-scale bench-scale-smoke bench-continuity bench-continuity-smoke examples quick exp-smoke scenario-validate all clean-results
 
 test:
 	$(PYTHON) -m pytest tests/ -q
@@ -12,6 +12,10 @@ lint:   ## same gate as CI (needs ruff on PATH: pip install ruff)
 
 exp-smoke:   ## tiny 2-seed experiment spec end-to-end through the parallel runner
 	PYTHONPATH=src $(PYTHON) -m repro exp run smoke --workers 2
+
+scenario-validate:   ## validate the whole scenario catalogue, then run the CI smoke scenario
+	PYTHONPATH=src $(PYTHON) -m repro scenario validate
+	PYTHONPATH=src $(PYTHON) -m repro scenario run quick_test --serial --output /tmp/quick_test_result.json
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q

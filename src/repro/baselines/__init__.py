@@ -13,7 +13,9 @@ Two axes of comparison:
 """
 
 from repro.baselines.deployments import (DEPLOYMENT_KINDS, Deployment,
-                                         build_deployment)
+                                         EdgeFabric, build_deployment,
+                                         build_edge_fabric, build_topology,
+                                         fabric_topology)
 
 #: Search-space scheme names accepted by ARBackend.process_frame.
 SEARCH_SCHEMES = ("naive", "rxpower", "acacia")
@@ -21,6 +23,10 @@ SEARCH_SCHEMES = ("naive", "rxpower", "acacia")
 __all__ = [
     "DEPLOYMENT_KINDS",
     "Deployment",
+    "EdgeFabric",
     "SEARCH_SCHEMES",
     "build_deployment",
+    "build_edge_fabric",
+    "build_topology",
+    "fabric_topology",
 ]

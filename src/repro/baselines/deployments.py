@@ -215,32 +215,61 @@ class EdgeFabric:
         return list(self.server_of_site)
 
 
-def build_edge_fabric(n_sites: int = 3, enbs_per_site: int = 2,
-                      seed: int = 0,
-                      continuity=None,
-                      signalling_config: Optional[SignallingConfig] = None,
-                      data_plane: str = "packet",
-                      cell_spacing: float = 100.0) -> EdgeFabric:
-    """Build an N-site edge fabric with one CI echo server per site.
+def fabric_topology(n_sites: int = 3, enbs_per_site: int = 2,
+                    cell_spacing: float = 100.0) -> dict:
+    """The scenario-document ``topology`` section for a linear fabric.
 
-    The cells sit on a line, ``enbs_per_site`` consecutive cells homed
-    on each edge site, so a UE walking the line sweeps every site and
-    crosses ``n_sites - 1`` site boundaries.  Each site runs one
-    instance of a CI echo service registered with the MRS; handing
-    over across a boundary triggers application-context relocation
-    under ``continuity`` (a
-    :class:`~repro.core.config.ContinuityConfig`; the network default
-    when omitted).
+    This is the canonical serialised form :func:`build_topology`
+    interprets; :func:`build_edge_fabric` goes through it, so the
+    hand-coded and document-driven paths construct identical worlds.
     """
-    if n_sites < 2:
-        raise ValueError("an edge fabric needs at least 2 sites")
+    return {"sites": n_sites, "enbs_per_site": enbs_per_site,
+            "cell_spacing": cell_spacing}
+
+
+def build_topology(topology, *, seed: int = 0,
+                   config: Optional[NetworkConfig] = None,
+                   continuity=None,
+                   signalling_config: Optional[SignallingConfig] = None,
+                   data_plane: str = "packet") -> EdgeFabric:
+    """Interpret a scenario-document ``topology`` section into a fabric.
+
+    ``topology`` is a plain mapping (``sites``, ``enbs_per_site``,
+    ``cell_spacing``; unknown keys rejected): ``sites`` consecutive
+    edge sites on a line, ``enbs_per_site`` cells homed on each, one
+    CI echo server per site registered with the MRS, and the WAN mesh
+    between sites.  A single-site topology is a plain MEC deployment:
+    no site boundaries, so relocation never triggers.
+
+    ``config`` supplies a fully-formed :class:`NetworkConfig` (the
+    scenario layer builds one from the document's ``network``
+    section); the remaining keyword arguments cover the legacy
+    hand-coded path and are ignored when ``config`` is given.
+
+    This is the only sanctioned raw-dict deployment entry point, and
+    only the scenario layer (plus this module) may call it -- see the
+    layering gate in ``tests/test_layering.py``.
+    """
+    section = dict(topology)
+    n_sites = section.pop("sites", 3)
+    enbs_per_site = section.pop("enbs_per_site", 2)
+    cell_spacing = section.pop("cell_spacing", 100.0)
+    if section:
+        raise ValueError(f"unknown topology key(s) {sorted(section)}; "
+                         "valid keys: ['cell_spacing', 'enbs_per_site', "
+                         "'sites']")
+    n_sites, enbs_per_site = int(n_sites), int(enbs_per_site)
+    cell_spacing = float(cell_spacing)
+    if n_sites < 1:
+        raise ValueError("a topology needs at least 1 site")
     if enbs_per_site < 1:
         raise ValueError("each site needs at least one cell")
     if cell_spacing <= 0:
         raise ValueError("cell_spacing must be positive")
-    config = _network_config(seed, signalling_config, data_plane)
-    if continuity is not None:
-        config.continuity = continuity
+    if config is None:
+        config = _network_config(seed, signalling_config, data_plane)
+        if continuity is not None:
+            config.continuity = continuity
     network = MobileNetwork(config)
 
     enb_positions: dict[str, tuple[float, float]] = {
@@ -273,3 +302,33 @@ def build_edge_fabric(n_sites: int = 3, enbs_per_site: int = 2,
                       enb_positions=enb_positions,
                       site_of_enb=site_of_enb,
                       server_of_site=server_of_site)
+
+
+def build_edge_fabric(n_sites: int = 3, enbs_per_site: int = 2,
+                      seed: int = 0,
+                      continuity=None,
+                      signalling_config: Optional[SignallingConfig] = None,
+                      data_plane: str = "packet",
+                      cell_spacing: float = 100.0) -> EdgeFabric:
+    """Build an N-site edge fabric with one CI echo server per site.
+
+    The cells sit on a line, ``enbs_per_site`` consecutive cells homed
+    on each edge site, so a UE walking the line sweeps every site and
+    crosses ``n_sites - 1`` site boundaries.  Each site runs one
+    instance of a CI echo service registered with the MRS; handing
+    over across a boundary triggers application-context relocation
+    under ``continuity`` (a
+    :class:`~repro.core.config.ContinuityConfig`; the network default
+    when omitted).
+
+    Since the scenario layer landed this is a thin wrapper: the
+    parameters become a :func:`fabric_topology` section which
+    :func:`build_topology` interprets, so hand-coded experiments and
+    scenario documents share one construction path.
+    """
+    if n_sites < 2:
+        raise ValueError("an edge fabric needs at least 2 sites")
+    return build_topology(
+        fabric_topology(n_sites, enbs_per_site, cell_spacing),
+        seed=seed, continuity=continuity,
+        signalling_config=signalling_config, data_plane=data_plane)

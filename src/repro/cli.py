@@ -22,6 +22,12 @@ Commands
     Inspect and execute the declarative experiment presets through
     the multi-seed :class:`repro.exp.ExperimentRunner` (optionally
     across worker processes).
+``scenario list | show <name> | validate [names...] | run <name>``
+    The declarative scenario layer: browse the shipped ``scenarios/``
+    catalogue, validate documents against the published schema, and
+    compile-and-run them through the same experiment runner -- with
+    ``--jsonl`` per-trial output whose provenance embeds the scenario
+    digest.
 """
 
 from __future__ import annotations
@@ -187,6 +193,22 @@ def cmd_exp_show(args: argparse.Namespace) -> int:
         print(exc, file=sys.stderr)
         return 2
     print(json.dumps(spec.to_dict(), indent=2))
+    print(f"\nspec digest: {spec.digest()}")
+    try:
+        from repro.scenario import load
+        print(f"scenario digest: {load(args.name).digest()}")
+    except Exception:
+        pass        # not every spec needs a catalogue document
+    trials = spec.trials()
+    print(f"\n{len(trials)} trials (seeds derived from experiment name "
+          "x workload x base seed; sweep cells sharing a base seed are "
+          "paired):")
+    print(f"  {'idx':>3}  {'base_seed':>9}  {'derived seed':>20}  cell")
+    for trial in trials:
+        cell = {k: v for k, v in trial.param_dict.items()
+                if k not in dict(spec.params)}
+        print(f"  {trial.index:>3}  {trial.base_seed:>9}  "
+              f"{trial.seed:>20}  {cell}")
     return 0
 
 
@@ -204,6 +226,113 @@ def cmd_exp_run(args: argparse.Namespace) -> int:
           file=sys.stderr)
     result = ExperimentRunner(spec, workers=workers).run()
     text = result.canonical_json()
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    for failure in result.failures():
+        print(f"trial {failure.trial.index} failed:\n{failure.error}",
+              file=sys.stderr)
+    return 0 if result.ok else 1
+
+
+def cmd_scenario_list(_: argparse.Namespace) -> int:
+    from repro.scenario import CATALOGUE_DIR, catalogue, load
+    entries = catalogue()
+    if not entries:
+        print(f"no scenarios found under {CATALOGUE_DIR}",
+              file=sys.stderr)
+        return 1
+    width = max(len(name) for name in entries)
+    for name in entries:
+        scenario = load(name)
+        description = scenario.description
+        if len(description) > 56:
+            description = description[:53] + "..."
+        tags = ",".join(scenario.tags) or "-"
+        print(f"  {name:<{width}}  {scenario.workload:<12} "
+              f"[{tags}]  {description}")
+    print("\nrun one with: python -m repro scenario run <name>")
+    return 0
+
+
+def cmd_scenario_show(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.scenario import ScenarioError, load
+    try:
+        scenario = load(args.name)
+    except ScenarioError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    print(json.dumps(scenario.to_dict(), indent=2))
+    spec = scenario.compile()
+    print(f"\nscenario digest: {scenario.digest()}")
+    print(f"compiled spec digest: {spec.digest()}")
+    print(f"compiles to: workload={spec.workload} "
+          f"seeds={len(spec.seeds)} trials={len(spec.trials())}")
+    return 0
+
+
+def cmd_scenario_validate(args: argparse.Namespace) -> int:
+    from repro.scenario import ScenarioError, catalogue, load
+    names = args.names or sorted(catalogue())
+    if not names:
+        print("no scenarios to validate", file=sys.stderr)
+        return 1
+    failures = 0
+    width = max(len(name) for name in names)
+    for name in names:
+        try:
+            scenario = load(name)
+            scenario.compile()
+        except ScenarioError as exc:
+            failures += 1
+            print(f"  {name:<{width}}  FAIL  {exc}")
+        else:
+            print(f"  {name:<{width}}  ok    {scenario.digest()[:12]}")
+    print(f"\n{len(names) - failures}/{len(names)} valid")
+    return 1 if failures else 0
+
+
+def cmd_scenario_run(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.exp import ExperimentRunner
+    from repro.scenario import ScenarioError, load
+    try:
+        scenario = load(args.name)
+    except ScenarioError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    spec = scenario.compile()
+    digest = scenario.digest()
+    workers = None if args.serial else args.workers
+    mode = "serial" if workers in (None, 1) else f"{workers} workers"
+    print(f"running scenario {scenario.name!r} "
+          f"(digest {digest[:12]}): {len(spec.trials())} trials "
+          f"({mode})", file=sys.stderr)
+    result = ExperimentRunner(spec, workers=workers).run()
+
+    if args.jsonl:
+        lines = []
+        for trial_result in result.trials:
+            record = trial_result.to_dict()
+            record["provenance"]["scenario"] = scenario.name
+            record["provenance"]["scenario_digest"] = digest
+            lines.append(json.dumps(record, sort_keys=True,
+                                    separators=(",", ":")))
+        text = "\n".join(lines)
+    else:
+        record = result.to_dict()
+        record["scenario"] = {"name": scenario.name,
+                              "digest": digest,
+                              "spec_digest": spec.digest()}
+        for trial_record in record["trials"]:
+            trial_record["provenance"]["scenario"] = scenario.name
+            trial_record["provenance"]["scenario_digest"] = digest
+        text = json.dumps(record, sort_keys=True, indent=2)
     if args.output:
         Path(args.output).write_text(text + "\n")
         print(f"wrote {args.output}", file=sys.stderr)
@@ -256,6 +385,39 @@ def build_parser() -> argparse.ArgumentParser:
     run_exp.add_argument("--output", default=None,
                          help="write results JSON to this file")
     run_exp.set_defaults(func=cmd_exp_run)
+
+    scenario = sub.add_parser(
+        "scenario", help="declarative scenario documents and catalogue")
+    scenario_sub = scenario.add_subparsers(dest="scenario_command",
+                                           required=True)
+    scenario_sub.add_parser(
+        "list", help="list the shipped scenario catalogue").set_defaults(
+        func=cmd_scenario_list)
+    show_sc = scenario_sub.add_parser(
+        "show", help="print a scenario document, digest and compiled "
+                     "spec summary")
+    show_sc.add_argument("name", help="catalogue name or document path")
+    show_sc.set_defaults(func=cmd_scenario_show)
+    validate_sc = scenario_sub.add_parser(
+        "validate", help="validate documents against the schema "
+                         "(default: whole catalogue)")
+    validate_sc.add_argument("names", nargs="*",
+                             help="catalogue names or document paths")
+    validate_sc.set_defaults(func=cmd_scenario_validate)
+    run_sc = scenario_sub.add_parser(
+        "run", help="compile a scenario and run it through the "
+                    "experiment runner")
+    run_sc.add_argument("name", help="catalogue name or document path")
+    run_sc.add_argument("--jsonl", action="store_true",
+                        help="one JSON line per trial, scenario digest "
+                             "embedded in each provenance")
+    run_sc.add_argument("--workers", type=int, default=None,
+                        help="worker processes (default: serial)")
+    run_sc.add_argument("--serial", action="store_true",
+                        help="force a serial in-process run")
+    run_sc.add_argument("--output", default=None,
+                        help="write results to this file")
+    run_sc.set_defaults(func=cmd_scenario_run)
     return parser
 
 

@@ -14,14 +14,124 @@ Latency defaults are calibrated to the paper's measurements:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
+from typing import Any, Mapping
 
-from repro.sdn.dataplane import (ACACIA_OVS_PROFILE,
+from repro.sdn.dataplane import (ACACIA_OVS_PROFILE, IDEAL_PROFILE,
                                  OPENEPC_USERSPACE_PROFILE, DataPlaneProfile)
+
+#: Named gateway data-plane profiles a config document may reference.
+DATA_PLANE_PROFILES: dict[str, DataPlaneProfile] = {
+    profile.name: profile
+    for profile in (OPENEPC_USERSPACE_PROFILE, ACACIA_OVS_PROFILE,
+                    IDEAL_PROFILE)
+}
+
+
+class ConfigError(ValueError):
+    """A config document failed to deserialise.
+
+    ``path`` qualifies exactly which key is wrong
+    (``"network.signalling.rrc_delay"``), so errors from deeply nested
+    scenario documents point at the offending line.
+    """
+
+    def __init__(self, path: str, message: str) -> None:
+        self.path = path
+        super().__init__(f"{path}: {message}" if path else message)
+
+
+def _value_to_dict(value: Any) -> Any:
+    if isinstance(value, DataPlaneProfile):
+        # known profiles serialise by name; ad-hoc ones in full
+        for name, profile in DATA_PLANE_PROFILES.items():
+            if value == profile:
+                return name
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: _value_to_dict(getattr(value, f.name))
+                for f in dataclasses.fields(value)}
+    if isinstance(value, (list, tuple)):
+        return [_value_to_dict(v) for v in value]
+    return value
+
+
+def _profile_from(value: Any, path: str) -> DataPlaneProfile:
+    if isinstance(value, DataPlaneProfile):
+        return value
+    if isinstance(value, str):
+        try:
+            return DATA_PLANE_PROFILES[value]
+        except KeyError:
+            raise ConfigError(
+                path, f"unknown data-plane profile {value!r}; expected one "
+                f"of {sorted(DATA_PLANE_PROFILES)}") from None
+    if isinstance(value, Mapping):
+        return _fields_from(DataPlaneProfile, value, path)
+    raise ConfigError(path, "expected a profile name or object, "
+                            f"got {type(value).__name__}")
+
+
+def _fields_from(cls, data: Mapping[str, Any], path: str):
+    """Strictly construct dataclass ``cls`` from a mapping.
+
+    Unknown keys are rejected; nested config objects recurse with a
+    qualified path; ints quietly widen to float where the field default
+    is a float (JSON authors write ``0`` for ``0.0``).
+    """
+    if not isinstance(data, Mapping):
+        raise ConfigError(path, f"expected an object, "
+                                f"got {type(data).__name__}")
+    fields = {f.name: f for f in dataclasses.fields(cls)}
+    unknown = sorted(set(data) - set(fields))
+    if unknown:
+        raise ConfigError(path, f"unknown key(s) {unknown}; "
+                                f"valid keys: {sorted(fields)}")
+    nested = NESTED_CONFIG_FIELDS.get(cls, {})
+    kwargs: dict[str, Any] = {}
+    for key, raw in data.items():
+        sub_path = f"{path}.{key}" if path else key
+        if key in nested:
+            nested_cls = nested[key]
+            if nested_cls is DataPlaneProfile:
+                kwargs[key] = _profile_from(raw, sub_path)
+            elif isinstance(raw, nested_cls):
+                kwargs[key] = raw
+            else:
+                kwargs[key] = _fields_from(nested_cls, raw, sub_path)
+            continue
+        f = fields[key]
+        if (f.default is not dataclasses.MISSING
+                and isinstance(f.default, float)
+                and isinstance(raw, int) and not isinstance(raw, bool)):
+            raw = float(raw)
+        kwargs[key] = raw
+    try:
+        return cls(**kwargs)
+    except (TypeError, ValueError) as exc:
+        raise ConfigError(path, str(exc)) from None
+
+
+class ConfigMapping:
+    """Uniform dict round-tripping for the config dataclasses.
+
+    ``to_dict`` serialises every field (nested configs recurse, known
+    data-plane profiles collapse to their names); ``from_dict``
+    reconstructs strictly -- unknown keys raise :class:`ConfigError`
+    with the full dotted path -- so
+    ``cls.from_dict(cfg.to_dict()) == cfg`` for every config class.
+    """
+
+    def to_dict(self) -> dict[str, Any]:
+        return _value_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any], *, path: str = ""):
+        return _fields_from(cls, data, path)
 
 
 @dataclass
-class NetworkConfig:
+class NetworkConfig(ConfigMapping):
     """All tunables of the simulated mobile network."""
 
     # radio access
@@ -77,7 +187,7 @@ class NetworkConfig:
 
 
 @dataclass
-class SignallingConfig:
+class SignallingConfig(ConfigMapping):
     """Transport parameters for the control-plane signalling fabric.
 
     Replaces the old fixed per-hop delay table: each protocol now gets
@@ -124,7 +234,7 @@ class SignallingConfig:
 
 
 @dataclass
-class ResilienceConfig:
+class ResilienceConfig(ConfigMapping):
     """Retransmission timers for the control plane (3GPP-flavoured).
 
     Timer names follow the NAS/GTP timers they stand in for: T3410
@@ -179,7 +289,7 @@ CONTINUITY_POLICIES = ("make-before-break", "break-before-make")
 
 
 @dataclass
-class ContinuityConfig:
+class ContinuityConfig(ConfigMapping):
     """Parameters of the multi-site edge fabric and session continuity.
 
     Governs the inter-site WAN links created between
@@ -230,7 +340,7 @@ DATA_PLANES = ("packet", "fluid-bg")
 
 
 @dataclass
-class SimConfig:
+class SimConfig(ConfigMapping):
     """Selects and parameterises the discrete-event scheduler.
 
     ``scheduler=None`` (the default) defers to the
@@ -278,7 +388,7 @@ MATCH_ENGINES = ("batch", "reference")
 
 
 @dataclass
-class MatcherConfig:
+class MatcherConfig(ConfigMapping):
     """Selects and parameterises the AR back-end's matching engine.
 
     ``engine="batch"`` (the default) builds the vectorized
@@ -321,3 +431,17 @@ class MatcherConfig:
             return ObjectMatcher(**kwargs)
         return BatchObjectMatcher(
             cache=CandidateMatrixCache(self.cache_capacity), **kwargs)
+
+
+#: Which fields of which config class hold nested config objects --
+#: drives the recursive strict deserialisation in ``_fields_from``.
+NESTED_CONFIG_FIELDS: dict[type, dict[str, type]] = {
+    NetworkConfig: {
+        "signalling": SignallingConfig,
+        "resilience": ResilienceConfig,
+        "continuity": ContinuityConfig,
+        "sim": SimConfig,
+        "central_profile": DataPlaneProfile,
+        "mec_profile": DataPlaneProfile,
+    },
+}

@@ -1,22 +1,33 @@
 """Preset experiment specs for the paper's figures.
 
-Each preset is a ready-to-run :class:`~repro.exp.spec.ExperimentSpec`;
-``python -m repro exp run <name>`` executes one from the command line,
-and the figure benchmarks drive the same specs through
-:class:`~repro.exp.runner.ExperimentRunner` so the CLI and the test
-suite measure exactly the same thing.
+Every preset is a scenario document shipped in the repository-root
+``scenarios/`` catalogue (tagged ``preset``) and compiled here into a
+ready-to-run :class:`~repro.exp.spec.ExperimentSpec` -- the documents
+are the single source of truth, this module is just the compiled
+view.  ``python -m repro exp run <name>`` executes one from the
+command line, the figure benchmarks drive the same specs through
+:class:`~repro.exp.runner.ExperimentRunner`, and ``python -m repro
+scenario run <name>`` goes through the very same compiled spec, so
+every entry point measures exactly the same thing.
+
+This module may import :mod:`repro.scenario` (the dependency points
+preset -> scenario, never back); the layering gates in
+``tests/test_layering.py`` hold the line.
 """
 
 from __future__ import annotations
 
 from repro.exp.spec import ExperimentSpec
+from repro.scenario import catalogue, load
 
-PRESETS: dict[str, ExperimentSpec] = {}
+#: The scenario documents compiled into presets, in catalogue order.
+PRESET_TAG = "preset"
 
-
-def _preset(spec: ExperimentSpec) -> ExperimentSpec:
-    PRESETS[spec.name] = spec
-    return spec
+PRESETS: dict[str, ExperimentSpec] = {
+    name: scenario.compile()
+    for name, scenario in ((name, load(name)) for name in catalogue())
+    if PRESET_TAG in scenario.tags
+}
 
 
 def preset(name: str) -> ExperimentSpec:
@@ -25,86 +36,3 @@ def preset(name: str) -> ExperimentSpec:
     except KeyError:
         raise KeyError(f"unknown preset {name!r}; available: "
                        f"{sorted(PRESETS)}") from None
-
-
-#: Tiny two-seed ping sweep: the CI smoke test for the runner itself.
-SMOKE = _preset(ExperimentSpec(
-    name="smoke",
-    workload="ping",
-    seeds=(0, 1),
-    sweep={"system": ("conventional", "acacia")},
-    params={"count": 3, "warmup": 1.0, "tail": 2.0, "interval": 0.2},
-))
-
-#: Figure 3(g): latency vs background load at three emulated RTTs.
-FIG3G = _preset(ExperimentSpec(
-    name="fig3g",
-    workload="ping",
-    seeds=(17,),
-    sweep={"rtt_ms": (70, 18, 8), "bg_mbps": (0, 40, 80, 90, 100)},
-))
-
-#: Figure 10(b): the three designs under background load.
-FIG10B = _preset(ExperimentSpec(
-    name="fig10b",
-    workload="ping",
-    seeds=(23,),
-    sweep={"system": ("conventional", "mec-shared", "acacia"),
-           "bg_mbps": (0, 40, 80, 100)},
-))
-
-#: Bearer-setup latency vs concurrent signalling load: sweeps how many
-#: UEs activate dedicated MEC bearers at once (Section 5.4 under load).
-BEARER_SETUP = _preset(ExperimentSpec(
-    name="bearer-setup",
-    workload="bearer_setup",
-    seeds=(41,),
-    sweep={"n_ues": (1, 5, 10, 25, 50)},
-))
-
-#: Resilience under signalling loss: attach/bearer success rates and
-#: added latency vs injected loss rate, with and without retransmission.
-CHAOS = _preset(ExperimentSpec(
-    name="chaos",
-    workload="chaos",
-    seeds=(29,),
-    sweep={"loss": (0.0, 0.02, 0.05, 0.10), "retries": (True, False)},
-    params={"n_ues": 20},
-))
-
-#: Attach-storm scale sweep: whole-network behaviour (and simulator
-#: event counts) as the UE population grows.
-SCALE = _preset(ExperimentSpec(
-    name="scale",
-    workload="scale",
-    seeds=(37,),
-    sweep={"n_ues": (10, 50, 100, 200)},
-    params={"pings": 5, "bg_mbps": 10},
-))
-
-#: Session continuity across a three-site edge fabric: relocation
-#: interruption and overhead per policy as walkers sweep every site.
-CONTINUITY = _preset(ExperimentSpec(
-    name="continuity",
-    workload="continuity",
-    seeds=(43,),
-    sweep={"policy": ("make-before-break", "break-before-make"),
-           "n_ues": (8, 32)},
-    params={"n_sites": 3, "enbs_per_site": 2, "tail": 4.0},
-))
-
-#: Figure 11(a): matching time by scheme/resolution on two machines.
-FIG11A = _preset(ExperimentSpec(
-    name="fig11a",
-    workload="search_space",
-    seeds=(31,),
-    sweep={"machine": ("i7-8core", "xeon-32core")},
-))
-
-#: Figure 13: end-to-end breakdown for the three deployments.
-FIG13 = _preset(ExperimentSpec(
-    name="fig13",
-    workload="end_to_end",
-    seeds=(13,),
-    sweep={"kind": ("acacia", "mec", "cloud")},
-))

@@ -7,6 +7,7 @@ round-tripped through JSON for provenance.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass
 from typing import Any, Mapping
@@ -114,6 +115,17 @@ class ExperimentSpec:
             "sweep": [[axis, list(values)] for axis, values in self.sweep],
             "params": dict(self.params),
         }
+
+    def digest(self) -> str:
+        """sha256 over the canonical JSON form of the spec.
+
+        Stable across processes and sessions: two specs with the same
+        digest expand to the same trial list and, run through the same
+        code, the same canonical result bytes.
+        """
+        text = json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":

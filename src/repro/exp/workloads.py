@@ -658,3 +658,23 @@ def run_end_to_end(trial: TrialSpec) -> dict[str, Any]:
         "breakdown_ms": {part: value * 1e3
                          for part, value in breakdown.items()},
     }
+
+
+# ---------------------------------------------------------------------------
+# scenario: the generic declarative-document interpreter
+# ---------------------------------------------------------------------------
+
+@workload("scenario")
+def run_scenario(trial: TrialSpec) -> dict[str, Any]:
+    """Interpret one scenario-document trial.
+
+    The params carry the document's ``topology`` / ``network`` /
+    ``traffic`` / ``mobility`` / ``faults`` / ``run`` sections (placed
+    there by :meth:`repro.scenario.document.Scenario.compile`) plus
+    any sweep-axis scalar overrides; the whole interpretation lives in
+    :func:`repro.scenario.runtime.execute`, imported lazily so this
+    registry never drags the scenario layer in for the other
+    workloads.
+    """
+    from repro.scenario.runtime import execute
+    return execute(trial)

@@ -23,20 +23,23 @@ Fault taxonomy:
 
 from repro.faults.events import FaultCleared, FaultInjected
 from repro.faults.injector import FaultInjector
-from repro.faults.plan import (ChannelDelaySpike, ChannelLoss, EntityCrash,
-                               EntityRestart, FaultPlan, FaultSpec, LinkDown,
-                               LinkFlap, McServerOutage)
+from repro.faults.plan import (FAULT_TYPES, ChannelDelaySpike, ChannelLoss,
+                               EntityCrash, EntityRestart, FaultPlan,
+                               FaultSpec, FaultSpecError, LinkDown, LinkFlap,
+                               McServerOutage)
 
 __all__ = [
     "ChannelDelaySpike",
     "ChannelLoss",
     "EntityCrash",
     "EntityRestart",
+    "FAULT_TYPES",
     "FaultCleared",
     "FaultInjected",
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",
+    "FaultSpecError",
     "LinkDown",
     "LinkFlap",
     "McServerOutage",

@@ -13,8 +13,23 @@ deterministic per seed regardless of what else the simulation does.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Mapping, Optional
+
+
+class FaultSpecError(ValueError):
+    """A fault document failed to deserialise.
+
+    ``path`` qualifies which entry/key is wrong
+    (``"faults[2].duration"``), mirroring
+    :class:`repro.core.config.ConfigError` so scenario documents report
+    all deserialisation problems the same way.
+    """
+
+    def __init__(self, path: str, message: str) -> None:
+        self.path = path
+        super().__init__(f"{path}: {message}" if path else message)
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -26,6 +41,66 @@ class FaultSpec:
     def __post_init__(self) -> None:
         if self.at < 0:
             raise ValueError(f"{type(self).__name__}.at must be >= 0")
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise to a plain dict with a ``"type"`` discriminator.
+
+        Every field is emitted explicitly (defaults included), so the
+        document is self-describing and
+        ``from_dict(to_dict(spec)) == spec`` for every fault type.
+        """
+        data: dict[str, Any] = {"type": FAULT_TYPE_NAMES[type(self)]}
+        for f in dataclasses.fields(self):
+            data[f.name] = getattr(self, f.name)
+        return data
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any],
+                  path: str = "") -> "FaultSpec":
+        """Strictly deserialise one fault spec.
+
+        ``data`` must carry a known ``"type"`` discriminator; unknown
+        fields raise :class:`FaultSpecError` with the qualified path.
+        """
+        if not isinstance(data, Mapping):
+            raise FaultSpecError(path, "expected an object, "
+                                       f"got {type(data).__name__}")
+        try:
+            type_name = data["type"]
+        except KeyError:
+            raise FaultSpecError(path, 'missing the "type" discriminator; '
+                                 f"expected one of {sorted(FAULT_TYPES)}"
+                                 ) from None
+        try:
+            cls = FAULT_TYPES[type_name]
+        except (KeyError, TypeError):
+            raise FaultSpecError(
+                f"{path}.type" if path else "type",
+                f"unknown fault type {type_name!r}; expected one of "
+                f"{sorted(FAULT_TYPES)}") from None
+        field_names = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - field_names - {"type"})
+        if unknown:
+            raise FaultSpecError(path, f"unknown key(s) {unknown} for "
+                                 f"fault type {type_name!r}; valid keys: "
+                                 f"{sorted(field_names)}")
+        kwargs = {}
+        for f in dataclasses.fields(cls):
+            if f.name not in data:
+                continue
+            value = data[f.name]
+            # JSON authors write `3` for `3.0`: widen ints on float fields
+            if (str(f.type) in ("float", "Optional[float]")
+                    and isinstance(value, int)
+                    and not isinstance(value, bool)):
+                value = float(value)
+            kwargs[f.name] = value
+        try:
+            return cls(**kwargs)
+        except (TypeError, ValueError) as exc:
+            raise FaultSpecError(path, str(exc)) from None
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -161,6 +236,22 @@ class McServerOutage(FaultSpec):
             raise ValueError("McServerOutage.duration must be positive")
 
 
+#: Document discriminator -> fault spec class.  Names are the snake_case
+#: forms used by scenario documents (``docs/scenario.schema.json``).
+FAULT_TYPES: dict[str, type] = {
+    "link_down": LinkDown,
+    "link_flap": LinkFlap,
+    "channel_loss": ChannelLoss,
+    "channel_delay_spike": ChannelDelaySpike,
+    "entity_crash": EntityCrash,
+    "entity_restart": EntityRestart,
+    "mc_server_outage": McServerOutage,
+}
+
+FAULT_TYPE_NAMES: dict[type, str] = {
+    cls: name for name, cls in FAULT_TYPES.items()}
+
+
 @dataclass(frozen=True)
 class FaultPlan:
     """An immutable, validated sequence of fault specs."""
@@ -182,3 +273,32 @@ class FaultPlan:
 
     def __bool__(self) -> bool:
         return bool(self.faults)
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"faults": [spec.to_dict() for spec in self.faults]}
+
+    @classmethod
+    def from_dict(cls, data, path: str = "") -> "FaultPlan":
+        """Deserialise a plan from ``{"faults": [...]}`` or a bare list.
+
+        Entry errors are qualified as ``<path>.faults[i]`` /
+        ``<path>[i]`` so a bad fault inside a scenario document names
+        its exact location.
+        """
+        if isinstance(data, Mapping):
+            unknown = sorted(set(data) - {"faults"})
+            if unknown:
+                raise FaultSpecError(path, f"unknown key(s) {unknown}; "
+                                     'a fault plan is {"faults": [...]}')
+            entries = data.get("faults", [])
+            path = f"{path}.faults" if path else "faults"
+        else:
+            entries = data
+        if not isinstance(entries, (list, tuple)):
+            raise FaultSpecError(path, "expected a list of fault specs, "
+                                       f"got {type(entries).__name__}")
+        return cls(faults=tuple(
+            FaultSpec.from_dict(entry, path=f"{path}[{i}]")
+            for i, entry in enumerate(entries)))

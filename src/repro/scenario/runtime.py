@@ -1,0 +1,289 @@
+"""Interpreter for the generic ``"scenario"`` workload.
+
+:func:`execute` receives one :class:`~repro.exp.spec.TrialSpec` whose
+params carry the scenario document's interpreted sections (placed
+there by :meth:`repro.scenario.document.Scenario.compile`) and builds
+the whole world from them:
+
+* ``topology`` -> :func:`repro.baselines.deployments.build_topology`
+  (cells on a line, one CI echo server per edge site, WAN mesh);
+* ``network`` -> :meth:`~repro.core.config.NetworkConfig.from_dict`
+  overlay (the trial seed always wins over the document);
+* ``traffic.ci`` -> an attach storm in the first cell plus per-UE
+  probe trains, either through MRS-granted edge sessions (``path:
+  "edge"``, retargeted across relocations) or the conventional
+  central path (``path: "central"``);
+* ``traffic.background`` -> aggregate load through a site's gateways;
+* ``mobility`` -> staggered walks down the whole line of cells;
+* ``faults`` -> a :class:`~repro.faults.plan.FaultPlan` armed before
+  the attach storm, so document times are absolute sim times;
+* ``run`` -> the warmup / duration / tail phase lengths.
+
+Sweep axes (and ``experiment.params``) may override the documented
+scalar shortcuts in :data:`OVERRIDES` -- e.g. a ``n_ues`` axis scales
+the CI population without rewriting the ``traffic`` section.  Anything
+else at the top level of the params is rejected, so a typoed axis
+fails loudly instead of silently not sweeping.
+
+The timeline is fixed: attaches run during ``[0, warmup)``; sessions,
+probes, walks and background all start at ``warmup + 1.0`` (the lead
+second lets dedicated bearers establish); the sim then runs for
+``duration`` plus ``tail`` and the metrics are collected.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.exp.spec import TrialSpec
+
+#: Scalar shortcuts sweep axes / params may override, mapped to the
+#: document path they rewrite.
+OVERRIDES = {
+    "n_ues": "traffic.ci.n_ues",
+    "bg_mbps": "traffic.background.mbps",
+    "policy": "network.continuity.policy",
+    "data_plane": "network.sim.data_plane",
+    "retries": "network.resilience.enabled",
+    "sites": "topology.sites",
+    "enbs_per_site": "topology.enbs_per_site",
+    "speed": "mobility.speed",
+    "loss_rate": "faults[*].rate (channel_loss entries)",
+    "duration": "run.duration",
+}
+
+_SECTIONS = ("topology", "network", "traffic", "mobility", "faults",
+             "run")
+
+
+def _apply_overrides(p: dict[str, Any]) -> dict[str, Any]:
+    """Split params into sections, folding scalar overrides in."""
+    sections = {name: copy.deepcopy(p.pop(name, None))
+                for name in _SECTIONS}
+    overrides = {k: p.pop(k) for k in list(p) if k in OVERRIDES}
+    if p:
+        raise ValueError(
+            f"unknown scenario param(s) {sorted(p)}; sections: "
+            f"{sorted(_SECTIONS)}, overridable scalars: "
+            f"{sorted(OVERRIDES)}")
+
+    def section(name: str) -> dict:
+        if sections[name] is None:
+            sections[name] = {}
+        return sections[name]
+
+    if "n_ues" in overrides:
+        section("traffic").setdefault("ci", {})["n_ues"] = \
+            int(overrides["n_ues"])
+    if "bg_mbps" in overrides:
+        section("traffic").setdefault("background", {})["mbps"] = \
+            float(overrides["bg_mbps"])
+    if "policy" in overrides:
+        section("network").setdefault("continuity", {})["policy"] = \
+            overrides["policy"]
+    if "data_plane" in overrides:
+        section("network").setdefault("sim", {})["data_plane"] = \
+            overrides["data_plane"]
+    if "retries" in overrides:
+        section("network").setdefault("resilience", {})["enabled"] = \
+            bool(overrides["retries"])
+    if "sites" in overrides:
+        section("topology")["sites"] = int(overrides["sites"])
+    if "enbs_per_site" in overrides:
+        section("topology")["enbs_per_site"] = \
+            int(overrides["enbs_per_site"])
+    if "speed" in overrides:
+        section("mobility")["speed"] = float(overrides["speed"])
+    if "duration" in overrides:
+        section("run")["duration"] = float(overrides["duration"])
+    if "loss_rate" in overrides:
+        rate = float(overrides["loss_rate"])
+        faults = sections["faults"] or []
+        targets = [f for f in faults
+                   if f.get("type") == "channel_loss"]
+        if not targets:
+            raise ValueError(
+                "loss_rate override needs at least one channel_loss "
+                "entry in the faults section to rewrite")
+        for f in targets:
+            f["rate"] = rate
+        sections["faults"] = faults
+    return sections
+
+
+def execute(trial: "TrialSpec") -> dict[str, Any]:
+    """Run one scenario trial; see the module docstring."""
+    from repro.apps.mobility import MobilityManager
+    from repro.apps.scenario import WalkPath
+    from repro.baselines.deployments import build_topology
+    from repro.core.config import NetworkConfig
+    from repro.core.events import SessionRelocated
+    from repro.core.network import Pinger
+    from repro.faults import FaultInjector, FaultPlan
+
+    sections = _apply_overrides(dict(trial.param_dict))
+    topology = sections["topology"] or {}
+    traffic = sections["traffic"] or {}
+    mobility = sections["mobility"]
+    run = sections["run"] or {}
+
+    ci = dict(traffic.get("ci", {}))
+    n_ues = int(ci.get("n_ues", 8))
+    path = ci.get("path", "edge")
+    ping_interval = float(ci.get("ping_interval", 0.2))
+    ping_size = int(ci.get("ping_size", 64))
+    background = dict(traffic.get("background", {}))
+    bg_mbps = float(background.get("mbps", 0.0))
+    bg_site = background.get("site", "central")
+
+    config = NetworkConfig.from_dict(sections["network"] or {},
+                                     path="network")
+    config.seed = trial.seed
+    fabric = build_topology(topology, config=config)
+    network = fabric.network
+    mrs = fabric.mrs
+    n_cells = len(fabric.enb_positions)
+    cell_spacing = float(topology.get("cell_spacing", 100.0))
+
+    warmup = float(run.get("warmup", 1.0))
+    tail = float(run.get("tail", 2.0))
+    speed = stagger = walk_duration = 0.0
+    if mobility is not None:
+        speed = float(mobility.get("speed", 25.0))
+        stagger = float(mobility.get("stagger", 0.05))
+        walk_duration = cell_spacing * (n_cells - 1) / speed
+    duration = float(run.get("duration",
+                             walk_duration + n_ues * stagger
+                             if mobility is not None else 10.0))
+    probes = int(ci.get("probes", duration / ping_interval
+                        if ping_interval > 0 else 0))
+
+    plan = FaultPlan.from_dict(sections["faults"] or [],
+                               path="faults")
+    injector = None
+    if plan.faults:
+        injector = FaultInjector(network, plan)
+        injector.arm()
+
+    # phase 1: attach storm in the first cell
+    attach_procs = [network.add_ue_async(enb_name="enb0")
+                    for _ in range(n_ues)]
+    network.sim.run(until=warmup)
+    ues = []
+    attach_outcomes: dict[str, int] = {}
+    for proc in attach_procs:
+        if not proc.finished:
+            attach_outcomes["unfinished"] = \
+                attach_outcomes.get("unfinished", 0) + 1
+            continue
+        assert proc.error is None, proc.error
+        result = proc.value.attach_result
+        outcome = result.outcome if result is not None else "none"
+        attach_outcomes[outcome] = attach_outcomes.get(outcome, 0) + 1
+        if proc.value.attached:
+            ues.append(proc.value)
+
+    # phase 2: sessions, probes, walks, background load
+    relocated: list[SessionRelocated] = []
+    pingers: dict[str, Pinger] = {}
+
+    def on_relocated(event: SessionRelocated) -> None:
+        relocated.append(event)
+        pinger = pingers.get(event.imsi)
+        if pinger is not None:
+            server_name = fabric.server_of_site[event.to_site]
+            pinger.server = network.servers[server_name]
+
+    network.hooks.on(SessionRelocated, on_relocated)
+
+    session_failures = 0
+
+    def request_session(ue) -> None:
+        # scheduled (not called inline) so the synchronous bearer
+        # activation inside cannot drain armed future fault events;
+        # run_until_complete is reentrant from an event callback
+        nonlocal session_failures
+        try:
+            mrs.request_connectivity(ue, fabric.service_id)
+        except LookupError:
+            session_failures += 1
+
+    if path == "edge":
+        for ue in ues:
+            network.sim.schedule(0.0, request_session, ue)
+        target = fabric.server_of_site["edge0"]
+    else:
+        target = "internet"
+
+    if bg_mbps > 0:
+        network.add_background_load(rate=bg_mbps * 1e6,
+                                    site_name=bg_site).start()
+
+    start_at = warmup + 1.0
+    users: list[Any] = []
+    if mobility is not None:
+        manager = MobilityManager(
+            network, fabric.enb_positions,
+            update_interval=float(mobility.get("update_interval", 0.5)),
+            hysteresis=float(mobility.get("hysteresis", 3.0)),
+            hysteresis_db=float(mobility.get("hysteresis_db", 0.0)))
+        end_x = cell_spacing * (n_cells - 1)
+        for i, ue in enumerate(ues):
+            walk = WalkPath(waypoints=[(0.0, 0.0), (end_x, 0.0)],
+                            speed=speed)
+            network.sim.schedule(
+                start_at + i * stagger - network.sim.now,
+                lambda u=ue, w=walk: users.append(
+                    manager.add_mobile(u, w)))
+
+    if ping_interval > 0 and probes > 0:
+        for i, ue in enumerate(ues):
+            pinger = Pinger(network, ue, target, size=ping_size,
+                            interval=ping_interval)
+            pinger.run(count=probes, start=start_at + i * stagger)
+            pingers[ue.imsi] = pinger
+
+    network.sim.run(until=start_at + n_ues * stagger + duration + tail)
+    for pinger in pingers.values():
+        pinger.close()
+
+    sessions_alive = 0
+    if path == "edge":
+        for ue in ues:
+            session = mrs.session_for(ue, fabric.service_id)
+            if session is None:
+                continue
+            bearer = ue.bearers.bearers.get(session.ebi)
+            if bearer is not None and bearer.active:
+                sessions_alive += 1
+
+    rtts = [r for pg in pingers.values() for r in pg.rtts]
+    interruptions = [e.interruption for e in relocated]
+    return {
+        "n_ues": n_ues,
+        "path": path,
+        "attached": len(ues),
+        "attach_outcomes": dict(sorted(attach_outcomes.items())),
+        "sessions_alive": sessions_alive,
+        "session_failures": session_failures,
+        "handovers": sum(len(u.handovers) for u in users),
+        "relocations_started": mrs.relocations_started,
+        "relocations_completed": mrs.relocations_completed,
+        "interruption_ms_mean": (float(np.mean(interruptions)) * 1e3
+                                 if interruptions else 0.0),
+        "pings_answered": len(rtts),
+        "pings_lost": sum(pg.lost for pg in pingers.values()),
+        "median_rtt_ms": (float(np.median(rtts)) * 1e3
+                          if rtts else 0.0),
+        "p95_rtt_ms": (float(np.percentile(rtts, 95)) * 1e3
+                       if rtts else 0.0),
+        "faults_injected": (injector.injected if injector else 0),
+        "faults_cleared": (injector.cleared if injector else 0),
+        "retransmissions": network.fabric.retransmissions,
+        "signalling_drops": dict(sorted(network.fabric.drops.items())),
+        "events_run": network.sim.events_run,
+    }

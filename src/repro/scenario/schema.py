@@ -1,0 +1,290 @@
+"""The scenario-document schema and its validator.
+
+:data:`SCHEMA` is the single published description of a scenario
+document (exported verbatim to ``docs/scenario.schema.json``); the
+``network`` section's properties are generated from the
+:mod:`repro.core.config` dataclasses and the fault-type inventory from
+:data:`repro.faults.plan.FAULT_TYPES`, so the schema can never drift
+from the code it describes.
+
+:func:`validate` checks an instance against the schema with **no
+third-party dependencies** (the subset of JSON Schema the document
+needs: ``type``, ``enum``, ``required``, ``properties``,
+``additionalProperties``, ``items``, numeric bounds, ``minItems``,
+``pattern``).  Errors are :class:`ScenarioValidationError` with a
+JSON-pointer-style dotted path (``topology.sites``,
+``faults[2].type``) so a bad document names its exact offending key.
+
+Field-level strictness the schema cannot express (fault-spec fields
+per type, config cross-field constraints) is enforced when the
+document is deserialised -- see
+:meth:`repro.scenario.document.Scenario.from_dict` -- with the same
+path-qualified error style.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Any, Mapping
+
+from repro.core.config import (DataPlaneProfile, NESTED_CONFIG_FIELDS,
+                               NetworkConfig)
+from repro.faults.plan import FAULT_TYPES
+
+
+class ScenarioError(ValueError):
+    """Base class of every scenario-layer error."""
+
+
+class ScenarioValidationError(ScenarioError):
+    """A document failed schema validation; ``path`` names the key."""
+
+    def __init__(self, path: str, message: str) -> None:
+        self.path = path
+        super().__init__(f"{path}: {message}" if path else message)
+
+
+#: python field-annotation -> JSON-schema type
+_TYPE_MAP = {
+    "float": "number",
+    "int": "integer",
+    "bool": "boolean",
+    "str": "string",
+    "Optional[float]": ["number", "null"],
+    "Optional[int]": ["integer", "null"],
+    "str | None": ["string", "null"],
+    "Optional[str]": ["string", "null"],
+}
+
+
+def _config_properties(cls) -> dict[str, Any]:
+    """JSON-schema ``properties`` for one config dataclass."""
+    nested = NESTED_CONFIG_FIELDS.get(cls, {})
+    props: dict[str, Any] = {}
+    for f in dataclasses.fields(cls):
+        if f.name == "seed":
+            continue        # seeds come from the experiment section
+        if f.name in nested:
+            nested_cls = nested[f.name]
+            if nested_cls is DataPlaneProfile:
+                props[f.name] = {"type": ["string", "object"]}
+            else:
+                props[f.name] = {
+                    "type": "object",
+                    "additionalProperties": False,
+                    "properties": _config_properties(nested_cls),
+                }
+            continue
+        schema_type = _TYPE_MAP.get(str(f.type))
+        props[f.name] = {"type": schema_type} if schema_type else {}
+    return props
+
+
+_NAME_PATTERN = r"^[A-Za-z0-9][A-Za-z0-9_.-]*$"
+
+#: The published scenario-document schema (one version per document's
+#: ``scenario.version``; this is version 1).
+SCHEMA: dict[str, Any] = {
+    "$schema": "https://json-schema.org/draft/2020-12/schema",
+    "$id": "https://acacia-repro.invalid/scenario.schema.json",
+    "title": "ACACIA reproduction scenario document",
+    "type": "object",
+    "required": ["scenario", "experiment"],
+    "additionalProperties": False,
+    "properties": {
+        "scenario": {
+            "type": "object",
+            "required": ["name", "version", "description"],
+            "additionalProperties": False,
+            "properties": {
+                "name": {"type": "string", "pattern": _NAME_PATTERN},
+                "version": {"type": "integer", "enum": [1]},
+                "description": {"type": "string"},
+                "tags": {"type": "array", "items": {"type": "string"}},
+            },
+        },
+        "network": {
+            "type": "object",
+            "additionalProperties": False,
+            "properties": _config_properties(NetworkConfig),
+        },
+        "topology": {
+            "type": "object",
+            "additionalProperties": False,
+            "properties": {
+                "sites": {"type": "integer", "minimum": 1},
+                "enbs_per_site": {"type": "integer", "minimum": 1},
+                "cell_spacing": {"type": "number",
+                                 "exclusiveMinimum": 0},
+            },
+        },
+        "traffic": {
+            "type": "object",
+            "additionalProperties": False,
+            "properties": {
+                "ci": {
+                    "type": "object",
+                    "additionalProperties": False,
+                    "properties": {
+                        "n_ues": {"type": "integer", "minimum": 0},
+                        "path": {"enum": ["edge", "central"]},
+                        "ping_interval": {"type": "number",
+                                          "minimum": 0},
+                        "ping_size": {"type": "integer",
+                                      "exclusiveMinimum": 0},
+                        "probes": {"type": "integer", "minimum": 0},
+                    },
+                },
+                "background": {
+                    "type": "object",
+                    "additionalProperties": False,
+                    "properties": {
+                        "mbps": {"type": "number", "minimum": 0},
+                        "site": {"type": "string"},
+                    },
+                },
+            },
+        },
+        "mobility": {
+            "type": "object",
+            "additionalProperties": False,
+            "properties": {
+                "speed": {"type": "number", "exclusiveMinimum": 0},
+                "stagger": {"type": "number", "minimum": 0},
+                "hysteresis": {"type": "number", "minimum": 0},
+                "hysteresis_db": {"type": "number", "minimum": 0},
+                "update_interval": {"type": "number",
+                                    "exclusiveMinimum": 0},
+            },
+        },
+        "faults": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["type"],
+                "properties": {
+                    "type": {"enum": sorted(FAULT_TYPES)},
+                },
+            },
+        },
+        "run": {
+            "type": "object",
+            "additionalProperties": False,
+            "properties": {
+                "warmup": {"type": "number", "minimum": 0},
+                "duration": {"type": "number", "minimum": 0},
+                "tail": {"type": "number", "minimum": 0},
+            },
+        },
+        "experiment": {
+            "type": "object",
+            "additionalProperties": False,
+            "properties": {
+                "workload": {"type": "string"},
+                "seeds": {"type": "array", "minItems": 1,
+                          "items": {"type": "integer"}},
+                "sweep": {"type": ["object", "array"]},
+                "params": {"type": "object"},
+            },
+        },
+    },
+}
+
+def _type_name(value: Any) -> str:
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "boolean"
+    if isinstance(value, int):
+        return "integer"
+    if isinstance(value, float):
+        return "number"
+    if isinstance(value, str):
+        return "string"
+    if isinstance(value, Mapping):
+        return "object"
+    if isinstance(value, (list, tuple)):
+        return "array"
+    return type(value).__name__
+
+
+def _matches_type(value: Any, expected: str) -> bool:
+    if expected == "number":
+        return (isinstance(value, (int, float))
+                and not isinstance(value, bool))
+    if expected == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    return _type_name(value) == expected
+
+
+def validate(instance: Any, schema: Mapping[str, Any] | None = None,
+             path: str = "") -> None:
+    """Validate ``instance`` against ``schema`` (default the full
+    document schema), raising :class:`ScenarioValidationError` with a
+    dotted, index-qualified path on the first violation."""
+    if schema is None:
+        schema = SCHEMA
+
+    expected = schema.get("type")
+    if expected is not None:
+        allowed = [expected] if isinstance(expected, str) else expected
+        if not any(_matches_type(instance, t) for t in allowed):
+            raise ScenarioValidationError(
+                path, f"expected {' or '.join(allowed)}, "
+                      f"got {_type_name(instance)}")
+
+    if "enum" in schema and instance not in schema["enum"]:
+        raise ScenarioValidationError(
+            path, f"{instance!r} is not one of {schema['enum']}")
+
+    if isinstance(instance, (int, float)) and not isinstance(instance,
+                                                             bool):
+        if "minimum" in schema and instance < schema["minimum"]:
+            raise ScenarioValidationError(
+                path, f"{instance} is below the minimum "
+                      f"{schema['minimum']}")
+        if ("exclusiveMinimum" in schema
+                and instance <= schema["exclusiveMinimum"]):
+            raise ScenarioValidationError(
+                path, f"{instance} must be > "
+                      f"{schema['exclusiveMinimum']}")
+        if "maximum" in schema and instance > schema["maximum"]:
+            raise ScenarioValidationError(
+                path, f"{instance} is above the maximum "
+                      f"{schema['maximum']}")
+
+    if isinstance(instance, str) and "pattern" in schema:
+        if re.fullmatch(schema["pattern"], instance) is None:
+            raise ScenarioValidationError(
+                path, f"{instance!r} does not match the pattern "
+                      f"{schema['pattern']!r}")
+
+    if isinstance(instance, Mapping):
+        properties = schema.get("properties", {})
+        for key in schema.get("required", ()):
+            if key not in instance:
+                raise ScenarioValidationError(
+                    path, f"missing required key {key!r}")
+        if schema.get("additionalProperties") is False:
+            unknown = sorted(set(instance) - set(properties))
+            if unknown:
+                raise ScenarioValidationError(
+                    path, f"unknown key(s) {unknown}; valid keys: "
+                          f"{sorted(properties)}")
+        for key, value in instance.items():
+            if key in properties:
+                sub = f"{path}.{key}" if path else str(key)
+                validate(value, properties[key], sub)
+
+    if isinstance(instance, (list, tuple)):
+        if ("minItems" in schema
+                and len(instance) < schema["minItems"]):
+            raise ScenarioValidationError(
+                path, f"expected at least {schema['minItems']} "
+                      f"item(s), got {len(instance)}")
+        items = schema.get("items")
+        if items is not None:
+            for i, value in enumerate(instance):
+                validate(value, items, f"{path}[{i}]" if path
+                         else f"[{i}]")

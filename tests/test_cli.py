@@ -64,12 +64,24 @@ def test_exp_list_shows_every_preset(capsys):
         assert name in out
 
 
-def test_exp_show_prints_spec_json(capsys):
+def test_exp_show_prints_spec_json_digests_and_seed_table(capsys):
     import json
+
+    from repro.exp import preset
+    from repro.scenario import load
     assert main(["exp", "show", "smoke"]) == 0
-    spec = json.loads(capsys.readouterr().out)
+    out = capsys.readouterr().out
+    spec_json, _, rest = out.partition("\nspec digest: ")
+    spec = json.loads(spec_json)
     assert spec["name"] == "smoke"
     assert spec["workload"] == "ping"
+    assert preset("smoke").digest() in rest
+    assert load("smoke").digest() in rest
+    # the per-trial seed table pairs sweep cells on the base seed
+    for trial in preset("smoke").trials():
+        assert str(trial.seed) in rest
+        assert f"  {trial.index:>3}  " in rest
+    assert "paired" in rest
 
 
 def test_exp_unknown_preset_fails_cleanly(capsys):
@@ -108,3 +120,85 @@ def test_exp_run_reports_failures_with_nonzero_exit(capsys, monkeypatch):
         name="_cli-boom", workload="_cli_boom"))
     assert main(["exp", "run", "_cli-boom"]) == 1
     assert "kaput" in capsys.readouterr().err
+
+
+def test_scenario_list_shows_whole_catalogue(capsys):
+    from repro.scenario import catalogue
+    assert main(["scenario", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in catalogue():
+        assert name in out
+
+
+def test_scenario_show_prints_document_and_digest(capsys):
+    import json
+
+    from repro.scenario import load
+    assert main(["scenario", "show", "quick_test"]) == 0
+    out = capsys.readouterr().out
+    document, _, rest = out.partition("\nscenario digest: ")
+    assert json.loads(document)["scenario"]["name"] == "quick_test"
+    assert load("quick_test").digest() in rest
+    assert "compiles to" in rest
+
+
+def test_scenario_validate_whole_catalogue(capsys):
+    from repro.scenario import catalogue
+    assert main(["scenario", "validate"]) == 0
+    out = capsys.readouterr().out
+    total = len(catalogue())
+    assert f"{total}/{total} valid" in out
+
+
+def test_scenario_validate_reports_bad_document(tmp_path, capsys):
+    import json
+    bad = {"scenario": {"name": "bad", "version": 1,
+                        "description": "d"},
+           "topology": {"sites": 0},
+           "experiment": {"workload": "scenario", "seeds": [1]}}
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps(bad))
+    assert main(["scenario", "validate", str(path)]) == 1
+    out = capsys.readouterr().out
+    assert "FAIL" in out
+    assert "topology.sites" in out
+
+
+def test_scenario_unknown_name_fails_cleanly(capsys):
+    assert main(["scenario", "show", "no_such"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
+    assert main(["scenario", "run", "no_such"]) == 2
+
+
+def test_scenario_run_jsonl_embeds_digest(capsys):
+    import json
+
+    from repro.scenario import load
+    assert main(["scenario", "run", "quick_test", "--jsonl"]) == 0
+    out = capsys.readouterr().out
+    lines = [json.loads(line) for line in out.strip().splitlines()]
+    digest = load("quick_test").digest()
+    assert len(lines) == 1
+    for record in lines:
+        assert record["status"] == "ok"
+        assert record["provenance"]["scenario"] == "quick_test"
+        assert record["provenance"]["scenario_digest"] == digest
+
+
+def test_scenario_run_json_wraps_result_with_provenance(tmp_path,
+                                                        capsys):
+    import json
+
+    from repro.scenario import load
+    out_file = tmp_path / "result.json"
+    assert main(["scenario", "run", "quick_test",
+                 "--output", str(out_file)]) == 0
+    data = json.loads(out_file.read_text())
+    scenario = load("quick_test")
+    assert data["scenario"]["name"] == "quick_test"
+    assert data["scenario"]["digest"] == scenario.digest()
+    assert (data["scenario"]["spec_digest"]
+            == scenario.compile().digest())
+    for trial in data["trials"]:
+        assert trial["provenance"]["scenario_digest"] \
+            == scenario.digest()

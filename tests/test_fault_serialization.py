@@ -1,0 +1,136 @@
+"""(De)serialisation of fault specs and plans.
+
+Every fault type round-trips through ``to_dict``/``from_dict``
+exactly (a hypothesis property over generated specs), unknown fields
+and unknown types fail with path-qualified messages, and whole plans
+survive a JSON round-trip.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.plan import (FAULT_TYPES, ChannelDelaySpike,
+                               ChannelLoss, EntityCrash, EntityRestart,
+                               FaultPlan, FaultSpec, FaultSpecError,
+                               LinkDown, LinkFlap, McServerOutage)
+
+_names = st.sampled_from(["s1.edge0.enb0", "wan.edge0.edge1", "mme",
+                          "ci-edge1", "*", "rrc"])
+_at = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+_positive = st.floats(min_value=1e-3, max_value=100.0,
+                      allow_nan=False)
+_maybe_duration = st.one_of(st.none(), _positive)
+_rate = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+_duty = st.floats(min_value=0.01, max_value=0.99, allow_nan=False)
+
+#: One strategy per registered fault type -- a new fault type without
+#: a strategy here fails test_every_fault_type_has_a_strategy.
+#: Windowed specs (``until``) build from ``at`` plus a positive
+#: extent, matching the constructors' ``until > at`` validation.
+SPEC_STRATEGIES = {
+    "link_down": st.builds(LinkDown, link=_names, at=_at,
+                           duration=_maybe_duration),
+    "link_flap": st.builds(
+        lambda link, at, period, duty, extent: LinkFlap(
+            link=link, at=at, period=period, duty=duty,
+            until=at + extent),
+        _names, _at, _positive, _duty, _positive),
+    "channel_loss": st.builds(
+        lambda channel, at, rate, extent: ChannelLoss(
+            channel=channel, at=at, rate=rate,
+            until=None if extent is None else at + extent),
+        _names, _at, _rate, _maybe_duration),
+    "channel_delay_spike": st.builds(
+        lambda channel, at, probability, extra, extent:
+            ChannelDelaySpike(
+                channel=channel, at=at, probability=probability,
+                extra_delay=extra,
+                until=None if extent is None else at + extent),
+        _names, _at, _rate, _positive, _maybe_duration),
+    "entity_crash": st.builds(EntityCrash, entity=_names, at=_at,
+                              duration=_maybe_duration),
+    "entity_restart": st.builds(EntityRestart, entity=_names, at=_at),
+    "mc_server_outage": st.builds(McServerOutage, server=_names,
+                                  at=_at, duration=_maybe_duration),
+}
+
+
+def test_every_fault_type_has_a_strategy():
+    assert sorted(SPEC_STRATEGIES) == sorted(FAULT_TYPES)
+
+
+@settings(max_examples=60)
+@given(spec=st.one_of(*SPEC_STRATEGIES.values()))
+def test_spec_roundtrips_exactly(spec):
+    data = spec.to_dict()
+    assert data["type"] in FAULT_TYPES
+    restored = FaultSpec.from_dict(data)
+    assert restored == spec
+    assert type(restored) is type(spec)
+    # and survives an actual JSON encode/decode
+    assert FaultSpec.from_dict(json.loads(json.dumps(data))) == spec
+
+
+@settings(max_examples=20)
+@given(specs=st.lists(st.one_of(*SPEC_STRATEGIES.values()),
+                      max_size=6))
+def test_plan_roundtrips_exactly(specs):
+    plan = FaultPlan(tuple(specs))
+    restored = FaultPlan.from_dict(
+        json.loads(json.dumps(plan.to_dict())))
+    assert restored == plan
+
+
+@pytest.mark.parametrize("name,cls", sorted(FAULT_TYPES.items()))
+def test_registry_names_are_stable(name, cls):
+    assert FAULT_TYPES[name] is cls
+
+
+def test_missing_type_discriminator():
+    with pytest.raises(FaultSpecError) as excinfo:
+        FaultSpec.from_dict({"link": "x"}, path="faults[0]")
+    assert excinfo.value.path == "faults[0]"
+    assert "type" in str(excinfo.value)
+
+
+def test_unknown_type_lists_the_valid_ones():
+    with pytest.raises(FaultSpecError) as excinfo:
+        FaultSpec.from_dict({"type": "gremlin"}, path="faults[3]")
+    message = str(excinfo.value)
+    assert "faults[3]" in message
+    for name in FAULT_TYPES:
+        assert name in message
+
+
+def test_unknown_field_is_rejected_with_path():
+    with pytest.raises(FaultSpecError) as excinfo:
+        FaultSpec.from_dict(
+            {"type": "channel_loss", "rait": 0.5}, path="faults[2]")
+    assert excinfo.value.path == "faults[2]"
+    assert "rait" in str(excinfo.value)
+
+
+def test_plan_accepts_bare_list_and_wrapped_forms():
+    entries = [{"type": "link_down", "link": "s5.central"}]
+    assert (FaultPlan.from_dict(entries)
+            == FaultPlan.from_dict({"faults": entries}))
+
+
+def test_plan_entry_errors_carry_their_index():
+    with pytest.raises(FaultSpecError) as excinfo:
+        FaultPlan.from_dict([
+            {"type": "link_down", "link": "a"},
+            {"type": "link_flap", "link": "b"},      # missing period
+        ], path="faults")
+    assert "faults[1]" in str(excinfo.value)
+
+
+def test_json_ints_widen_to_float_fields():
+    spec = FaultSpec.from_dict(
+        {"type": "link_flap", "link": "a", "at": 3, "period": 2,
+         "until": 9})
+    assert spec == LinkFlap(link="a", at=3.0, period=2.0, until=9.0)
+    assert isinstance(spec.period, float)

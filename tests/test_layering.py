@@ -11,15 +11,27 @@ SRC = Path(__file__).parent.parent / "src" / "repro"
 FORBIDDEN = {
     "sim": {"repro.epc", "repro.sdn", "repro.d2d", "repro.localization",
             "repro.vision", "repro.core", "repro.apps",
-            "repro.baselines"},
-    "epc": {"repro.core", "repro.apps", "repro.baselines"},
-    "sdn": {"repro.core", "repro.apps", "repro.baselines"},
-    "d2d": {"repro.core", "repro.apps", "repro.baselines"},
-    "localization": {"repro.core", "repro.apps", "repro.baselines"},
-    "vision": {"repro.core", "repro.apps", "repro.baselines"},
-    "faults": {"repro.core", "repro.apps", "repro.baselines"},
-    "core": {"repro.baselines"},
-    "apps": {"repro.baselines"},
+            "repro.baselines", "repro.scenario"},
+    "epc": {"repro.core", "repro.apps", "repro.baselines",
+            "repro.scenario"},
+    "sdn": {"repro.core", "repro.apps", "repro.baselines",
+            "repro.scenario"},
+    "d2d": {"repro.core", "repro.apps", "repro.baselines",
+            "repro.scenario"},
+    "localization": {"repro.core", "repro.apps", "repro.baselines",
+                     "repro.scenario"},
+    "vision": {"repro.core", "repro.apps", "repro.baselines",
+               "repro.scenario"},
+    "faults": {"repro.core", "repro.apps", "repro.baselines",
+               "repro.scenario"},
+    "core": {"repro.baselines", "repro.scenario"},
+    "apps": {"repro.baselines", "repro.scenario"},
+    "baselines": {"repro.scenario", "repro.exp"},
+    # presets are compiled *from* scenario documents, so the exp
+    # package may import repro.scenario (see exp/presets.py) but the
+    # scenario layer must never reach back into repro.exp at module
+    # scope -- Scenario.compile() imports the spec lazily.
+    "scenario": {"repro.exp"},
 }
 
 
@@ -227,3 +239,33 @@ def test_no_scheduler_internals_outside_sim():
     assert violations == [], (
         "scheduler internals leaked outside repro.sim; use the public "
         f"Simulator API instead: {violations}")
+
+
+#: The one sanctioned entry point that turns a raw scenario-document
+#: dict into a built deployment.  Only the scenario layer (which
+#: validates documents first) and the baselines package itself (whose
+#: legacy builders delegate to it) may call it; every other layer goes
+#: through those two, so an unvalidated dict can never build a world.
+RAW_DICT_BUILDERS = {"build_topology"}
+
+RAW_DICT_BUILDER_LAYERS = ("scenario/", "baselines/")
+
+
+def test_only_scenario_layer_builds_from_raw_dicts():
+    violations = []
+    for path in SRC.rglob("*.py"):
+        rel = path.relative_to(SRC).as_posix()
+        if rel.startswith(RAW_DICT_BUILDER_LAYERS):
+            continue
+        for node in ast.walk(ast.parse(path.read_text())):
+            if not isinstance(node, ast.Call):
+                continue
+            fn = node.func
+            name = (fn.id if isinstance(fn, ast.Name)
+                    else fn.attr if isinstance(fn, ast.Attribute)
+                    else None)
+            if name in RAW_DICT_BUILDERS:
+                violations.append(f"{rel}:{node.lineno}: calls {name}")
+    assert violations == [], (
+        "raw-dict deployment construction outside the scenario layer; "
+        f"go through repro.scenario documents instead: {violations}")

@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Export the scenario-document schema to docs/scenario.schema.json.
+
+The in-code :data:`repro.scenario.schema.SCHEMA` is generated from
+the config dataclasses and the fault-type inventory, so this export
+is the *published* form; ``tests/test_scenario.py`` fails when the
+file goes stale, exactly like the API-doc staleness gate.
+
+Usage: PYTHONPATH=src python tools/gen_scenario_schema.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.scenario.schema import SCHEMA  # noqa: E402
+
+
+def render() -> str:
+    return json.dumps(SCHEMA, indent=2, sort_keys=True) + "\n"
+
+
+def main() -> int:
+    out = ROOT / "docs" / "scenario.schema.json"
+    out.write_text(render())
+    print(f"wrote {out.relative_to(ROOT)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
