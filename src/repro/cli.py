@@ -28,6 +28,12 @@ Commands
     compile-and-run them through the same experiment runner -- with
     ``--jsonl`` per-trial output whose provenance embeds the scenario
     digest.
+``ops serve | run | status | attach | inject | tail | ...``
+    The live operator service (:mod:`repro.ops`): ``serve`` runs a
+    scenario as a paced asyncio service with a JSON-RPC control
+    endpoint; ``run`` drives it unpaced and synchronous (the
+    deterministic reference); the remaining subcommands are the
+    control client, pointed at a running service with ``--connect``.
 """
 
 from __future__ import annotations
@@ -344,6 +350,93 @@ def cmd_scenario_run(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def cmd_ops_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.ops.service import load_service
+    from repro.scenario import ScenarioError
+    try:
+        service = load_service(args.scenario, seed=args.seed,
+                               duration=args.duration, rtf=args.rtf,
+                               sink=(open(args.telemetry, "w")
+                                     if args.telemetry else None))
+    except ScenarioError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    pacing = (f"rtf={service.config.pacer.rtf}x"
+              if service.config.pacer.rtf > 0 else "unpaced")
+    print(f"serving {service.scenario.name!r} "
+          f"(seed {service.trial.seed}, {pacing}) "
+          f"until t={service.run.end_time:.0f}s"
+          + (f" on {args.connect}" if args.connect else ""),
+          file=sys.stderr)
+    summary = asyncio.run(service.serve(endpoint=args.connect))
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_ops_run(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.ops.service import load_service
+    from repro.scenario import ScenarioError
+    try:
+        service = load_service(args.scenario, seed=args.seed,
+                               duration=args.duration,
+                               sink=(open(args.telemetry, "w")
+                                     if args.telemetry else None))
+    except ScenarioError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    summary = service.run_batch()
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    print(f"metrics digest: {service.metrics_digest(summary)}",
+          file=sys.stderr)
+    return 0
+
+
+def cmd_ops_client(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.ops.control import ControlClient, ControlError
+    command = args.ops_command
+    try:
+        with ControlClient(args.connect) as client:
+            if command == "tail":
+                for record in client.stream():
+                    print(json.dumps(record, sort_keys=True))
+                return 0
+            # thunks: each subcommand defines only its own argparse
+            # attributes, so the request must be built lazily
+            method, params = {
+                "status": lambda: ("status", {}),
+                "snapshot": lambda: ("snapshot", {}),
+                "drain": lambda: ("drain", {}),
+                "stop": lambda: ("shutdown", {}),
+                "site-load": lambda: (
+                    "site_load",
+                    {"site": args.site} if args.site else {}),
+                "attach": lambda: ("attach_ue", {"enb": args.enb}),
+                "detach": lambda: ("detach_ue", {"ue": args.ue}),
+                "session-start": lambda: ("start_session",
+                                          {"ue": args.ue}),
+                "session-stop": lambda: ("stop_session",
+                                         {"ue": args.ue}),
+                "inject": lambda: ("inject_fault",
+                                   {"spec": json.loads(args.spec)}),
+                "clear": lambda: ("clear_fault", {"link": args.link}),
+            }[command]()
+            result = client.call(method, **params)
+            print(json.dumps(result, indent=2, sort_keys=True))
+            return 0
+    except (ControlError, OSError) as exc:
+        print(f"control call failed: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:  # pragma: no cover - interactive tail
+        return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -418,6 +511,73 @@ def build_parser() -> argparse.ArgumentParser:
     run_sc.add_argument("--output", default=None,
                         help="write results to this file")
     run_sc.set_defaults(func=cmd_scenario_run)
+
+    ops = sub.add_parser(
+        "ops", help="live operator service: serve a scenario, or "
+                    "control a running one")
+    ops_sub = ops.add_subparsers(dest="ops_command", required=True)
+
+    serve_op = ops_sub.add_parser(
+        "serve", help="run a scenario as a paced, controllable service")
+    serve_op.add_argument("scenario",
+                          help="catalogue name or document path")
+    serve_op.add_argument("--connect", default=None, metavar="ENDPOINT",
+                          help="control endpoint to serve "
+                               "(unix:<path> or tcp:<host>:<port>)")
+    serve_op.add_argument("--rtf", type=float, default=None,
+                          help="real-time factor override "
+                               "(0 = as fast as possible)")
+    serve_op.add_argument("--seed", type=int, default=None,
+                          help="base seed override")
+    serve_op.add_argument("--duration", type=float, default=None,
+                          help="run.duration override (compresses the "
+                               "diurnal day)")
+    serve_op.add_argument("--telemetry", default=None, metavar="FILE",
+                          help="write the telemetry JSONL stream here")
+    serve_op.set_defaults(func=cmd_ops_serve)
+
+    run_op = ops_sub.add_parser(
+        "run", help="drive the same scenario unpaced and synchronous "
+                    "(the deterministic reference)")
+    run_op.add_argument("scenario", help="catalogue name or document path")
+    run_op.add_argument("--seed", type=int, default=None,
+                        help="base seed override")
+    run_op.add_argument("--duration", type=float, default=None,
+                        help="run.duration override")
+    run_op.add_argument("--telemetry", default=None, metavar="FILE",
+                        help="write the telemetry JSONL stream here")
+    run_op.set_defaults(func=cmd_ops_run)
+
+    def client(name: str, help_text: str):
+        p = ops_sub.add_parser(name, help=help_text)
+        p.add_argument("--connect", required=True, metavar="ENDPOINT",
+                       help="control endpoint of the running service")
+        p.set_defaults(func=cmd_ops_client)
+        return p
+
+    client("status", "query the running service")
+    client("snapshot", "full metrics summary of the running service")
+    client("drain", "stop offering new match load")
+    client("stop", "request a graceful shutdown")
+    site_load = client("site-load", "per-site matcher/admission load")
+    site_load.add_argument("--site", default=None,
+                           help="one site (default: all)")
+    attach = client("attach", "attach a new UE")
+    attach.add_argument("--enb", default="enb0",
+                        help="cell to attach in (default enb0)")
+    for name, help_text in (("detach", "release a UE to idle"),
+                            ("session-start", "start a CI session"),
+                            ("session-stop", "stop a CI session")):
+        p = client(name, help_text)
+        p.add_argument("ue", help="UE name (e.g. opsue0)")
+    inject = client("inject", "inject a fault")
+    inject.add_argument("spec",
+                        help='fault spec JSON, e.g. \'{"type": '
+                             '"link_down", "link": "backhaul0", '
+                             '"duration": 5}\'')
+    clear = client("clear", "force a link back up")
+    clear.add_argument("link", help="link name (or sig.<channel>)")
+    client("tail", "stream telemetry records to stdout")
     return parser
 
 

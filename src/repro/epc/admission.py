@@ -15,7 +15,7 @@ operator maps a CI service onto a GBR class (e.g. QCI 3 for
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.epc.qos import qos_for
 
@@ -73,14 +73,80 @@ class _SitePool:
         return self.capacity - self.reserved
 
 
-class AdmissionController:
-    """Per-site GBR pools with ARP preemption."""
+@dataclass(frozen=True)
+class SiteLoad:
+    """Snapshot of one site's GBR pool, for operator dashboards and
+    load-aware admission."""
 
-    def __init__(self) -> None:
+    site_name: str
+    capacity: float                 # reservable bits/sec
+    reserved: float                 # bits/sec currently promised
+    reservations: int               # active reservation count
+    external_load: float            # 0..1 signal from outside (0 if none)
+
+    @property
+    def utilization(self) -> float:
+        return self.reserved / self.capacity if self.capacity > 0 else 0.0
+
+    def to_dict(self) -> dict:
+        return {"site": self.site_name, "capacity": self.capacity,
+                "reserved": self.reserved,
+                "utilization": self.utilization,
+                "reservations": self.reservations,
+                "external_load": self.external_load}
+
+
+class AdmissionController:
+    """Per-site GBR pools with ARP preemption.
+
+    Besides the bandwidth ledger, the controller can consume an
+    *external load signal* -- a callable mapping site name to a 0..1
+    health figure (e.g. matcher queue pressure reported by the operator
+    runtime).  When the signal for a site meets
+    :attr:`overload_threshold`, new GBR requests there are rejected
+    outright (counted in :attr:`rejected_overload`) even if bandwidth
+    is available: an overloaded MEC site should shed arrivals before it
+    starts missing deadlines, not after.
+    """
+
+    def __init__(self, overload_threshold: float = 1.0) -> None:
         self._pools: dict[str, _SitePool] = {}
         self.admitted = 0
         self.rejected = 0
+        self.rejected_overload = 0
         self.preempted: list[Reservation] = []
+        self.overload_threshold = overload_threshold
+        self._load_signal: Optional[Callable[[str], float]] = None
+
+    # -- load signals ------------------------------------------------------
+
+    def set_load_signal(self, fn: Optional[Callable[[str], float]],
+                        threshold: Optional[float] = None) -> None:
+        """Install (or clear, with ``None``) the external load signal.
+
+        ``fn(site_name)`` must return a 0..1 load figure; sites the
+        signal does not know should return 0.0.
+        """
+        self._load_signal = fn
+        if threshold is not None:
+            self.overload_threshold = threshold
+
+    def external_load(self, site_name: str) -> float:
+        if self._load_signal is None:
+            return 0.0
+        return float(self._load_signal(site_name))
+
+    def site_load(self, site_name: str) -> SiteLoad:
+        """Load snapshot for one registered site."""
+        pool = self.pool(site_name)
+        return SiteLoad(site_name=site_name, capacity=pool.capacity,
+                        reserved=pool.reserved,
+                        reservations=len(pool.reservations),
+                        external_load=self.external_load(site_name))
+
+    def site_loads(self) -> dict[str, SiteLoad]:
+        """Load snapshots for every registered site, by name."""
+        return {name: self.site_load(name) for name in sorted(self._pools)}
 
     def register_site(self, site_name: str, gbr_capacity: float) -> None:
         """Declare how much of a site's bandwidth is reservable."""
@@ -114,6 +180,13 @@ class AdmissionController:
             self.admitted += 1
             return reservation          # non-GBR: nothing to reserve
         pool = self.pool(site_name)
+        if self.external_load(site_name) >= self.overload_threshold:
+            self.rejected += 1
+            self.rejected_overload += 1
+            raise AdmissionError(
+                f"site {site_name!r} is overloaded "
+                f"(load {self.external_load(site_name):.2f} >= "
+                f"{self.overload_threshold:.2f}); shedding new GBR bearers")
         if gbr > pool.capacity:
             self.rejected += 1
             raise AdmissionError(

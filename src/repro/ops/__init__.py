@@ -1,0 +1,36 @@
+"""Live MEC operator runtime over the batch reproduction.
+
+The ``ops`` layer wraps a compiled scenario in a long-lived service:
+wall-clock pacing (:mod:`repro.ops.pacer`), a JSON-RPC control plane
+(:mod:`repro.ops.control`), streaming telemetry with aggregated
+gauges (:mod:`repro.ops.telemetry`), simulated per-site matcher
+fleets under diurnal load (:mod:`repro.ops.matchsvc`,
+:mod:`repro.ops.load`) and a hysteresis autoscaler
+(:mod:`repro.ops.autoscaler`).
+
+Layering is one-directional: ``ops`` may import ``sim`` / ``epc`` /
+``vision`` / ``scenario`` (and everything below them); nothing below
+may import ``ops``.  A test gate enforces this.
+"""
+
+from repro.ops.autoscaler import Autoscaler
+from repro.ops.config import (AutoscalerConfig, FlashCrowd, LoadConfig,
+                              MatcherServiceConfig, OpsConfig,
+                              PacerConfig, TelemetryConfig)
+from repro.ops.control import ControlClient, ControlError, ControlServer
+from repro.ops.events import (MatchCompleted, MatchDropped, ScaleDown,
+                              ScaleUp)
+from repro.ops.load import DiurnalLoadModel, MatchLoadGenerator
+from repro.ops.matchsvc import SiteMatcherService
+from repro.ops.pacer import Pacer
+from repro.ops.service import OpsService, load_service
+from repro.ops.telemetry import TelemetryStreamer
+
+__all__ = [
+    "Autoscaler", "AutoscalerConfig", "ControlClient", "ControlError",
+    "ControlServer", "DiurnalLoadModel", "FlashCrowd", "LoadConfig",
+    "MatchCompleted", "MatchDropped", "MatchLoadGenerator",
+    "MatcherServiceConfig", "OpsConfig", "OpsService", "Pacer",
+    "PacerConfig", "ScaleDown", "ScaleUp", "SiteMatcherService",
+    "TelemetryConfig", "TelemetryStreamer", "load_service",
+]

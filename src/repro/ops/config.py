@@ -1,0 +1,234 @@
+"""Operator-runtime configuration (the scenario ``ops`` section).
+
+Deserialised with the same strict, path-qualified rules as the network
+config (:mod:`repro.core.config`): unknown keys raise
+:class:`~repro.core.config.ConfigError` naming the exact offending
+document line.  The scenario schema carries a *literal* copy of this
+shape (``scenario`` must stay importable without ``ops``); a test pins
+the two together so they cannot drift.
+
+All rates and times in the ``load`` section are expressed against the
+scenario's ``run.duration``: ``peak_at`` and flash-crowd ``at`` /
+``duration`` are fractions of the run, so one document describes a
+24-hour soak *and* its 10-minute CI smoke compression -- shortening
+the run compresses the diurnal day rather than truncating it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.core.config import ConfigError, ConfigMapping, _fields_from
+
+
+@dataclass
+class PacerConfig(ConfigMapping):
+    """Wall-clock pacing of the simulator.
+
+    ``rtf`` is the real-time factor: simulated seconds per wall
+    second.  ``0`` means as-fast-as-possible (no sleeping, still
+    yielding to the event loop every quantum); ``1`` is real time,
+    ``10`` runs the soak at 10x.  ``quantum`` is the simulated-time
+    slice the pacer advances per asyncio turn.
+    """
+
+    rtf: float = 0.0
+    quantum: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.rtf < 0:
+            raise ValueError("pacer rtf must be >= 0 (0 = unpaced)")
+        if self.quantum <= 0:
+            raise ValueError("pacer quantum must be > 0")
+
+
+@dataclass
+class TelemetryConfig(ConfigMapping):
+    """Streaming telemetry: gauge cadence and latency window size."""
+
+    gauge_interval: float = 5.0     # simulated seconds between gauges
+    window: int = 256               # match-latency samples per site
+
+    def __post_init__(self) -> None:
+        if self.gauge_interval <= 0:
+            raise ValueError("telemetry gauge_interval must be > 0")
+        if self.window <= 0:
+            raise ValueError("telemetry window must be > 0")
+
+
+@dataclass
+class MatcherServiceConfig(ConfigMapping):
+    """The simulated per-site matcher fleet.
+
+    ``service_time`` is the mean simulated seconds one worker spends
+    matching one frame (the paper's ~20-30 ms CV pipeline);
+    ``jitter`` the +/- uniform spread around it.
+    """
+
+    service_time: float = 0.025
+    jitter: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.service_time <= 0:
+            raise ValueError("matcher service_time must be > 0")
+        if not (0 <= self.jitter < self.service_time):
+            raise ValueError("matcher jitter must be in "
+                             "[0, service_time)")
+
+
+@dataclass
+class AutoscalerConfig(ConfigMapping):
+    """Per-site worker scaling from queue depth and p99 latency.
+
+    Scale **up** when queue depth > ``high_queue`` *or* p99 match
+    latency > ``high_p99_ms`` for ``sustain`` consecutive evaluations;
+    scale **down** when depth < ``low_queue`` *and* p99 <
+    ``low_p99_ms`` for the same streak.  ``cooldown`` simulated
+    seconds must pass between actions on one site.
+    """
+
+    enabled: bool = True
+    min_workers: int = 1
+    max_workers: int = 8
+    high_queue: float = 8.0
+    low_queue: float = 1.0
+    high_p99_ms: float = 250.0
+    low_p99_ms: float = 60.0
+    sustain: int = 3
+    cooldown: float = 60.0
+    step: int = 1
+    interval: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.min_workers < 1:
+            raise ValueError("autoscaler min_workers must be >= 1")
+        if self.max_workers < self.min_workers:
+            raise ValueError("autoscaler max_workers must be >= "
+                             "min_workers")
+        if self.low_queue > self.high_queue:
+            raise ValueError("autoscaler low_queue must be <= high_queue")
+        if self.low_p99_ms > self.high_p99_ms:
+            raise ValueError("autoscaler low_p99_ms must be <= "
+                             "high_p99_ms")
+        if self.sustain < 1:
+            raise ValueError("autoscaler sustain must be >= 1")
+        if self.cooldown < 0:
+            raise ValueError("autoscaler cooldown must be >= 0")
+        if self.step < 1:
+            raise ValueError("autoscaler step must be >= 1")
+        if self.interval <= 0:
+            raise ValueError("autoscaler interval must be > 0")
+
+
+@dataclass(frozen=True)
+class FlashCrowd(ConfigMapping):
+    """A transient surge: ``rps`` extra requests/sec for ``duration``
+    (fraction of the run) starting at ``at`` (fraction of the run)."""
+
+    at: float
+    duration: float = 0.02
+    rps: float = 20.0
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.at <= 1):
+            raise ValueError("flash crowd at must be in [0, 1]")
+        if not (0 <= self.duration <= 1):
+            raise ValueError("flash crowd duration must be in [0, 1]")
+        if self.rps < 0:
+            raise ValueError("flash crowd rps must be >= 0")
+
+
+@dataclass
+class LoadConfig(ConfigMapping):
+    """Diurnal match-request load offered to every edge site.
+
+    The rate follows a raised cosine between ``base_rps`` (trough)
+    and ``peak_rps`` (crest at ``peak_at``, a fraction of the run),
+    plus any active :class:`FlashCrowd` surges.
+    """
+
+    base_rps: float = 2.0
+    peak_rps: float = 20.0
+    peak_at: float = 0.5
+    flash_crowds: tuple[FlashCrowd, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.base_rps < 0:
+            raise ValueError("load base_rps must be >= 0")
+        if self.peak_rps < self.base_rps:
+            raise ValueError("load peak_rps must be >= base_rps")
+        if not (0 <= self.peak_at <= 1):
+            raise ValueError("load peak_at must be in [0, 1]")
+        if not isinstance(self.flash_crowds, tuple):
+            self.flash_crowds = tuple(self.flash_crowds)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any], *,
+                  path: str = "") -> "LoadConfig":
+        if not isinstance(data, Mapping):
+            raise ConfigError(path, "expected an object, "
+                                    f"got {type(data).__name__}")
+        data = dict(data)
+        crowds_raw = data.pop("flash_crowds", None)
+        cfg = _fields_from(cls, data, path)
+        if crowds_raw is not None:
+            if not isinstance(crowds_raw, (list, tuple)):
+                raise ConfigError(
+                    f"{path}.flash_crowds" if path else "flash_crowds",
+                    f"expected an array, got {type(crowds_raw).__name__}")
+            sub = f"{path}.flash_crowds" if path else "flash_crowds"
+            cfg.flash_crowds = tuple(
+                _fields_from(FlashCrowd, c, f"{sub}[{i}]")
+                for i, c in enumerate(crowds_raw))
+        return cfg
+
+
+#: ops sub-section name -> config class (drives ``OpsConfig.from_dict``
+#: and the schema-pinning test).
+OPS_SECTIONS: dict[str, type] = {
+    "pacer": PacerConfig,
+    "telemetry": TelemetryConfig,
+    "matcher": MatcherServiceConfig,
+    "autoscaler": AutoscalerConfig,
+    "load": LoadConfig,
+}
+
+
+@dataclass
+class OpsConfig(ConfigMapping):
+    """The whole operator-runtime configuration."""
+
+    pacer: PacerConfig = field(default_factory=PacerConfig)
+    telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
+    matcher: MatcherServiceConfig = field(
+        default_factory=MatcherServiceConfig)
+    autoscaler: AutoscalerConfig = field(
+        default_factory=AutoscalerConfig)
+    load: LoadConfig = field(default_factory=LoadConfig)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any] | None, *,
+                  path: str = "ops") -> "OpsConfig":
+        if data is None:
+            return cls()
+        if not isinstance(data, Mapping):
+            raise ConfigError(path, "expected an object, "
+                                    f"got {type(data).__name__}")
+        unknown = sorted(set(data) - set(OPS_SECTIONS))
+        if unknown:
+            raise ConfigError(path, f"unknown key(s) {unknown}; valid "
+                                    f"keys: {sorted(OPS_SECTIONS)}")
+        kwargs = {}
+        for name, section_cls in OPS_SECTIONS.items():
+            if name in data:
+                sub = f"{path}.{name}" if path else name
+                kwargs[name] = section_cls.from_dict(data[name],
+                                                     path=sub)
+        return cls(**kwargs)
+
+
+def ops_field_names(section: str) -> set[str]:
+    """Field names of one ops sub-section (schema-pinning helper)."""
+    return {f.name for f in dataclasses.fields(OPS_SECTIONS[section])}

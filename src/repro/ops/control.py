@@ -1,0 +1,185 @@
+"""The operator control plane: JSON-RPC over TCP or a unix socket.
+
+Wire protocol (newline-delimited JSON, both directions):
+
+    -> {"id": 1, "method": "status", "params": {}}
+    <- {"id": 1, "result": {...}}
+    <- {"id": 2, "error": "no such method 'frobnicate'"}
+
+``subscribe`` flips the connection into streaming mode: after the
+ack, every telemetry record is pushed as one raw JSONL line (the same
+bytes the file sink gets) until the client disconnects.
+
+Handlers execute on the service's asyncio loop *between* pacer slices
+(the loop is single-threaded), so control mutations -- attaching a UE,
+injecting a fault -- always see a quiescent simulator and schedule
+their work as ordinary sim events.
+
+:class:`ControlClient` is the blocking, stdlib-socket counterpart used
+by the ``python -m repro ops`` CLI from a second process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+from typing import TYPE_CHECKING, Any, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ops.service import OpsService
+
+
+class ControlError(RuntimeError):
+    """A control call failed (server-side error response)."""
+
+
+def parse_endpoint(endpoint: str) -> tuple:
+    """``"unix:/path"`` or ``"tcp:host:port"`` -> typed tuple."""
+    if endpoint.startswith("unix:"):
+        path = endpoint[len("unix:"):]
+        if not path:
+            raise ValueError("unix endpoint needs a socket path")
+        return ("unix", path)
+    if endpoint.startswith("tcp:"):
+        rest = endpoint[len("tcp:"):]
+        host, sep, port = rest.rpartition(":")
+        if not sep or not host or not port.isdigit():
+            raise ValueError(f"bad tcp endpoint {endpoint!r}; "
+                             f"expected tcp:host:port")
+        return ("tcp", host, int(port))
+    raise ValueError(f"bad endpoint {endpoint!r}; expected "
+                     f"unix:<path> or tcp:<host>:<port>")
+
+
+class ControlServer:
+    """Serves the control API for one :class:`OpsService`."""
+
+    def __init__(self, service: "OpsService", endpoint: str) -> None:
+        self.service = service
+        self.endpoint = parse_endpoint(endpoint)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.connections = 0
+
+    async def start(self) -> None:
+        if self.endpoint[0] == "unix":
+            self._server = await asyncio.start_unix_server(
+                self._handle, path=self.endpoint[1])
+        else:
+            self._server = await asyncio.start_server(
+                self._handle, host=self.endpoint[1],
+                port=self.endpoint[2])
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        self.connections += 1
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    await self._send(writer, {"id": None,
+                                              "error": f"bad JSON: {exc}"})
+                    continue
+                req_id = request.get("id")
+                method = request.get("method")
+                params = request.get("params") or {}
+                if method == "subscribe":
+                    await self._send(writer, {"id": req_id,
+                                              "result": "subscribed"})
+                    await self._stream(writer)
+                    break
+                try:
+                    result = self.service.dispatch(method, params)
+                    await self._send(writer, {"id": req_id,
+                                              "result": result})
+                except Exception as exc:
+                    await self._send(writer, {"id": req_id,
+                                              "error": str(exc)})
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _stream(self, writer: asyncio.StreamWriter) -> None:
+        queue: asyncio.Queue = asyncio.Queue(maxsize=512)
+        self.service.telemetry.subscribe(queue)
+        try:
+            while True:
+                line = await queue.get()
+                writer.write(line.encode("utf-8") + b"\n")
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self.service.telemetry.unsubscribe(queue)
+
+    @staticmethod
+    async def _send(writer: asyncio.StreamWriter, payload: dict) -> None:
+        writer.write(json.dumps(payload).encode("utf-8") + b"\n")
+        await writer.drain()
+
+
+class ControlClient:
+    """Blocking client for the control API (stdlib sockets only)."""
+
+    def __init__(self, endpoint: str, timeout: float = 10.0) -> None:
+        parsed = parse_endpoint(endpoint)
+        if parsed[0] == "unix":
+            self._sock = socket.socket(socket.AF_UNIX,
+                                       socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(parsed[1])
+        else:
+            self._sock = socket.create_connection(
+                (parsed[1], parsed[2]), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+
+    def call(self, method: str, **params: Any) -> Any:
+        """One request/response round trip; raises
+        :class:`ControlError` on an error response."""
+        self._next_id += 1
+        request = {"id": self._next_id, "method": method,
+                   "params": params}
+        self._file.write(json.dumps(request).encode("utf-8") + b"\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ControlError("server closed the connection")
+        response = json.loads(line)
+        if "error" in response:
+            raise ControlError(response["error"])
+        return response.get("result")
+
+    def stream(self) -> Iterator[dict]:
+        """Subscribe and yield telemetry records until the server
+        closes (or the caller stops iterating)."""
+        self.call("subscribe")
+        for line in self._file:
+            yield json.loads(line)
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ControlClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,56 @@
+"""Hook-bus events published by the operator runtime.
+
+Kept dependency-free (like :mod:`repro.faults.events`) so telemetry
+subscribers anywhere can import the event types without pulling the
+asyncio machinery in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MatchCompleted:
+    """One simulated match request finished at an edge site.
+
+    ``latency`` is queueing + service time in simulated seconds.
+    """
+
+    site: str
+    latency: float
+    queued: float
+    time: float
+
+
+@dataclass(frozen=True)
+class MatchDropped:
+    """A match request was shed (site queue at capacity)."""
+
+    site: str
+    queue_depth: int
+    time: float
+
+
+@dataclass(frozen=True)
+class ScaleUp:
+    """The autoscaler grew a site's matcher fleet."""
+
+    site: str
+    from_workers: int
+    to_workers: int
+    queue_depth: int
+    p99_ms: float
+    time: float
+
+
+@dataclass(frozen=True)
+class ScaleDown:
+    """The autoscaler shrank a site's matcher fleet."""
+
+    site: str
+    from_workers: int
+    to_workers: int
+    queue_depth: int
+    p99_ms: float
+    time: float

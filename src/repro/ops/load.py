@@ -1,0 +1,105 @@
+"""Diurnal match-request load generation.
+
+:class:`DiurnalLoadModel` is the deterministic rate curve -- a raised
+cosine between trough and crest plus flash-crowd surges, all phased as
+*fractions of the run* so a 24-hour soak document and its 10-minute CI
+smoke compression share one description.  :class:`MatchLoadGenerator`
+turns the curve into arrivals per edge site by thinning a homogeneous
+Poisson process drawn from the dedicated ``ops.load`` stream:
+arrival *candidates* tick at the peak rate and are accepted with
+probability ``rate(t) / peak``, so the number of RNG draws -- and
+therefore every other stream in the run -- is independent of the curve
+shape.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Mapping
+
+from repro.ops.config import LoadConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ops.matchsvc import SiteMatcherService
+    from repro.sim.context import SimContext
+
+
+class DiurnalLoadModel:
+    """Deterministic offered-rate curve over one run."""
+
+    def __init__(self, config: LoadConfig, period: float) -> None:
+        if period <= 0:
+            raise ValueError("load period must be > 0")
+        self.config = config
+        self.period = period
+
+    def base_rate(self, t: float) -> float:
+        """The diurnal component alone (requests/sec) at sim time ``t``."""
+        cfg = self.config
+        phase = (t / self.period) - cfg.peak_at
+        # raised cosine: 1 at the crest, 0 half a period away
+        shape = 0.5 * (1.0 + math.cos(2.0 * math.pi * phase))
+        return cfg.base_rps + (cfg.peak_rps - cfg.base_rps) * shape
+
+    def surge_rate(self, t: float) -> float:
+        """Extra requests/sec from flash crowds active at ``t``."""
+        frac = t / self.period
+        return sum(c.rps for c in self.config.flash_crowds
+                   if c.at <= frac < c.at + c.duration)
+
+    def rate(self, t: float) -> float:
+        return self.base_rate(t) + self.surge_rate(t)
+
+    @property
+    def max_rate(self) -> float:
+        """Upper bound of :meth:`rate` (the thinning envelope)."""
+        return (self.config.peak_rps
+                + sum(c.rps for c in self.config.flash_crowds))
+
+
+class MatchLoadGenerator:
+    """Offers the diurnal load to every site's matcher service.
+
+    Arrival candidates are generated site-by-site (sorted order) from
+    one named stream; each candidate is accepted with probability
+    ``rate(t) / max_rate`` (Poisson thinning), which keeps the stream's
+    draw count independent of the curve -- a reshaped document cannot
+    shift any other randomness in the run.
+    """
+
+    def __init__(self, ctx: "SimContext",
+                 services: Mapping[str, "SiteMatcherService"],
+                 model: DiurnalLoadModel, start: float,
+                 end: float) -> None:
+        self.ctx = ctx
+        self.services = services
+        self.model = model
+        self.start = start
+        self.end = end
+        self.rng = ctx.rng("ops.load")
+        self.offered = 0
+        self._started = False
+
+    def start_generation(self) -> None:
+        if self._started:
+            raise RuntimeError("load generator already started")
+        self._started = True
+        if self.model.max_rate <= 0:
+            return
+        for site in sorted(self.services):
+            self._schedule_next(site, self.start)
+
+    def _schedule_next(self, site: str, after: float) -> None:
+        gap = float(self.rng.exponential(1.0 / self.model.max_rate))
+        at = after + gap
+        if at >= self.end:
+            return
+        self.ctx.sim.schedule_at(at, self._candidate, site, at)
+
+    def _candidate(self, site: str, at: float) -> None:
+        accept = (float(self.rng.random())
+                  < self.model.rate(at - self.start) / self.model.max_rate)
+        if accept:
+            self.offered += 1
+            self.services[site].submit()
+        self._schedule_next(site, at)

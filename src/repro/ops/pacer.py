@@ -1,0 +1,93 @@
+"""Wall-clock pacing of the discrete-event simulator.
+
+The pacer advances the simulator in ``quantum``-sized simulated-time
+slices, sleeping on the asyncio loop between slices so that simulated
+time tracks wall time at the configured real-time factor (``rtf``
+simulated seconds per wall second).  ``rtf=0`` is as-fast-as-possible:
+no sleeping, but still one ``await`` per slice so control connections
+and telemetry subscribers are serviced *between* slices -- control
+mutations therefore always land at a quiescent simulator, never
+mid-event, and the single-threaded loop needs no locking.
+
+Idle gaps are skipped, not slept through slice-by-slice: each slice
+targets just past :meth:`~repro.sim.engine.Simulator.next_event_time`
+(an O(1) scheduler lower bound), so a soak that is 99% idle costs
+wall time proportional to its *events* when unpaced, and exactly the
+scaled gap when paced.
+
+Drift accounting: after each paced slice the pacer records how far
+behind its wall-clock target the slice finished.  Sustained positive
+drift means the host cannot keep up with the requested ``rtf``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import TYPE_CHECKING, Optional
+
+from repro.ops.config import PacerConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+
+class Pacer:
+    """Advances a :class:`Simulator` against wall time."""
+
+    def __init__(self, sim: "Simulator",
+                 config: Optional[PacerConfig] = None) -> None:
+        self.sim = sim
+        self.config = config or PacerConfig()
+        self._anchor_wall: Optional[float] = None
+        self._anchor_sim = 0.0
+        self.slices = 0
+        self.drift = 0.0        # last slice's lag behind wall target (s)
+        self.max_drift = 0.0
+        self.stop_requested = False
+
+    @property
+    def paced(self) -> bool:
+        return self.config.rtf > 0
+
+    def rebase(self) -> None:
+        """Drop the wall-clock anchor (e.g. after an AFAP fast-forward
+        or a drain pause) so pacing restarts from here instead of
+        sprinting to catch up."""
+        self._anchor_wall = None
+
+    def stats(self) -> dict:
+        return {"rtf": self.config.rtf, "quantum": self.config.quantum,
+                "slices": self.slices, "drift_s": self.drift,
+                "max_drift_s": self.max_drift}
+
+    async def advance(self, until: float) -> None:
+        """Run the simulator to sim time ``until`` (clock parks there),
+        yielding to the event loop every quantum."""
+        loop = asyncio.get_running_loop()
+        cfg = self.config
+        while self.sim.now < until and not self.stop_requested:
+            nxt = self.sim.next_event_time()
+            if nxt is None or nxt > until:
+                if not self.paced:
+                    self.sim.run(until=until)   # nothing left: park
+                    break
+                target = until
+            else:
+                target = min(until, max(self.sim.now, nxt) + cfg.quantum)
+            wall_target = None
+            if self.paced:
+                if self._anchor_wall is None:
+                    self._anchor_wall = loop.time()
+                    self._anchor_sim = self.sim.now
+                wall_target = (self._anchor_wall
+                               + (target - self._anchor_sim) / cfg.rtf)
+                delay = wall_target - loop.time()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+            self.sim.run(until=target)
+            self.slices += 1
+            if wall_target is not None:
+                self.drift = loop.time() - wall_target
+                self.max_drift = max(self.max_drift, self.drift)
+            else:
+                await asyncio.sleep(0)

@@ -45,9 +45,10 @@ if TYPE_CHECKING:  # pragma: no cover
 #: Workload interpreting the document's world-building sections.
 GENERIC_WORKLOAD = "scenario"
 
-#: Sections only the generic workload interprets.
+#: Sections only the generic workload interprets (``ops`` rides along
+#: for the operator runtime; batch runs ignore it).
 INTERPRETED_SECTIONS = ("topology", "network", "traffic", "mobility",
-                        "faults", "run")
+                        "faults", "run", "ops")
 
 
 def canonical_json(data: Any) -> str:

@@ -34,7 +34,7 @@ second lets dedicated bearers establish); the sim then runs for
 from __future__ import annotations
 
 import copy
-from typing import Any, TYPE_CHECKING
+from typing import Any, Optional, TYPE_CHECKING
 
 import numpy as np
 
@@ -57,7 +57,7 @@ OVERRIDES = {
 }
 
 _SECTIONS = ("topology", "network", "traffic", "mobility", "faults",
-             "run")
+             "run", "ops")
 
 
 def _apply_overrides(p: dict[str, Any]) -> dict[str, Any]:
@@ -115,175 +115,253 @@ def _apply_overrides(p: dict[str, Any]) -> dict[str, Any]:
     return sections
 
 
-def execute(trial: "TrialSpec") -> dict[str, Any]:
-    """Run one scenario trial; see the module docstring."""
-    from repro.apps.mobility import MobilityManager
-    from repro.apps.scenario import WalkPath
-    from repro.baselines.deployments import build_topology
-    from repro.core.config import NetworkConfig
-    from repro.core.events import SessionRelocated
-    from repro.core.network import Pinger
-    from repro.faults import FaultInjector, FaultPlan
+class ScenarioRun:
+    """One scenario trial as a *steerable* object.
 
-    sections = _apply_overrides(dict(trial.param_dict))
-    topology = sections["topology"] or {}
-    traffic = sections["traffic"] or {}
-    mobility = sections["mobility"]
-    run = sections["run"] or {}
+    :func:`execute` used to be a single straight-line function; the
+    operator service (:mod:`repro.ops`) needs the same world but
+    advanced incrementally under a wall-clock pacer, with control-API
+    mutations interleaved.  Construction performs the entire
+    time-zero setup -- overrides, topology build, fault arming and the
+    attach storm spawn -- and :meth:`milestones` returns the timeline
+    boundaries with their callbacks:
 
-    ci = dict(traffic.get("ci", {}))
-    n_ues = int(ci.get("n_ues", 8))
-    path = ci.get("path", "edge")
-    ping_interval = float(ci.get("ping_interval", 0.2))
-    ping_size = int(ci.get("ping_size", 64))
-    background = dict(traffic.get("background", {}))
-    bg_mbps = float(background.get("mbps", 0.0))
-    bg_site = background.get("site", "central")
+    ``[(warmup, phase2), (end_time, finish)]``
 
-    config = NetworkConfig.from_dict(sections["network"] or {},
-                                     path="network")
-    config.seed = trial.seed
-    fabric = build_topology(topology, config=config)
-    network = fabric.network
-    mrs = fabric.mrs
-    n_cells = len(fabric.enb_positions)
-    cell_spacing = float(topology.get("cell_spacing", 100.0))
+    A driver must run the simulator to each boundary (in any number of
+    ``sim.run(until=...)`` slices -- chunked runs park the clock
+    exactly like one call) and then invoke the callback before
+    advancing further.  :meth:`collect` afterwards returns the metrics
+    dict.  The batch path (:func:`execute`) drives the milestones
+    back-to-back, which reproduces the original straight-line function
+    byte-for-byte; the ops pacer interleaves slices with asyncio
+    turns.
 
-    warmup = float(run.get("warmup", 1.0))
-    tail = float(run.get("tail", 2.0))
-    speed = stagger = walk_duration = 0.0
-    if mobility is not None:
-        speed = float(mobility.get("speed", 25.0))
-        stagger = float(mobility.get("stagger", 0.05))
-        walk_duration = cell_spacing * (n_cells - 1) / speed
-    duration = float(run.get("duration",
-                             walk_duration + n_ues * stagger
-                             if mobility is not None else 10.0))
-    probes = int(ci.get("probes", duration / ping_interval
-                        if ping_interval > 0 else 0))
+    The ``ops`` document section is *not* interpreted here: batch runs
+    ignore it (it configures the operator runtime only), which keeps
+    ``scenario`` importable without :mod:`repro.ops`.
+    """
 
-    plan = FaultPlan.from_dict(sections["faults"] or [],
-                               path="faults")
-    injector = None
-    if plan.faults:
-        injector = FaultInjector(network, plan)
-        injector.arm()
+    def __init__(self, trial: "TrialSpec") -> None:
+        from repro.baselines.deployments import build_topology
+        from repro.core.config import NetworkConfig
+        from repro.faults import FaultInjector, FaultPlan
 
-    # phase 1: attach storm in the first cell
-    attach_procs = [network.add_ue_async(enb_name="enb0")
-                    for _ in range(n_ues)]
-    network.sim.run(until=warmup)
-    ues = []
-    attach_outcomes: dict[str, int] = {}
-    for proc in attach_procs:
-        if not proc.finished:
-            attach_outcomes["unfinished"] = \
-                attach_outcomes.get("unfinished", 0) + 1
-            continue
-        assert proc.error is None, proc.error
-        result = proc.value.attach_result
-        outcome = result.outcome if result is not None else "none"
-        attach_outcomes[outcome] = attach_outcomes.get(outcome, 0) + 1
-        if proc.value.attached:
-            ues.append(proc.value)
+        self.trial = trial
+        sections = _apply_overrides(dict(trial.param_dict))
+        self.sections = sections
+        self.topology = sections["topology"] or {}
+        traffic = sections["traffic"] or {}
+        self.mobility = sections["mobility"]
+        run = sections["run"] or {}
+        self.ops_section = sections["ops"]
 
-    # phase 2: sessions, probes, walks, background load
-    relocated: list[SessionRelocated] = []
-    pingers: dict[str, Pinger] = {}
+        ci = dict(traffic.get("ci", {}))
+        self.n_ues = int(ci.get("n_ues", 8))
+        self.path = ci.get("path", "edge")
+        self.ping_interval = float(ci.get("ping_interval", 0.2))
+        self.ping_size = int(ci.get("ping_size", 64))
+        background = dict(traffic.get("background", {}))
+        self.bg_mbps = float(background.get("mbps", 0.0))
+        self.bg_site = background.get("site", "central")
 
-    def on_relocated(event: SessionRelocated) -> None:
-        relocated.append(event)
-        pinger = pingers.get(event.imsi)
-        if pinger is not None:
-            server_name = fabric.server_of_site[event.to_site]
-            pinger.server = network.servers[server_name]
+        config = NetworkConfig.from_dict(sections["network"] or {},
+                                         path="network")
+        config.seed = trial.seed
+        self.config = config
+        self.fabric = build_topology(self.topology, config=config)
+        self.network = self.fabric.network
+        self.mrs = self.fabric.mrs
+        self.n_cells = len(self.fabric.enb_positions)
+        self.cell_spacing = float(self.topology.get("cell_spacing", 100.0))
 
-    network.hooks.on(SessionRelocated, on_relocated)
+        self.warmup = float(run.get("warmup", 1.0))
+        self.tail = float(run.get("tail", 2.0))
+        self.speed = self.stagger = walk_duration = 0.0
+        if self.mobility is not None:
+            self.speed = float(self.mobility.get("speed", 25.0))
+            self.stagger = float(self.mobility.get("stagger", 0.05))
+            walk_duration = (self.cell_spacing * (self.n_cells - 1)
+                             / self.speed)
+        self.duration = float(run.get(
+            "duration",
+            walk_duration + self.n_ues * self.stagger
+            if self.mobility is not None else 10.0))
+        self.probes = int(ci.get(
+            "probes", self.duration / self.ping_interval
+            if self.ping_interval > 0 else 0))
+        self.start_at = self.warmup + 1.0
+        self.end_time = (self.start_at + self.n_ues * self.stagger
+                         + self.duration + self.tail)
 
-    session_failures = 0
+        plan = FaultPlan.from_dict(sections["faults"] or [],
+                                   path="faults")
+        self.injector = None
+        if plan.faults:
+            self.injector = FaultInjector(self.network, plan)
+            self.injector.arm()
 
-    def request_session(ue) -> None:
+        # phase 1: attach storm in the first cell
+        self._attach_procs = [self.network.add_ue_async(enb_name="enb0")
+                              for _ in range(self.n_ues)]
+
+        self.ues: list[Any] = []
+        self.attach_outcomes: dict[str, int] = {}
+        self.relocated: list[Any] = []
+        self.pingers: dict[str, Any] = {}
+        self.users: list[Any] = []
+        self.session_failures = 0
+        self.target: Optional[str] = None
+        self.manager: Optional[Any] = None
+
+    @property
+    def sim(self):
+        return self.network.sim
+
+    def milestones(self) -> list[tuple[float, Any]]:
+        """Timeline boundaries as ``(sim_time, callback)`` pairs.
+
+        Run the simulator to each time (any slicing), then call the
+        callback, in order.
+        """
+        return [(self.warmup, self.phase2), (self.end_time, self.finish)]
+
+    # -- milestone callbacks ----------------------------------------------
+
+    def phase2(self) -> None:
+        """Collect attach outcomes; start sessions, probes, walks and
+        background load.  Call once the clock has reached ``warmup``."""
+        from repro.apps.mobility import MobilityManager
+        from repro.apps.scenario import WalkPath
+        from repro.core.events import SessionRelocated
+        from repro.core.network import Pinger
+
+        network = self.network
+        for proc in self._attach_procs:
+            if not proc.finished:
+                self.attach_outcomes["unfinished"] = \
+                    self.attach_outcomes.get("unfinished", 0) + 1
+                continue
+            assert proc.error is None, proc.error
+            result = proc.value.attach_result
+            outcome = result.outcome if result is not None else "none"
+            self.attach_outcomes[outcome] = \
+                self.attach_outcomes.get(outcome, 0) + 1
+            if proc.value.attached:
+                self.ues.append(proc.value)
+
+        # phase 2: sessions, probes, walks, background load
+        def on_relocated(event: SessionRelocated) -> None:
+            self.relocated.append(event)
+            pinger = self.pingers.get(event.imsi)
+            if pinger is not None:
+                server_name = self.fabric.server_of_site[event.to_site]
+                pinger.server = network.servers[server_name]
+
+        network.hooks.on(SessionRelocated, on_relocated)
+
+        if self.path == "edge":
+            for ue in self.ues:
+                network.sim.schedule(0.0, self.request_session, ue)
+            self.target = self.fabric.server_of_site["edge0"]
+        else:
+            self.target = "internet"
+
+        if self.bg_mbps > 0:
+            network.add_background_load(rate=self.bg_mbps * 1e6,
+                                        site_name=self.bg_site).start()
+
+        start_at = self.start_at
+        if self.mobility is not None:
+            mobility = self.mobility
+            self.manager = manager = MobilityManager(
+                network, self.fabric.enb_positions,
+                update_interval=float(mobility.get("update_interval", 0.5)),
+                hysteresis=float(mobility.get("hysteresis", 3.0)),
+                hysteresis_db=float(mobility.get("hysteresis_db", 0.0)))
+            end_x = self.cell_spacing * (self.n_cells - 1)
+            for i, ue in enumerate(self.ues):
+                walk = WalkPath(waypoints=[(0.0, 0.0), (end_x, 0.0)],
+                                speed=self.speed)
+                network.sim.schedule(
+                    start_at + i * self.stagger - network.sim.now,
+                    lambda u=ue, w=walk: self.users.append(
+                        manager.add_mobile(u, w)))
+
+        if self.ping_interval > 0 and self.probes > 0:
+            for i, ue in enumerate(self.ues):
+                pinger = Pinger(network, ue, self.target,
+                                size=self.ping_size,
+                                interval=self.ping_interval)
+                pinger.run(count=self.probes,
+                           start=start_at + i * self.stagger)
+                self.pingers[ue.imsi] = pinger
+
+    def request_session(self, ue) -> None:
         # scheduled (not called inline) so the synchronous bearer
         # activation inside cannot drain armed future fault events;
         # run_until_complete is reentrant from an event callback
-        nonlocal session_failures
         try:
-            mrs.request_connectivity(ue, fabric.service_id)
+            self.mrs.request_connectivity(ue, self.fabric.service_id)
         except LookupError:
-            session_failures += 1
+            self.session_failures += 1
 
-    if path == "edge":
-        for ue in ues:
-            network.sim.schedule(0.0, request_session, ue)
-        target = fabric.server_of_site["edge0"]
-    else:
-        target = "internet"
+    def finish(self) -> None:
+        """Stop probes.  Call once the clock has reached ``end_time``."""
+        for pinger in self.pingers.values():
+            pinger.close()
 
-    if bg_mbps > 0:
-        network.add_background_load(rate=bg_mbps * 1e6,
-                                    site_name=bg_site).start()
+    # -- results -----------------------------------------------------------
 
-    start_at = warmup + 1.0
-    users: list[Any] = []
-    if mobility is not None:
-        manager = MobilityManager(
-            network, fabric.enb_positions,
-            update_interval=float(mobility.get("update_interval", 0.5)),
-            hysteresis=float(mobility.get("hysteresis", 3.0)),
-            hysteresis_db=float(mobility.get("hysteresis_db", 0.0)))
-        end_x = cell_spacing * (n_cells - 1)
-        for i, ue in enumerate(ues):
-            walk = WalkPath(waypoints=[(0.0, 0.0), (end_x, 0.0)],
-                            speed=speed)
-            network.sim.schedule(
-                start_at + i * stagger - network.sim.now,
-                lambda u=ue, w=walk: users.append(
-                    manager.add_mobile(u, w)))
+    def sessions_alive(self) -> int:
+        count = 0
+        if self.path == "edge":
+            for ue in self.ues:
+                session = self.mrs.session_for(ue, self.fabric.service_id)
+                if session is None:
+                    continue
+                bearer = ue.bearers.bearers.get(session.ebi)
+                if bearer is not None and bearer.active:
+                    count += 1
+        return count
 
-    if ping_interval > 0 and probes > 0:
-        for i, ue in enumerate(ues):
-            pinger = Pinger(network, ue, target, size=ping_size,
-                            interval=ping_interval)
-            pinger.run(count=probes, start=start_at + i * stagger)
-            pingers[ue.imsi] = pinger
+    def collect(self) -> dict[str, Any]:
+        """The scenario metrics dict (same keys as the historical
+        straight-line ``execute``)."""
+        network = self.network
+        injector = self.injector
+        rtts = [r for pg in self.pingers.values() for r in pg.rtts]
+        interruptions = [e.interruption for e in self.relocated]
+        return {
+            "n_ues": self.n_ues,
+            "path": self.path,
+            "attached": len(self.ues),
+            "attach_outcomes": dict(sorted(self.attach_outcomes.items())),
+            "sessions_alive": self.sessions_alive(),
+            "session_failures": self.session_failures,
+            "handovers": sum(len(u.handovers) for u in self.users),
+            "relocations_started": self.mrs.relocations_started,
+            "relocations_completed": self.mrs.relocations_completed,
+            "interruption_ms_mean": (float(np.mean(interruptions)) * 1e3
+                                     if interruptions else 0.0),
+            "pings_answered": len(rtts),
+            "pings_lost": sum(pg.lost for pg in self.pingers.values()),
+            "median_rtt_ms": (float(np.median(rtts)) * 1e3
+                              if rtts else 0.0),
+            "p95_rtt_ms": (float(np.percentile(rtts, 95)) * 1e3
+                           if rtts else 0.0),
+            "faults_injected": (injector.injected if injector else 0),
+            "faults_cleared": (injector.cleared if injector else 0),
+            "retransmissions": network.fabric.retransmissions,
+            "signalling_drops": dict(sorted(network.fabric.drops.items())),
+            "events_run": network.sim.events_run,
+        }
 
-    network.sim.run(until=start_at + n_ues * stagger + duration + tail)
-    for pinger in pingers.values():
-        pinger.close()
 
-    sessions_alive = 0
-    if path == "edge":
-        for ue in ues:
-            session = mrs.session_for(ue, fabric.service_id)
-            if session is None:
-                continue
-            bearer = ue.bearers.bearers.get(session.ebi)
-            if bearer is not None and bearer.active:
-                sessions_alive += 1
-
-    rtts = [r for pg in pingers.values() for r in pg.rtts]
-    interruptions = [e.interruption for e in relocated]
-    return {
-        "n_ues": n_ues,
-        "path": path,
-        "attached": len(ues),
-        "attach_outcomes": dict(sorted(attach_outcomes.items())),
-        "sessions_alive": sessions_alive,
-        "session_failures": session_failures,
-        "handovers": sum(len(u.handovers) for u in users),
-        "relocations_started": mrs.relocations_started,
-        "relocations_completed": mrs.relocations_completed,
-        "interruption_ms_mean": (float(np.mean(interruptions)) * 1e3
-                                 if interruptions else 0.0),
-        "pings_answered": len(rtts),
-        "pings_lost": sum(pg.lost for pg in pingers.values()),
-        "median_rtt_ms": (float(np.median(rtts)) * 1e3
-                          if rtts else 0.0),
-        "p95_rtt_ms": (float(np.percentile(rtts, 95)) * 1e3
-                       if rtts else 0.0),
-        "faults_injected": (injector.injected if injector else 0),
-        "faults_cleared": (injector.cleared if injector else 0),
-        "retransmissions": network.fabric.retransmissions,
-        "signalling_drops": dict(sorted(network.fabric.drops.items())),
-        "events_run": network.sim.events_run,
-    }
+def execute(trial: "TrialSpec") -> dict[str, Any]:
+    """Run one scenario trial; see the module docstring."""
+    run = ScenarioRun(trial)
+    for time, callback in run.milestones():
+        run.sim.run(until=time)
+        callback()
+    return run.collect()

@@ -177,6 +177,89 @@ SCHEMA: dict[str, Any] = {
                 "tail": {"type": "number", "minimum": 0},
             },
         },
+        # interpreted only by the operator runtime (repro.ops); batch
+        # runs ignore it.  Kept literal here -- scenario must stay
+        # importable without ops -- and pinned to the repro.ops.config
+        # dataclasses by a test.
+        "ops": {
+            "type": "object",
+            "additionalProperties": False,
+            "properties": {
+                "pacer": {
+                    "type": "object",
+                    "additionalProperties": False,
+                    "properties": {
+                        "rtf": {"type": "number", "minimum": 0},
+                        "quantum": {"type": "number",
+                                    "exclusiveMinimum": 0},
+                    },
+                },
+                "telemetry": {
+                    "type": "object",
+                    "additionalProperties": False,
+                    "properties": {
+                        "gauge_interval": {"type": "number",
+                                           "exclusiveMinimum": 0},
+                        "window": {"type": "integer",
+                                   "exclusiveMinimum": 0},
+                    },
+                },
+                "matcher": {
+                    "type": "object",
+                    "additionalProperties": False,
+                    "properties": {
+                        "service_time": {"type": "number",
+                                         "exclusiveMinimum": 0},
+                        "jitter": {"type": "number", "minimum": 0},
+                    },
+                },
+                "autoscaler": {
+                    "type": "object",
+                    "additionalProperties": False,
+                    "properties": {
+                        "enabled": {"type": "boolean"},
+                        "min_workers": {"type": "integer", "minimum": 1},
+                        "max_workers": {"type": "integer", "minimum": 1},
+                        "high_queue": {"type": "number", "minimum": 0},
+                        "low_queue": {"type": "number", "minimum": 0},
+                        "high_p99_ms": {"type": "number", "minimum": 0},
+                        "low_p99_ms": {"type": "number", "minimum": 0},
+                        "sustain": {"type": "integer", "minimum": 1},
+                        "cooldown": {"type": "number", "minimum": 0},
+                        "step": {"type": "integer", "minimum": 1},
+                        "interval": {"type": "number",
+                                     "exclusiveMinimum": 0},
+                    },
+                },
+                "load": {
+                    "type": "object",
+                    "additionalProperties": False,
+                    "properties": {
+                        "base_rps": {"type": "number", "minimum": 0},
+                        "peak_rps": {"type": "number", "minimum": 0},
+                        "peak_at": {"type": "number", "minimum": 0,
+                                    "maximum": 1},
+                        "flash_crowds": {
+                            "type": "array",
+                            "items": {
+                                "type": "object",
+                                "additionalProperties": False,
+                                "required": ["at"],
+                                "properties": {
+                                    "at": {"type": "number",
+                                           "minimum": 0, "maximum": 1},
+                                    "duration": {"type": "number",
+                                                 "minimum": 0,
+                                                 "maximum": 1},
+                                    "rps": {"type": "number",
+                                            "minimum": 0},
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
         "experiment": {
             "type": "object",
             "additionalProperties": False,

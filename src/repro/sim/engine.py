@@ -438,6 +438,24 @@ class Simulator:
             self._pool.append(event)
         return True
 
+    def next_event_time(self) -> Optional[float]:
+        """A lower bound on the next pending event's time, or ``None``.
+
+        ``None`` means the queue is drained (no live events).  Otherwise
+        the returned time is ``>= now`` and ``<=`` the true next event
+        time: schedulers report the earliest lane head / wheel-bucket
+        bound they track without opening buckets or skipping cancelled
+        events, so the bound may be early but never late.  Real-time
+        pacers (:mod:`repro.ops.pacer`) use it to sleep through idle
+        stretches instead of polling empty quanta; running the
+        simulator ``until`` the bound and asking again converges on the
+        true next event.
+        """
+        if self._live <= 0:
+            return None
+        bound = self._scheduler.next_time_lower_bound()
+        return self.now if bound < self.now else bound
+
     @property
     def pending(self) -> int:
         """Number of not-yet-cancelled events still queued.

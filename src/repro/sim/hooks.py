@@ -14,8 +14,14 @@ Design rules:
   with :meth:`HookBus.has` to skip even the event construction);
 * handlers run synchronously, in subscription order, on the emitter's
   stack -- the bus adds no scheduling of its own;
-* emission iterates a snapshot, so handlers may subscribe/unsubscribe
-  (including themselves) during dispatch.
+* handlers may subscribe/unsubscribe (including themselves) during
+  dispatch: a subscription closed mid-dispatch never sees the event
+  again, a subscription opened mid-dispatch first sees the *next*
+  event, and other subscribers are neither skipped nor double-served.
+  Removal is deferred while a dispatch is on the stack (the handler
+  list is compacted when the outermost emit returns), so the emit loop
+  walks the live list by index instead of allocating a snapshot per
+  event.
 
 The sim-layer events live here too; higher layers define their own
 (:mod:`repro.epc.events`, :mod:`repro.sdn.events`) and emit them over
@@ -64,6 +70,8 @@ class HookBus:
         #: bumped on every subscribe/unsubscribe; hot paths cache their
         #: ``has()`` verdict against it instead of probing per emit
         self.generation = 0
+        self._dispatching = 0           # emit() nesting depth
+        self._dirty: set[type] = set()  # types with deferred removals
 
     # -- subscription management -----------------------------------------
 
@@ -78,10 +86,23 @@ class HookBus:
         return sub
 
     def off(self, subscription: Subscription) -> None:
-        """Remove a subscription.  Idempotent."""
+        """Remove a subscription.  Idempotent.
+
+        Safe to call from inside a handler: while any dispatch is on
+        the stack the subscription is only marked inactive (so in-flight
+        emit loops skip it without disturbing their iteration) and the
+        handler list is compacted when the outermost emit returns.
+        """
         if not subscription.active:
             return
         subscription.active = False
+        if self._dispatching:
+            self._dirty.add(subscription.event_type)
+        else:
+            self._remove(subscription)
+        self.generation += 1
+
+    def _remove(self, subscription: Subscription) -> None:
         subs = self._handlers.get(subscription.event_type)
         if subs is not None:
             try:
@@ -90,16 +111,35 @@ class HookBus:
                 pass
             if not subs:
                 del self._handlers[subscription.event_type]
-        self.generation += 1
+
+    def _compact(self) -> None:
+        for event_type in self._dirty:
+            subs = self._handlers.get(event_type)
+            if subs is None:
+                continue
+            live = [s for s in subs if s.active]
+            if live:
+                self._handlers[event_type] = live
+            else:
+                del self._handlers[event_type]
+        self._dirty.clear()
 
     def has(self, event_type: type) -> bool:
-        """True if anyone listens for ``event_type`` (hot-path guard)."""
+        """True if anyone listens for ``event_type`` (hot-path guard).
+
+        May report a false positive for a type whose last subscriber
+        closed during an in-flight dispatch (pending compaction); the
+        guard's contract -- "emitting is a no-op when False" -- holds
+        either way.
+        """
         return event_type in self._handlers
 
     def subscriber_count(self, event_type: Optional[type] = None) -> int:
         if event_type is not None:
-            return len(self._handlers.get(event_type, ()))
-        return sum(len(subs) for subs in self._handlers.values())
+            return sum(1 for s in self._handlers.get(event_type, ())
+                       if s.active)
+        return sum(1 for subs in self._handlers.values()
+                   for s in subs if s.active)
 
     def close(self) -> None:
         """Detach every subscriber."""
@@ -112,17 +152,30 @@ class HookBus:
     def emit(self, event: Any) -> int:
         """Dispatch ``event`` to its type's subscribers, in order.
 
-        Returns the number of handlers invoked.
+        Returns the number of handlers invoked.  The loop walks the
+        live handler list by index up to its length at entry: handlers
+        added during dispatch are not served this event (they start
+        with the next one), handlers closed during dispatch are skipped
+        via their ``active`` flag, and removal is deferred until the
+        outermost dispatch returns so no subscriber is skipped or
+        double-served by list compaction happening mid-iteration.
         """
         subs = self._handlers.get(type(event))
         if not subs:
             return 0
         self.emitted += 1
         count = 0
-        for sub in tuple(subs):
-            if sub.active:
-                sub.fn(event)
-                count += 1
+        self._dispatching += 1
+        try:
+            for i in range(len(subs)):
+                sub = subs[i]
+                if sub.active:
+                    sub.fn(event)
+                    count += 1
+        finally:
+            self._dispatching -= 1
+            if not self._dispatching and self._dirty:
+                self._compact()
         return count
 
 

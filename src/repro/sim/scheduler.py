@@ -99,6 +99,17 @@ class SchedulerBase:
         """
         raise NotImplementedError
 
+    def next_time_lower_bound(self) -> float:
+        """A lower bound on the next live event's time (``inf`` if none).
+
+        O(1) and side-effect-free: implementations may return a bound
+        that is earlier than the true next event time (a cancelled head,
+        an unflushed wheel bucket), never later.  Real-time pacers use
+        it to sleep through idle gaps without disturbing the queue --
+        see :meth:`repro.sim.engine.Simulator.next_event_time`.
+        """
+        raise NotImplementedError
+
     def profile(self) -> dict:
         raise NotImplementedError
 
@@ -140,6 +151,10 @@ class ReferenceScheduler(SchedulerBase):
             event._popped = True
             return event
         return None
+
+    def next_time_lower_bound(self) -> float:
+        """Exact for the reference heap, modulo a cancelled head."""
+        return self._heap[0].time if self._heap else _INF
 
     def profile(self) -> dict:
         return {
@@ -455,6 +470,24 @@ class FastScheduler(SchedulerBase):
                 heapq.heappop(heap)
             event._popped = True
             return event
+
+    def next_time_lower_bound(self) -> float:
+        """Min over the four lane heads, without opening any bucket.
+
+        A lower bound only: the now-lane/run-list/heap heads may be
+        cancelled, and ``_next_lb`` is a wheel *bucket* bound rather
+        than an event time -- both make the result early, never late.
+        """
+        lb = self._next_lb
+        lane = self._now_lane
+        if lane and lane[0].time < lb:
+            lb = lane[0].time
+        runlist = self._runlist
+        if self._ri < len(runlist) and runlist[self._ri][0] < lb:
+            lb = runlist[self._ri][0]
+        if self._heap and self._heap[0][0] < lb:
+            lb = self._heap[0][0]
+        return lb
 
     def profile(self) -> dict:
         return {

@@ -16,8 +16,8 @@ per-job seeding.
 
 from __future__ import annotations
 
-from concurrent.futures import (Executor, ProcessPoolExecutor,
-                                ThreadPoolExecutor)
+from concurrent.futures import (Executor, Future, ProcessPoolExecutor,
+                                ThreadPoolExecutor, wait)
 from typing import Iterable, Optional, Sequence
 
 import numpy as np
@@ -81,18 +81,55 @@ class MatcherPool:
             cache = CandidateMatrixCache()
         self.cache = cache
         self._executor: Optional[Executor] = None
+        self._inflight: set[Future] = set()
+        self._closed = False
 
     # -- lifecycle ---------------------------------------------------------
 
     def _ensure_executor(self) -> Executor:
+        if self._closed:
+            raise RuntimeError("MatcherPool is closed")
         if self._executor is None:
             factory = (ThreadPoolExecutor if self.kind == "thread"
                        else ProcessPoolExecutor)
             self._executor = factory(max_workers=self.workers)
         return self._executor
 
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def inflight(self) -> int:
+        """Jobs submitted but not yet finished."""
+        return sum(1 for f in self._inflight if not f.done())
+
+    def drain(self) -> int:
+        """Block until every in-flight match completes; return how many
+        were waited on.
+
+        The pool stays usable afterwards -- ``drain()`` is the graceful
+        half of teardown (and what an autoscaler calls before retiring
+        a worker pool), ``close()`` the terminal half.
+        """
+        pending = [f for f in self._inflight if not f.done()]
+        if pending:
+            wait(pending)
+        self._inflight.clear()
+        return len(pending)
+
     def close(self) -> None:
+        """Complete in-flight matches, then tear the executor down.
+
+        Idempotent.  After ``close()`` the pool rejects new work; every
+        worker thread/process is joined before this returns, so no
+        worker survives pool shutdown.
+        """
+        if self._closed:
+            return
+        self._closed = True
         if self._executor is not None:
+            self.drain()
             self._executor.shutdown(wait=True)
             self._executor = None
 
@@ -111,6 +148,28 @@ class MatcherPool:
                                      **self.matcher_kwargs)
         return matcher.match_frame(frame, models)
 
+    def submit(self, index: int, frame: Frame,
+               models: Sequence[ObjectModel]) -> Future:
+        """Submit one match job asynchronously; returns its future.
+
+        ``index`` selects the deterministic per-job matcher seed
+        ``[seed, index]`` exactly as :meth:`match_frames` does, so an
+        asynchronous caller that numbers its jobs reproduces a serial
+        run.  The future is tracked until done: :meth:`drain` waits on
+        it, :meth:`close` completes it before teardown.
+        """
+        executor = self._ensure_executor()
+        models = list(models)
+        if self.kind == "thread":
+            future = executor.submit(self._thread_job, index, frame, models)
+        else:
+            future = executor.submit(_process_job, self.engine, self.seed,
+                                     index, self.matcher_kwargs, frame,
+                                     models)
+        self._inflight.add(future)
+        future.add_done_callback(self._inflight.discard)
+        return future
+
     def match_frames(self, jobs: Iterable[
             tuple[Frame, Sequence[ObjectModel]]]
             ) -> list[Optional[MatchOutcome]]:
@@ -126,4 +185,8 @@ class MatcherPool:
             futures = [executor.submit(_process_job, self.engine, self.seed,
                                        i, self.matcher_kwargs, frame, models)
                        for i, (frame, models) in enumerate(prepared)]
-        return [future.result() for future in futures]
+        self._inflight.update(futures)
+        try:
+            return [future.result() for future in futures]
+        finally:
+            self._inflight.difference_update(futures)

@@ -213,3 +213,68 @@ class TestCharging:
         charging = ChargingFunction()
         records = charging.bill_site(network.sgwc.site("central"))
         assert records == []
+
+
+class TestLoadSignal:
+    def make(self, threshold=1.0):
+        controller = AdmissionController(overload_threshold=threshold)
+        controller.register_site("mec", gbr_capacity=10e6)
+        return controller
+
+    def test_no_signal_means_zero_load(self):
+        controller = self.make()
+        assert controller.external_load("mec") == 0.0
+        controller.request("imsi1", 6, "mec", qci=1, gbr=1e6)
+        assert controller.rejected_overload == 0
+
+    def test_site_load_snapshot(self):
+        controller = self.make()
+        controller.set_load_signal(lambda site: 0.25)
+        controller.request("imsi1", 6, "mec", qci=1, gbr=4e6)
+        load = controller.site_load("mec")
+        assert load.site_name == "mec"
+        assert load.reserved == 4e6
+        assert load.utilization == pytest.approx(0.4)
+        assert load.reservations == 1
+        assert load.external_load == 0.25
+        as_dict = load.to_dict()
+        assert as_dict["site"] == "mec"
+        assert as_dict["external_load"] == 0.25
+
+    def test_site_loads_covers_all_sites_sorted(self):
+        controller = self.make()
+        controller.register_site("alpha", gbr_capacity=5e6)
+        loads = controller.site_loads()
+        assert list(loads) == ["alpha", "mec"]
+
+    def test_overloaded_site_sheds_gbr_requests(self):
+        pressure = {"mec": 0.0}
+        controller = self.make(threshold=0.9)
+        controller.set_load_signal(lambda site: pressure[site])
+        controller.request("imsi1", 6, "mec", qci=1, gbr=1e6)
+        pressure["mec"] = 0.95
+        with pytest.raises(AdmissionError, match="overloaded"):
+            controller.request("imsi2", 6, "mec", qci=1, gbr=1e6)
+        assert controller.rejected_overload == 1
+        assert controller.rejected == 1
+        # load recedes: admissions resume
+        pressure["mec"] = 0.5
+        controller.request("imsi3", 6, "mec", qci=1, gbr=1e6)
+        assert controller.admitted == 2
+
+    def test_overload_does_not_touch_non_gbr(self):
+        controller = self.make(threshold=0.5)
+        controller.set_load_signal(lambda site: 1.0)
+        # non-GBR bearers bypass the pool and the overload check
+        controller.request("imsi1", 6, "mec", qci=7, gbr=0.0)
+        assert controller.admitted == 1
+        assert controller.rejected_overload == 0
+
+    def test_set_load_signal_updates_threshold_and_clears(self):
+        controller = self.make()
+        controller.set_load_signal(lambda site: 0.8, threshold=0.7)
+        with pytest.raises(AdmissionError, match="overloaded"):
+            controller.request("imsi1", 6, "mec", qci=1, gbr=1e6)
+        controller.set_load_signal(None)
+        controller.request("imsi1", 6, "mec", qci=1, gbr=1e6)
+        assert controller.admitted == 1

@@ -109,6 +109,98 @@ def test_handler_subscribed_during_dispatch_misses_current_event():
     assert late == [2]
 
 
+# ---------------------------------------------------------------------------
+# Mutation during dispatch (regression: removal used to compact the
+# subscriber list mid-walk, skipping the handler after the removed one)
+# ---------------------------------------------------------------------------
+
+def test_close_earlier_sub_mid_dispatch_does_not_skip_later_subs():
+    bus = HookBus()
+    seen = []
+    first = bus.on(Ping, lambda e: (seen.append("first"),
+                                    first.close()))
+    bus.on(Ping, lambda e: seen.append("second"))
+    bus.on(Ping, lambda e: seen.append("third"))
+    assert bus.emit(Ping(1)) == 3
+    # every *other* subscriber still ran exactly once
+    assert seen == ["first", "second", "third"]
+    assert bus.emit(Ping(2)) == 2
+    assert seen == ["first", "second", "third", "second", "third"]
+
+
+def test_close_later_sub_mid_dispatch_skips_it_without_double_serving():
+    bus = HookBus()
+    seen = []
+    later_holder = []
+    bus.on(Ping, lambda e: (seen.append("first"),
+                            later_holder[0].close()))
+    later_holder.append(bus.on(Ping, lambda e: seen.append("second")))
+    bus.on(Ping, lambda e: seen.append("third"))
+    bus.emit(Ping(1))
+    # the closed-but-not-yet-visited handler must not run at all
+    assert seen == ["first", "third"]
+    bus.emit(Ping(2))
+    assert seen == ["first", "third", "first", "third"]
+
+
+def test_subscribe_during_dispatch_sees_only_subsequent_events():
+    bus = HookBus()
+    seen = []
+    bus.on(Ping, lambda e: (seen.append(("outer", e.value)),
+                            bus.on(Ping, lambda e2: seen.append(
+                                ("inner", e2.value)))))
+    bus.emit(Ping(1))
+    assert seen == [("outer", 1)]       # new sub not served this event
+    seen.clear()
+    bus.emit(Ping(2))
+    assert ("outer", 2) in seen and ("inner", 2) in seen
+
+
+def test_self_close_mid_dispatch_is_idempotent_and_final():
+    bus = HookBus()
+    seen = []
+    sub = bus.on(Ping, lambda e: (seen.append(e.value), sub.close(),
+                                  sub.close()))
+    bus.emit(Ping(1))
+    bus.emit(Ping(2))
+    assert seen == [1]
+    assert bus.subscriber_count(Ping) == 0
+
+
+def test_nested_emit_with_mid_dispatch_close():
+    bus = HookBus()
+    seen = []
+
+    def outer(e):
+        seen.append(("outer", e.value))
+        if e.value == 1:
+            pong_sub.close()            # removal during nested depth 0
+            bus.emit(Pong(10))          # nested dispatch
+
+    bus.on(Ping, outer)
+    pong_sub = bus.on(Pong, lambda e: seen.append(("pong", e.value)))
+    bus.on(Pong, lambda e: seen.append(("pong2", e.value)))
+    bus.emit(Ping(1))
+    # the closed Pong handler was dead before the nested emit started
+    assert seen == [("outer", 1), ("pong2", 10)]
+    # list compaction after the outermost emit leaves the bus coherent
+    assert bus.subscriber_count(Pong) == 1
+    bus.emit(Pong(11))
+    assert seen[-1] == ("pong2", 11)
+
+
+def test_bus_close_mid_dispatch_stops_remaining_handlers_cleanly():
+    bus = HookBus()
+    seen = []
+    bus.on(Ping, lambda e: (seen.append("first"), bus.close()))
+    bus.on(Ping, lambda e: seen.append("second"))
+    bus.emit(Ping(1))
+    assert seen == ["first"]
+    assert bus.subscriber_count() == 0
+    bus.emit(Ping(2))       # a closed bus is inert, not broken
+    assert seen == ["first"]
+
+
 def test_on_rejects_non_type():
     with pytest.raises(TypeError):
         HookBus().on("PacketDelivered", lambda e: None)

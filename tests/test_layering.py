@@ -8,30 +8,37 @@ import pytest
 SRC = Path(__file__).parent.parent / "src" / "repro"
 
 #: package -> packages it must never import at module scope
+#:
+#: ``repro.ops`` sits at the very top of the stack: it may import
+#: anything below (sim/epc/vision/faults/core/scenario), but nothing
+#: below it -- including the batch ``exp`` runner -- may import ops.
+#: The operator runtime is strictly optional machinery layered over a
+#: scenario run.
 FORBIDDEN = {
     "sim": {"repro.epc", "repro.sdn", "repro.d2d", "repro.localization",
             "repro.vision", "repro.core", "repro.apps",
-            "repro.baselines", "repro.scenario"},
+            "repro.baselines", "repro.scenario", "repro.ops"},
     "epc": {"repro.core", "repro.apps", "repro.baselines",
-            "repro.scenario"},
+            "repro.scenario", "repro.ops"},
     "sdn": {"repro.core", "repro.apps", "repro.baselines",
-            "repro.scenario"},
+            "repro.scenario", "repro.ops"},
     "d2d": {"repro.core", "repro.apps", "repro.baselines",
-            "repro.scenario"},
+            "repro.scenario", "repro.ops"},
     "localization": {"repro.core", "repro.apps", "repro.baselines",
-                     "repro.scenario"},
+                     "repro.scenario", "repro.ops"},
     "vision": {"repro.core", "repro.apps", "repro.baselines",
-               "repro.scenario"},
+               "repro.scenario", "repro.ops"},
     "faults": {"repro.core", "repro.apps", "repro.baselines",
-               "repro.scenario"},
-    "core": {"repro.baselines", "repro.scenario"},
-    "apps": {"repro.baselines", "repro.scenario"},
-    "baselines": {"repro.scenario", "repro.exp"},
+               "repro.scenario", "repro.ops"},
+    "core": {"repro.baselines", "repro.scenario", "repro.ops"},
+    "apps": {"repro.baselines", "repro.scenario", "repro.ops"},
+    "baselines": {"repro.scenario", "repro.exp", "repro.ops"},
     # presets are compiled *from* scenario documents, so the exp
     # package may import repro.scenario (see exp/presets.py) but the
     # scenario layer must never reach back into repro.exp at module
     # scope -- Scenario.compile() imports the spec lazily.
-    "scenario": {"repro.exp"},
+    "scenario": {"repro.exp", "repro.ops"},
+    "exp": {"repro.ops"},
 }
 
 

@@ -86,6 +86,67 @@ def test_empty_jobs(jobs):
         assert pool.match_frames([]) == []
 
 
+# ---------------------------------------------------------------------------
+# Lifecycle: drain / close / submit (regression: workers used to leak
+# when a pool was abandoned without shutdown)
+# ---------------------------------------------------------------------------
+
+def test_no_worker_thread_survives_pool_shutdown(jobs):
+    import threading
+    before = {t.ident for t in threading.enumerate()}
+    pool = MatcherPool(workers=3, kind="thread")
+    pool.match_frames(jobs)
+    during = [t for t in threading.enumerate() if t.ident not in before]
+    assert during, "expected live worker threads while the pool is open"
+    pool.close()
+    leaked = [t for t in threading.enumerate()
+              if t.ident not in before and t.is_alive()]
+    assert leaked == [], f"threads survived close(): {leaked}"
+    assert pool.closed
+
+
+def test_drain_completes_inflight_and_pool_stays_usable(jobs):
+    expected = serial_expected(jobs)
+    pool = MatcherPool(workers=2, kind="thread")
+    futures = [pool.submit(i, frame, models)
+               for i, (frame, models) in enumerate(jobs)]
+    pool.drain()
+    assert pool.inflight == 0
+    assert all(f.done() for f in futures)
+    assert [outcome_tuple(f.result()) for f in futures] == expected
+    # drained, not closed: new work is still accepted
+    again = pool.match_frames(jobs)
+    assert [outcome_tuple(o) for o in again] == expected
+    pool.close()
+
+
+def test_submit_matches_match_frames_determinism(jobs):
+    expected = serial_expected(jobs)
+    with MatcherPool(workers=3, kind="thread") as pool:
+        futures = [pool.submit(i, frame, models)
+                   for i, (frame, models) in enumerate(jobs)]
+        actual = [outcome_tuple(f.result()) for f in futures]
+    assert actual == expected
+
+
+def test_close_is_idempotent_and_rejects_new_work(jobs):
+    pool = MatcherPool(workers=2, kind="thread")
+    pool.match_frames(jobs[:2])
+    pool.close()
+    pool.close()    # second close is a no-op
+    with pytest.raises(RuntimeError, match="closed"):
+        pool.match_frames(jobs[:1])
+    with pytest.raises(RuntimeError, match="closed"):
+        pool.submit(0, *jobs[0])
+
+
+def test_close_without_ever_running_is_fine():
+    pool = MatcherPool(workers=2, kind="thread")
+    pool.close()
+    assert pool.closed
+    assert pool.inflight == 0
+
+
 def test_invalid_kind_and_engine():
     with pytest.raises(ValueError, match="pool kind"):
         MatcherPool(kind="fiber")

@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""CI gate for the operator runtime: a compressed diurnal soak.
+
+Runs the shipped ``diurnal_soak`` scenario twice through the
+deterministic batch drive (:meth:`repro.ops.service.OpsService.run_batch`,
+pacer off) with the day compressed into ``--duration`` simulated
+seconds, and asserts the acceptance contract:
+
+* **zero dropped CI sessions** -- every attached UE's edge session is
+  still alive at the end of the day;
+* **autoscaler activity** -- at least one ScaleUp *and* one ScaleDown
+  (the diurnal curve plus flash crowds must actually exercise the
+  policy);
+* **determinism** -- the two runs produce byte-identical telemetry
+  digests and byte-identical metrics digests;
+* **batch equivalence** -- the scenario metrics under the operator
+  runtime equal the plain ``scenario`` workload run (the ops layer is
+  a pure observer of the network sim), excluding only ``events_run``
+  (the operator machinery adds its own sim events).
+
+Exit code 0 when every gate holds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.ops.service import OpsService            # noqa: E402
+from repro.scenario.loader import load              # noqa: E402
+from repro.scenario.runtime import execute          # noqa: E402
+
+SCENARIO = "diurnal_soak"
+
+
+def run_once(duration: float) -> tuple[dict, str]:
+    service = OpsService(load(SCENARIO), duration=duration)
+    summary = service.run_batch()
+    return summary, service.metrics_digest(summary)
+
+
+def batch_reference(duration: float) -> dict:
+    spec = load(SCENARIO).compile()
+    trial = spec.trials()[0]
+    trial = dataclasses.replace(
+        trial, params=trial.params + (("duration", float(duration)),))
+    return execute(trial)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--duration", type=float, default=600.0,
+                        help="compressed day length in simulated "
+                             "seconds (default 600)")
+    args = parser.parse_args()
+
+    gates: list[tuple[str, bool, str]] = []
+
+    def gate(name: str, ok: bool, detail: str) -> None:
+        gates.append((name, ok, detail))
+        print(f"  [{'ok' if ok else 'FAIL'}] {name}: {detail}")
+
+    print(f"ops soak smoke: {SCENARIO} at duration={args.duration:.0f}s")
+    first, first_digest = run_once(args.duration)
+    second, second_digest = run_once(args.duration)
+    ops = first["ops"]
+
+    gate("zero dropped CI sessions",
+         ops["ci_sessions_dropped"] == 0 and first["session_failures"] == 0,
+         f"dropped={ops['ci_sessions_dropped']} "
+         f"failures={first['session_failures']} "
+         f"alive={first['sessions_alive']}/{first['attached']}")
+    gate("autoscaler scaled up",
+         ops["scale_ups"] >= 1, f"scale_ups={ops['scale_ups']}")
+    gate("autoscaler scaled down",
+         ops["scale_downs"] >= 1, f"scale_downs={ops['scale_downs']}")
+    gate("telemetry digest byte-identical across reruns",
+         first["ops"]["telemetry_digest"]
+         == second["ops"]["telemetry_digest"],
+         first["ops"]["telemetry_digest"][:16])
+    gate("metrics digest byte-identical across reruns",
+         first_digest == second_digest, first_digest[:16])
+
+    reference = batch_reference(args.duration)
+    shared = {k: v for k, v in first.items()
+              if k not in ("ops", "events_run")}
+    ref_shared = {k: v for k, v in reference.items()
+                  if k != "events_run"}
+    gate("scenario metrics equal the plain batch run "
+         "(sans events_run)", shared == ref_shared,
+         f"ops events={first['events_run']} "
+         f"batch events={reference['events_run']}")
+
+    failed = [name for name, ok, _ in gates if not ok]
+    if failed:
+        print(f"\nFAILED: {failed}")
+        print(json.dumps(first, indent=2, sort_keys=True,
+                         default=str)[:4000])
+        return 1
+    print(f"\nall {len(gates)} gates green "
+          f"(matches={ops['match_completed']}, "
+          f"records={ops['telemetry_records']})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
