@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test lint bench bench-matcher bench-resilience bench-sim bench-sim-smoke bench-scale bench-scale-smoke bench-continuity bench-continuity-smoke examples quick exp-smoke scenario-validate ops-soak-smoke all clean-results
+.PHONY: test lint bench bench-matcher bench-resilience bench-sim bench-sim-smoke bench-sim-quick bench-scale bench-scale-smoke bench-continuity bench-continuity-smoke bench-shard bench-shard-smoke examples quick exp-smoke scenario-validate ops-soak-smoke all clean-results
 
 test:
 	$(PYTHON) -m pytest tests/ -q
@@ -35,6 +35,9 @@ bench-sim:   ## scheduler comparison (fast vs reference) -> BENCH_sim.json
 bench-sim-smoke:   ## quick drift + determinism gate, no committed output
 	PYTHONPATH=src $(PYTHON) tools/bench_sim.py --smoke --out /tmp/BENCH_sim_smoke.json
 
+bench-sim-quick:   ## 1-repeat reduced flood for local iteration, no committed output
+	PYTHONPATH=src $(PYTHON) tools/bench_sim.py --quick --out /tmp/BENCH_sim_quick.json
+
 bench-scale:   ## fluid vs packet data plane + 100k-UE scenario -> BENCH_scale.json
 	PYTHONPATH=src $(PYTHON) tools/bench_scale.py
 
@@ -46,6 +49,12 @@ bench-continuity:   ## relocation policies across the edge fabric -> BENCH_conti
 
 bench-continuity-smoke:   ## quick continuity + determinism gates, no committed output
 	PYTHONPATH=src $(PYTHON) tools/bench_continuity.py --smoke --out /tmp/BENCH_continuity_smoke.json
+
+bench-shard:   ## sharded vs single-process: identity on all presets + 4-site speedup -> BENCH_shard.json
+	PYTHONPATH=src $(PYTHON) tools/bench_shard.py
+
+bench-shard-smoke:   ## 2-site digest identity + speedup floor, no committed output
+	PYTHONPATH=src $(PYTHON) tools/bench_shard.py --smoke --out /tmp/BENCH_shard_smoke.json
 
 quick:   ## tests + the sub-second benchmarks only
 	$(PYTHON) -m pytest tests/ -q

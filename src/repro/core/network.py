@@ -121,6 +121,11 @@ class MobileNetwork:
         self._edge_site_count = itertools.count(0)
         #: every data-plane link by name (the fault layer targets these)
         self.links: dict[str, Link] = {}
+        #: inter-site WAN routing table: (src site, dst site) -> the
+        #: mesh link, resolved once at :meth:`add_edge_site` time (both
+        #: orders present) so the per-transfer/per-packet hot path is a
+        #: single tuple lookup instead of a sorted-string build
+        self.wan_links: dict[tuple[str, str], Link] = {}
         #: per-site S1 wiring parameters, for attaching later eNodeBs
         self._site_params: dict[str, tuple[float, float, int]] = {}
         self._ue_count = itertools.count(1)
@@ -248,6 +253,8 @@ class MobileNetwork:
             peer.transfer.attach(f"wan:{name}", wan)
             edge.wan_ports[peer_name] = f"wan:{peer_name}"
             peer.wan_ports[name] = f"wan:{name}"
+            self.wan_links[(name, peer_name)] = wan
+            self.wan_links[(peer_name, name)] = wan
         self.edge_sites[name] = edge
         for enb_name in home_enbs:
             self.set_home_site(enb_name, name)
@@ -298,7 +305,7 @@ class MobileNetwork:
         if port is None:
             raise ValueError(f"no WAN link between {src_site!r} and "
                              f"{dst_site!r}")
-        wan = self.links[wan_link_name(src_site, dst_site)]
+        wan = self.wan_links[(src_site, dst_site)]
         chunk = chunk_bytes or self.config.continuity.chunk_bytes
         remaining = int(nbytes)
         offset = 0.0

@@ -30,6 +30,16 @@ from repro.ops.config import PacerConfig
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulator
 
+#: Longest single wall-clock sleep (seconds).  Paced sleeps are chunked
+#: so that events armed *mid-sleep* by control callbacks (which run
+#: between chunks on the asyncio loop and may drive the simulator
+#: reentrantly via ``run_until_complete``/``spawn``) are noticed within
+#: one chunk instead of after the full -- possibly seconds-long -- gap
+#: to the previously known next event.  A module constant, not a
+#: ``PacerConfig`` field: it bounds staleness of an internal cache and
+#: has no effect on simulated behaviour.
+_MAX_SLEEP = 0.05
+
 
 class Pacer:
     """Advances a :class:`Simulator` against wall time."""
@@ -81,9 +91,26 @@ class Pacer:
                     self._anchor_sim = self.sim.now
                 wall_target = (self._anchor_wall
                                + (target - self._anchor_sim) / cfg.rtf)
-                delay = wall_target - loop.time()
-                if delay > 0:
-                    await asyncio.sleep(delay)
+                # chunked sleep: re-sample the next-event bound whenever
+                # something was armed mid-sleep, and re-target the slice
+                # if the new work is due before the current target
+                retarget = False
+                while not self.stop_requested:
+                    delay = wall_target - loop.time()
+                    if delay <= 0:
+                        break
+                    epoch = self.sim.arm_epoch
+                    await asyncio.sleep(min(delay, _MAX_SLEEP))
+                    if self.sim.arm_epoch == epoch:
+                        continue
+                    nxt = self.sim.next_event_time()
+                    if (nxt is not None
+                            and max(self.sim.now, nxt) + cfg.quantum
+                            < target):
+                        retarget = True
+                        break
+                if retarget:
+                    continue
             self.sim.run(until=target)
             self.slices += 1
             if wall_target is not None:

@@ -102,6 +102,7 @@ class Event:
         self._popped = False
         sim._scheduler.push(self, zero_delay=delay == 0.0)
         sim._live += 1
+        sim.arm_epoch += 1
         return self
 
     def __lt__(self, other: "Event") -> bool:
@@ -286,6 +287,13 @@ class Simulator:
                  pool_size: int = 1024) -> None:
         self.now: float = 0.0
         self.hooks = HookBus()
+        #: monotone counter bumped every time an event is armed (fresh,
+        #: recycled or re-armed).  Real-time pacers snapshot it before a
+        #: wall-clock sleep: a changed epoch means a callback (possibly
+        #: a reentrant ``run_until_complete`` one) armed new work, so the
+        #: cached ``next_event_time()`` bound may now be stale and must
+        #: be re-sampled instead of sleeping through the old target.
+        self.arm_epoch: int = 0
         self._scheduler = build_scheduler(scheduler,
                                           granularity=wheel_granularity,
                                           slots=wheel_slots)
@@ -308,6 +316,7 @@ class Simulator:
                       sim=self)
         self._scheduler.push(event, zero_delay=delay == 0.0)
         self._live += 1
+        self.arm_epoch += 1
         return event
 
     def _schedule_internal(self, delay: float, fn: Callable[..., Any],
@@ -331,6 +340,7 @@ class Simulator:
             event._recyclable = True
         self._scheduler.push(event, zero_delay=delay == 0.0)
         self._live += 1
+        self.arm_epoch += 1
 
     def _schedule_step(self, fn: Callable[..., Any], *args: Any) -> None:
         """Zero-delay internal continuation (the dominant event kind)."""
@@ -450,6 +460,13 @@ class Simulator:
         stretches instead of polling empty quanta; running the
         simulator ``until`` the bound and asking again converges on the
         true next event.
+
+        The bound describes the queue *as it stands now*: any callback
+        that arms events afterwards -- including control code calling
+        :meth:`run_until_complete` reentrantly -- invalidates it.  Such
+        arming bumps :attr:`arm_epoch`, which sleepers compare against
+        a snapshot to know when to re-sample instead of trusting a
+        stale bound.
         """
         if self._live <= 0:
             return None

@@ -145,6 +145,44 @@ def test_pacer_stop_request_breaks_out_early():
     assert ctx.now < 100.0
 
 
+def test_paced_advance_notices_events_armed_mid_sleep():
+    """Control callbacks arming earlier events interrupt a long sleep.
+
+    With one far event the pacer computes a single long wall sleep from
+    ``next_event_time()``.  A control-plane callback then spawns a
+    process (reentrant engine use, exactly what the control API does
+    between slices) whose work is due *much* earlier.  The pacer must
+    re-sample its bound -- via ``Simulator.arm_epoch`` -- and run the
+    new work at its paced wall time instead of sleeping through to the
+    far event (the pre-fix behaviour: the spawned work fired seconds
+    late, after the full original sleep).
+    """
+    ctx = SimContext(seed=0)
+    sim = ctx.sim
+    fired: list[float] = []
+    sim.schedule(100.0, lambda: None)       # only event: ~10s wall away
+    pacer = Pacer(sim, PacerConfig(rtf=10.0, quantum=0.25))
+
+    def proc():
+        yield 1.0                           # due at ~0.1s wall (rtf=10)
+        fired.append(time.monotonic())
+
+    async def scenario():
+        start = time.monotonic()
+        advance = asyncio.create_task(pacer.advance(100.0))
+        await asyncio.sleep(0.2)            # pacer is mid-sleep now
+        sim.spawn(proc())                   # control mutation arms work
+        await asyncio.sleep(1.0)
+        pacer.stop_requested = True
+        await advance
+        return start
+
+    start = asyncio.run(scenario())
+    assert fired, "event armed mid-sleep never fired (pacer overslept)"
+    # generous for busy CI hosts; the broken pacer needed the full ~10s
+    assert fired[0] - start < 1.1
+
+
 # ---------------------------------------------------------------------------
 # SiteMatcherService
 # ---------------------------------------------------------------------------

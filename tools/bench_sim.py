@@ -34,12 +34,16 @@ disabled during timed passes (pyperf-style; both schedulers hold large
 tombstone populations and GC pauses would add noise), and the reported
 rate is from the median-time pass.  ``--smoke`` shrinks every workload
 and skips the speedup gate: CI uses it to check determinism, not
-performance.
+performance.  ``--quick`` sits in between -- one timed pass over a
+reduced flood, gate skipped -- for fast local iteration on scheduler
+changes.  Every report carries a ``host`` provenance block so
+cross-PR speedup comparisons are anchored to the hardware that
+produced them.
 
 Usage::
 
     PYTHONPATH=src python tools/bench_sim.py [--repeats N] [--smoke]
-                                             [--out PATH]
+                                             [--quick] [--out PATH]
 """
 
 from __future__ import annotations
@@ -48,6 +52,8 @@ import argparse
 import gc
 import hashlib
 import json
+import os
+import platform
 import statistics
 import sys
 import time
@@ -253,11 +259,29 @@ SMOKE_SIZES = {
     "chaos_mix": dict(n_ues=8, tail=1.0),
 }
 
+#: ``--quick``: big enough for a meaningful local speedup reading,
+#: small enough to iterate on (single repeat, reduced flood).
+QUICK_SIZES = {
+    "packet_flood": dict(n_sources=200, duration=0.3),
+    "signalling_storm": dict(n_ues=40),
+    "chaos_mix": dict(n_ues=20, tail=2.0),
+}
+
+
+def host_provenance() -> dict:
+    """Where a benchmark number came from: the hardware anchor every
+    cross-PR speedup comparison needs."""
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "cpu_count": os.cpu_count(),
+    }
+
 
 def preset_digest(name: str, scheduler: str) -> str:
     """SHA-256 of a preset's canonical JSON under one scheduler."""
-    import os
-
     from repro.exp.presets import preset
     from repro.exp.runner import ExperimentRunner
 
@@ -271,19 +295,33 @@ def preset_digest(name: str, scheduler: str) -> str:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--repeats", type=int, default=5,
-                        help="timed alternating passes per scheduler")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timed alternating passes per scheduler "
+                             "(default 5; 1 under --quick)")
     parser.add_argument("--smoke", action="store_true",
                         help="reduced sizes, no speedup gate (CI)")
+    parser.add_argument("--quick", action="store_true",
+                        help="one repeat over a reduced flood, no "
+                             "speedup gate (local iteration)")
     parser.add_argument("--out", type=Path,
                         default=REPO_ROOT / "BENCH_sim.json")
     args = parser.parse_args(argv)
+    if args.smoke and args.quick:
+        parser.error("--smoke and --quick are mutually exclusive")
+    if args.repeats is None:
+        args.repeats = 1 if args.quick else 5
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
 
-    sizes = SMOKE_SIZES if args.smoke else {name: {} for name in WORKLOADS}
+    if args.smoke:
+        mode, sizes = "smoke", SMOKE_SIZES
+    elif args.quick:
+        mode, sizes = "quick", QUICK_SIZES
+    else:
+        mode, sizes = "full", {name: {} for name in WORKLOADS}
 
-    report = {"mode": "smoke" if args.smoke else "full",
+    report = {"mode": mode,
+              "host": host_provenance(),
               "protocol": {"repeats": args.repeats,
                            "statistic": "median of alternating passes",
                            "gc": "disabled during timed passes"},
@@ -330,7 +368,8 @@ def main(argv=None) -> int:
             "speedup": speedups[name],
         }
 
-    presets = SMOKE_IDENTITY_PRESETS if args.smoke else IDENTITY_PRESETS
+    presets = (SMOKE_IDENTITY_PRESETS if args.smoke or args.quick
+               else IDENTITY_PRESETS)
     identity = {}
     for name in presets:
         fast = preset_digest(name, "fast")
@@ -359,7 +398,8 @@ def main(argv=None) -> int:
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")
 
-    if not args.smoke and speedups["packet_flood"] < FLOOD_GATE:
+    if not (args.smoke or args.quick) \
+            and speedups["packet_flood"] < FLOOD_GATE:
         print(f"WARNING: packet_flood speedup "
               f"{speedups['packet_flood']:.2f}x below the "
               f"{FLOOD_GATE}x acceptance target")
